@@ -1,0 +1,37 @@
+# Convenience targets for the dsr reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench evaluate examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+# Regenerate every table and figure of the paper at full scale.
+evaluate: build
+	$(GO) run ./cmd/dsrsim -all -runs 1000
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+examples: build
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hwrand
+	$(GO) run ./examples/incremental
+	$(GO) run ./examples/spacestudy
+
+# Short fuzzing pass over the parsers (assembler, trace codec).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=20s ./internal/asm
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=20s ./internal/rvs
+
+clean:
+	$(GO) clean ./...

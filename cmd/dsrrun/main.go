@@ -1,0 +1,117 @@
+// Command dsrrun assembles a program written in the simulator's
+// assembly syntax (see internal/asm) and executes it on the PROXIMA
+// LEON3 platform — once on the deterministic baseline, or as a full DSR
+// measurement campaign with MBPTA analysis.
+//
+//	dsrrun prog.s                  run once, print cycles and counters
+//	dsrrun -disasm prog.s          dump the assembled program
+//	dsrrun -dsr -runs 500 prog.s   DSR campaign + pWCET analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsr/internal/asm"
+	"dsr/internal/core"
+	"dsr/internal/loader"
+	"dsr/internal/mbpta"
+	"dsr/internal/platform"
+	"dsr/internal/prog"
+	"dsr/internal/rvs"
+)
+
+func main() {
+	var (
+		useDSR = flag.Bool("dsr", false, "run a DSR measurement campaign instead of a single run")
+		runs   = flag.Int("runs", 500, "campaign size with -dsr")
+		seed   = flag.Uint64("seed", 1, "base layout seed with -dsr")
+		disasm = flag.Bool("disasm", false, "print the assembled program and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dsrrun [-dsr] [-runs N] [-disasm] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	die(err)
+	p, err := asm.Assemble(string(src))
+	die(err)
+
+	if *disasm {
+		dump(p)
+		return
+	}
+
+	if !*useDSR {
+		img, err := loader.Load(p, loader.DefaultSequentialConfig())
+		die(err)
+		plat := platform.New(platform.ProximaLEON3())
+		plat.LoadImage(img)
+		res, err := plat.Run()
+		die(err)
+		fmt.Printf("%s: %d cycles, %%o0=%d (0x%x)\n", p.Name, res.Cycles, res.ExitValue, res.ExitValue)
+		fmt.Printf("  instr=%d fpu=%d icmiss=%d dcmiss=%d l2miss=%d\n",
+			res.PMCs.Instr, res.PMCs.FPU, res.PMCs.ICMiss, res.PMCs.DCMiss, res.PMCs.L2Miss)
+		return
+	}
+
+	plat := platform.New(platform.ProximaLEON3())
+	rt, err := core.NewRuntime(p, plat, core.Options{})
+	die(err)
+	var times []float64
+	for i := 0; i < *runs; i++ {
+		_, err := rt.Reboot(*seed + uint64(i))
+		die(err)
+		res, err := rt.Run()
+		die(err)
+		times = append(times, float64(res.Cycles))
+	}
+	opts := mbpta.DefaultOptions()
+	if len(times)/opts.BlockSize < 10 {
+		opts.BlockSize = len(times) / 10
+		if opts.BlockSize < 5 {
+			opts.BlockSize = 5
+		}
+	}
+	rep, err := mbpta.Analyse(times, opts)
+	if rep != nil {
+		fmt.Printf("%s under DSR, %d runs: min=%.0f mean=%.0f MOET=%.0f\n",
+			p.Name, rep.N, rep.Min, rep.Mean, rep.MOET)
+		fmt.Printf("i.i.d.: Ljung-Box p=%.4f, KS p=%.4f\n",
+			rep.IID.LjungBox.PValue, rep.IID.KS.PValue)
+	}
+	die(err)
+	fmt.Printf("pWCET @ %.0e = %.0f cycles (+%.2f%% over MOET)\n\n",
+		rep.TargetExceedance, rep.PWCET, (rep.PWCET/rep.MOET-1)*100)
+	fmt.Print(rvs.RenderCurve(rep, times, 72, 18))
+}
+
+func dump(p *prog.Program) {
+	fmt.Printf(".program %s\n.entry %s\n", p.Name, p.Entry)
+	for _, d := range p.Data {
+		fmt.Printf(".data %s size=%d align=%d", d.Name, d.Size, d.Align)
+		if len(d.Init) > 0 {
+			fmt.Printf("  ; %d init words", len(d.Init))
+		}
+		fmt.Println()
+	}
+	for _, f := range p.Functions {
+		if f.Leaf {
+			fmt.Printf("\n.leaf %s\n", f.Name)
+		} else {
+			fmt.Printf("\n.func %s frame=%d\n", f.Name, f.FrameSize)
+		}
+		for i := range f.Code {
+			fmt.Printf("    %s\n", f.Code[i].String())
+		}
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsrrun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,120 @@
+// Command pwcet is the MBPTA analysis tool (the RVS analysis stage of
+// §V-VI): it reads execution times — either a binary timing trace
+// produced by traceconv -gen, or a text file with one execution time per
+// line — runs the i.i.d. gate, fits the EVT model, and prints the pWCET
+// report and curve.
+//
+//	pwcet -trace trace.bin
+//	pwcet -times times.txt -block 50 -target 1e-15
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsr/internal/mbpta"
+	"dsr/internal/rvs"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "binary timing trace (rvs format)")
+		timesFile = flag.String("times", "", "text file with one execution time per line ('-' for stdin)")
+		enter     = flag.Int("enter", int(rvs.UoAEnter), "UoA enter instrumentation point id")
+		exit      = flag.Int("exit", int(rvs.UoAExit), "UoA exit instrumentation point id")
+		block     = flag.Int("block", 50, "EVT block-maxima size")
+		target    = flag.Float64("target", 1e-15, "target exceedance probability")
+	)
+	flag.Parse()
+
+	times, err := loadTimes(*traceFile, *timesFile, int32(*enter), int32(*exit))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pwcet:", err)
+		os.Exit(1)
+	}
+	if len(times) == 0 {
+		fmt.Fprintln(os.Stderr, "pwcet: no execution times found")
+		os.Exit(1)
+	}
+
+	opts := mbpta.DefaultOptions()
+	opts.BlockSize = *block
+	opts.TargetExceedance = *target
+	// The Gumbel fit needs at least 10 block maxima; shrink the block for
+	// small samples rather than refusing outright.
+	if len(times)/opts.BlockSize < 10 {
+		adj := len(times) / 10
+		if adj < 5 {
+			adj = 5
+		}
+		fmt.Fprintf(os.Stderr, "pwcet: only %d runs; reducing block size %d -> %d\n",
+			len(times), opts.BlockSize, adj)
+		opts.BlockSize = adj
+	}
+	rep, analyseErr := mbpta.Analyse(times, opts)
+	name := *traceFile
+	if name == "" {
+		name = *timesFile
+	}
+	if err := rvs.WriteReport(os.Stdout, name, rep, times); err != nil {
+		fmt.Fprintln(os.Stderr, "pwcet:", err)
+		os.Exit(1)
+	}
+	if analyseErr != nil {
+		fmt.Fprintln(os.Stderr, "pwcet:", analyseErr)
+		os.Exit(1)
+	}
+}
+
+func loadTimes(traceFile, timesFile string, enter, exit int32) ([]float64, error) {
+	switch {
+	case traceFile != "" && timesFile != "":
+		return nil, fmt.Errorf("give either -trace or -times, not both")
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		trace, err := rvs.Decode(f)
+		if err != nil {
+			return nil, err
+		}
+		return rvs.ToFloats(rvs.Durations(trace, enter, exit)), nil
+	case timesFile != "":
+		var r io.Reader = os.Stdin
+		if timesFile != "-" {
+			f, err := os.Open(timesFile)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		return readTimes(r)
+	default:
+		return nil, fmt.Errorf("give -trace FILE or -times FILE")
+	}
+}
+
+func readTimes(r io.Reader) ([]float64, error) {
+	var out []float64
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad execution time %q: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,91 @@
+// Command traceconv works with RVS-style binary timing traces (§V): it
+// converts the binary format the target dumps into host-side CSV, and it
+// can generate a demonstration trace by running the space case study
+// under DSR.
+//
+//	traceconv -gen 200 -o trace.bin     generate a 200-run DSR trace
+//	traceconv trace.bin                 convert binary trace to CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsr/internal/core"
+	"dsr/internal/cpu"
+	"dsr/internal/platform"
+	"dsr/internal/rvs"
+	"dsr/internal/spaceapp"
+)
+
+func main() {
+	var (
+		gen  = flag.Int("gen", 0, "generate a trace from N DSR runs of the control task")
+		out  = flag.String("o", "trace.bin", "output file for -gen")
+		seed = flag.Uint64("seed", 1, "base seed for -gen")
+	)
+	flag.Parse()
+
+	if *gen > 0 {
+		if err := generate(*gen, *seed, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "traceconv:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d-run trace to %s\n", *gen, *out)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceconv [-gen N -o FILE] | traceconv TRACE.bin")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	trace, err := rvs.Decode(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+	if err := rvs.WriteCSV(os.Stdout, trace); err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(n int, seed uint64, path string) error {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		return err
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	rt, err := core.NewRuntime(p, plat, core.Options{})
+	if err != nil {
+		return err
+	}
+	var trace []cpu.TracePoint
+	for i := 0; i < n; i++ {
+		if _, err := rt.Reboot(seed + uint64(i)); err != nil {
+			return err
+		}
+		in := spaceapp.GenControlInput(9000 + uint64(i))
+		if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
+			return err
+		}
+		res, err := rt.Run()
+		if err != nil {
+			return err
+		}
+		trace = append(trace, res.Trace...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rvs.Encode(f, trace)
+}

@@ -1,0 +1,140 @@
+package dsr_test
+
+import (
+	"strings"
+	"testing"
+
+	"dsr"
+	"dsr/internal/isa"
+)
+
+// smallProgram builds a tiny workload through the public API.
+func smallProgram(t *testing.T) *dsr.Program {
+	t.Helper()
+	leaf := dsr.NewLeaf("twice").
+		AddI(isa.O0, isa.O0, 0).
+		Add(isa.O0, isa.O0, isa.O0).
+		RetLeaf().
+		MustBuild()
+	main := dsr.NewFunc("main", dsr.MinFrame).
+		Prologue().
+		MovI(isa.O0, 21).
+		Call("twice").
+		Halt().
+		MustBuild()
+	p := &dsr.Program{Name: "quick", Entry: "main"}
+	for _, f := range []*dsr.Function{main, leaf} {
+		if err := p.AddFunction(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestPublicWorkflowBaseline(t *testing.T) {
+	p := smallProgram(t)
+	img, err := dsr.LoadSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := dsr.NewPlatform()
+	plat.LoadImage(img)
+	res, err := plat.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitValue != 42 {
+		t.Errorf("exit=%d, want 42", res.ExitValue)
+	}
+}
+
+func TestPublicWorkflowDSRAndAnalysis(t *testing.T) {
+	p := smallProgram(t)
+	plat := dsr.NewPlatform()
+	rt, err := dsr.NewRuntime(p, plat, dsr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	for i := 0; i < 200; i++ {
+		if _, err := rt.Reboot(uint64(i) + 1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitValue != 42 {
+			t.Fatalf("run %d: exit=%d", i, res.ExitValue)
+		}
+		times = append(times, float64(res.Cycles))
+	}
+	opts := dsr.DefaultAnalysisOptions()
+	opts.BlockSize = 20
+	rep, err := dsr.AnalyseWith(times, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PWCET <= rep.MOET {
+		t.Error("pWCET must upper-bound MOET")
+	}
+	mc := dsr.CompareWithMargin(rep, rep.MOET, 0.20)
+	if mc.Budget <= rep.MOET {
+		t.Error("margin budget wrong")
+	}
+	if !strings.Contains(dsr.RenderCurve(rep, times), "pWCET") {
+		t.Error("curve rendering")
+	}
+}
+
+func TestPublicCaseStudyBuilders(t *testing.T) {
+	ctrl, err := dsr.BuildControlTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Entry != "ctrl_main" || len(ctrl.Functions) < 10 {
+		t.Error("control task shape")
+	}
+	proc, err := dsr.BuildProcessingTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Entry != "proc_main" {
+		t.Error("processing task shape")
+	}
+}
+
+func TestPublicHWRandPlatform(t *testing.T) {
+	p := smallProgram(t)
+	img, err := dsr.LoadSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := dsr.NewHWRandPlatform()
+	plat.LoadImage(img)
+	plat.ReseedCaches(7)
+	res, err := plat.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitValue != 42 {
+		t.Error("hw-rand platform broke semantics")
+	}
+}
+
+func TestPublicStaticBuild(t *testing.T) {
+	p := smallProgram(t)
+	img, err := dsr.StaticBuild(p, 32*1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := dsr.NewPlatform()
+	plat.LoadImage(img)
+	res, err := plat.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitValue != 42 {
+		t.Error("static build broke semantics")
+	}
+}

@@ -1,0 +1,75 @@
+// Hwrand compares the two roads to MBPTA compliance the paper discusses
+// (§I, §III): hardware time-randomised caches versus dynamic software
+// randomisation on stock COTS caches. Both must yield i.i.d. execution
+// times and comparable pWCET estimates; DSR's price is a small runtime
+// overhead, hardware's is silicon that does not exist off the shelf.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsr"
+	"dsr/internal/spaceapp"
+)
+
+const runs = 600
+
+func main() {
+	prog, err := dsr.BuildControlTask()
+	check(err)
+
+	// --- Software randomisation on the COTS platform -----------------
+	swPlat := dsr.NewPlatform()
+	rt, err := dsr.NewRuntime(prog, swPlat, dsr.Options{})
+	check(err)
+	var sw []float64
+	for i := 0; i < runs; i++ {
+		_, err := rt.Reboot(uint64(i) + 1)
+		check(err)
+		in := spaceapp.GenControlInput(9000 + uint64(i))
+		check(spaceapp.ApplyControlInput(swPlat.Mem, rt.Image(), in))
+		res, err := rt.Run()
+		check(err)
+		sw = append(sw, float64(res.Cycles))
+	}
+
+	// --- Hardware randomisation, unmodified binary -------------------
+	hwPlat := dsr.NewHWRandPlatform()
+	img, err := dsr.LoadSequential(prog)
+	check(err)
+	hwPlat.LoadImage(img)
+	var hw []float64
+	for i := 0; i < runs; i++ {
+		hwPlat.ReseedCaches(uint64(i) + 1)
+		hwPlat.Reload()
+		in := spaceapp.GenControlInput(9000 + uint64(i))
+		check(spaceapp.ApplyControlInput(hwPlat.Mem, img, in))
+		res, err := hwPlat.Run()
+		check(err)
+		hw = append(hw, float64(res.Cycles))
+	}
+
+	opts := dsr.DefaultAnalysisOptions()
+	report := func(name string, times []float64) {
+		rep, err := dsr.AnalyseWith(times, opts)
+		if err != nil {
+			fmt.Printf("%-10s MBPTA not applicable: %v\n", name, err)
+			return
+		}
+		fmt.Printf("%-10s mean=%-9.0f MOET=%-9.0f pWCET@1e-15=%-9.0f (+%.2f%%)  LB p=%.3f KS p=%.3f\n",
+			name, rep.Mean, rep.MOET, rep.PWCET, (rep.PWCET/rep.MOET-1)*100,
+			rep.IID.LjungBox.PValue, rep.IID.KS.PValue)
+	}
+	fmt.Printf("control task, %d runs per configuration:\n", runs)
+	report("Sw Rand", sw)
+	report("Hw Rand", hw)
+	fmt.Println("\nBoth configurations expose cache jitter as i.i.d. variability;")
+	fmt.Println("DSR achieves it without modified silicon (the paper's motivation).")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: build a small program, randomise it with DSR, collect a
+// measurement campaign, and derive a pWCET estimate with MBPTA.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsr"
+	"dsr/internal/isa"
+)
+
+func main() {
+	// 1. A small workload: sum a table through a helper function.
+	table := &dsr.DataObject{Name: "table", Size: 256 * 4}
+	helper := dsr.NewLeaf("load").
+		Ld(isa.O0, isa.O0, 0).
+		RetLeaf().
+		MustBuild()
+	main_ := dsr.NewFunc("main", dsr.MinFrame).
+		Prologue().
+		MovI(isa.L0, 0). // i
+		MovI(isa.L1, 0). // sum
+		Set(isa.L2, "table").
+		Label("loop").
+		SllI(isa.L3, isa.L0, 2).
+		Add(isa.O0, isa.L2, isa.L3).
+		Call("load").
+		Add(isa.L1, isa.L1, isa.O0).
+		AddI(isa.L0, isa.L0, 1).
+		CmpI(isa.L0, 256).
+		Bl("loop").
+		Mov(isa.O0, isa.L1).
+		Halt().
+		MustBuild()
+
+	p := &dsr.Program{Name: "quickstart", Entry: "main"}
+	check(p.AddData(table))
+	check(p.AddFunction(main_))
+	check(p.AddFunction(helper))
+
+	// 2. Bind the DSR runtime to the PROXIMA LEON3 platform.
+	plat := dsr.NewPlatform()
+	rt, err := dsr.NewRuntime(p, plat, dsr.Options{})
+	check(err)
+
+	// 3. Measurement protocol: reboot (fresh random layout) before every
+	// run, collect the execution times.
+	var times []float64
+	for i := 0; i < 1000; i++ {
+		_, err := rt.Reboot(uint64(i) + 1)
+		check(err)
+		res, err := rt.Run()
+		check(err)
+		times = append(times, float64(res.Cycles))
+	}
+
+	// 4. MBPTA: i.i.d. gate, EVT fit, pWCET estimate.
+	rep, err := dsr.Analyse(times)
+	check(err)
+	fmt.Printf("runs: %d   min=%.0f  mean=%.0f  MOET=%.0f cycles\n",
+		rep.N, rep.Min, rep.Mean, rep.MOET)
+	fmt.Printf("i.i.d.: Ljung-Box p=%.3f, KS p=%.3f\n",
+		rep.IID.LjungBox.PValue, rep.IID.KS.PValue)
+	fmt.Printf("pWCET @ 1e-15 = %.0f cycles (+%.2f%% over MOET)\n\n",
+		rep.PWCET, (rep.PWCET/rep.MOET-1)*100)
+	fmt.Print(dsr.RenderCurve(rep, times))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package asm is a small text assembler for the simulator's SPARC-
+// flavoured ISA, completing the toolchain: programs can be written as
+// assembly source instead of through the prog builder API. The
+// instruction syntax is exactly the disassembler's output format
+// (isa.Instr.String), so assembly and disassembly round-trip.
+//
+// Source structure:
+//
+//	; comments start with ';', '!' or '#'
+//	.program control            ; optional module name
+//	.entry main                 ; entry function
+//
+//	.data table size=64 align=8 ; a data object
+//	.word 1 2 3                 ; optional initialiser words (repeatable)
+//
+//	.func main frame=96         ; a non-leaf function (frame in bytes)
+//	    save 96
+//	    set table, %l0
+//	loop:                       ; labels end with ':'
+//	    ld [%l0+0], %l1
+//	    cmp %l1, 0
+//	    bne loop                ; branches take labels or numeric disps
+//	    ipoint 1
+//	    halt
+//
+//	.leaf twice                 ; a leaf function
+//	    add %o0, %o0, %o0
+//	    retl
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+)
+
+// Error is a source-position-carrying assembly error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Assemble parses source into a validated program.
+func Assemble(src string) (*prog.Program, error) {
+	a := &assembler{p: &prog.Program{Name: "a.out"}}
+	for i, raw := range strings.Split(src, "\n") {
+		if err := a.line(i+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.endFunc(); err != nil {
+		return nil, err
+	}
+	if a.p.Entry == "" && len(a.p.Functions) > 0 {
+		a.p.Entry = a.p.Functions[0].Name
+	}
+	if err := a.p.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return a.p, nil
+}
+
+type fixup struct {
+	index int
+	label string
+	line  int
+}
+
+type assembler struct {
+	p *prog.Program
+
+	// current function state
+	fn     *prog.Function
+	labels map[string]int
+	fixups []fixup
+	fnLine int
+
+	// current data object (for .word accumulation)
+	data *prog.DataObject
+}
+
+// line processes one source line.
+func (a *assembler) line(n int, raw string) error {
+	text := stripComment(raw)
+	// Peel leading labels ("name:") off the line; several may stack.
+	for {
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			return nil
+		}
+		colon := strings.Index(trimmed, ":")
+		if colon < 0 || !isIdent(trimmed[:colon]) {
+			text = trimmed
+			break
+		}
+		if a.fn == nil {
+			return errf(n, "label %q outside a function", trimmed[:colon])
+		}
+		name := trimmed[:colon]
+		if _, dup := a.labels[name]; dup {
+			return errf(n, "duplicate label %q", name)
+		}
+		a.labels[name] = len(a.fn.Code)
+		text = trimmed[colon+1:]
+	}
+
+	if strings.HasPrefix(text, ".") {
+		return a.directive(n, text)
+	}
+	if a.fn == nil {
+		return errf(n, "instruction outside a function: %q", text)
+	}
+	in, err := parseInstr(n, text, a)
+	if err != nil {
+		return err
+	}
+	a.fn.Code = append(a.fn.Code, in)
+	return nil
+}
+
+func stripComment(s string) string {
+	for _, c := range []string{";", "!", "#"} {
+		if i := strings.Index(s, c); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// directive handles .program/.entry/.data/.word/.func/.leaf.
+func (a *assembler) directive(n int, text string) error {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case ".program":
+		if len(fields) != 2 {
+			return errf(n, ".program wants a name")
+		}
+		a.p.Name = fields[1]
+	case ".entry":
+		if len(fields) != 2 {
+			return errf(n, ".entry wants a function name")
+		}
+		a.p.Entry = fields[1]
+	case ".data":
+		if err := a.endFunc(); err != nil {
+			return err
+		}
+		return a.dataDirective(n, fields[1:])
+	case ".word":
+		if a.data == nil {
+			return errf(n, ".word outside a .data object")
+		}
+		for _, f := range fields[1:] {
+			v, err := parseImm(f)
+			if err != nil {
+				return errf(n, "bad word %q: %v", f, err)
+			}
+			a.data.Init = append(a.data.Init, uint32(v))
+		}
+		if mem.Addr(len(a.data.Init))*mem.WordSize > a.data.Size {
+			return errf(n, "initialiser overflows %q (%d bytes)", a.data.Name, a.data.Size)
+		}
+	case ".func", ".leaf":
+		if err := a.endFunc(); err != nil {
+			return err
+		}
+		a.data = nil
+		if len(fields) < 2 {
+			return errf(n, "%s wants a name", fields[0])
+		}
+		fn := &prog.Function{Name: fields[1], Leaf: fields[0] == ".leaf"}
+		for _, f := range fields[2:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok || k != "frame" {
+				return errf(n, "unknown function attribute %q", f)
+			}
+			fv, err := parseImm(v)
+			if err != nil {
+				return errf(n, "bad frame %q", v)
+			}
+			fn.FrameSize = fv
+		}
+		if !fn.Leaf && fn.FrameSize == 0 {
+			fn.FrameSize = prog.MinFrame
+		}
+		a.fn = fn
+		a.labels = map[string]int{}
+		a.fixups = nil
+		a.fnLine = n
+	default:
+		return errf(n, "unknown directive %q", fields[0])
+	}
+	return nil
+}
+
+func (a *assembler) dataDirective(n int, fields []string) error {
+	if len(fields) < 1 {
+		return errf(n, ".data wants a name")
+	}
+	d := &prog.DataObject{Name: fields[0], Align: mem.DoubleWord}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return errf(n, "bad data attribute %q", f)
+		}
+		iv, err := parseImm(v)
+		if err != nil {
+			return errf(n, "bad %s value %q", k, v)
+		}
+		switch k {
+		case "size":
+			d.Size = mem.Addr(iv)
+		case "align":
+			d.Align = mem.Addr(iv)
+		default:
+			return errf(n, "unknown data attribute %q", k)
+		}
+	}
+	if d.Size == 0 {
+		return errf(n, "data %q needs size=", d.Name)
+	}
+	if err := a.p.AddData(d); err != nil {
+		return errf(n, "%v", err)
+	}
+	a.data = d
+	return nil
+}
+
+// endFunc resolves the current function's label fixups and commits it.
+func (a *assembler) endFunc() error {
+	if a.fn == nil {
+		return nil
+	}
+	for _, fx := range a.fixups {
+		tgt, ok := a.labels[fx.label]
+		if !ok {
+			return errf(fx.line, "undefined label %q", fx.label)
+		}
+		a.fn.Code[fx.index].Disp = int32(tgt - fx.index)
+	}
+	if err := a.p.AddFunction(a.fn); err != nil {
+		return errf(a.fnLine, "%v", err)
+	}
+	a.fn = nil
+	a.labels = nil
+	a.fixups = nil
+	return nil
+}

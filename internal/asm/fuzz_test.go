@@ -1,0 +1,31 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks that arbitrary source never panics the assembler:
+// it must either produce a valid program or a positioned error.
+func FuzzAssemble(f *testing.F) {
+	f.Add(sampleSource)
+	f.Add(".func main\n save 96\n halt\n")
+	f.Add(".data d size=8\n.word 1 2\n")
+	f.Add(".leaf l\n retl\n")
+	f.Add(".func f frame=96\nx: ba x\n halt\n")
+	f.Add("garbage\n")
+	f.Add(".func f\n ld [%sp+" + strings.Repeat("9", 30) + "], %l0\n")
+	f.Add(".func f\n set 0x, %l0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err == nil && p == nil {
+			t.Fatal("nil program without error")
+		}
+		if err == nil {
+			// Anything the assembler accepts must re-validate.
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("accepted program fails validation: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,45 @@
+; A miniature unit of analysis written in assembly: validates a sensor
+; vector against limits, accumulates a checksum, and CRC-folds it.
+; Used by the end-to-end assembler test and runnable with cmd/dsrrun.
+.program uoa
+.entry main
+
+.data sensors size=256 align=8
+.word 10 20 30 40 50 60 70 80
+
+.data limits size=8 align=8
+.word 100
+
+.func main frame=96
+    save 96
+    ipoint 1
+    set sensors, %l0
+    set limits, %l1
+    ld [%l1+0], %l2      ; limit
+    mov 0, %l3           ; i
+    mov 0, %l4           ; sum
+    mov 0, %l5           ; violations
+loop:
+    sll %l3, 2, %l6
+    add %l0, %l6, %l7
+    ld [%l7+0], %o0
+    cmp %o0, %l2
+    ble ok
+    add %l5, 1, %l5      ; count violation
+    mov %l2, %o0         ; clamp
+ok:
+    add %l4, %o0, %l4
+    add %l3, 1, %l3
+    cmp %l3, 64
+    bl loop
+    mov %l4, %o0
+    call fold
+    ipoint 2
+    halt
+
+.leaf fold
+    sll %o0, 5, %g1
+    xor %o0, %g1, %o0
+    srl %o0, 7, %g1
+    xor %o0, %g1, %o0
+    retl

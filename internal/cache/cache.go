@@ -1,0 +1,464 @@
+// Package cache models the set-associative caches of the PROXIMA LEON3
+// platform (Fig. 1 of the paper): split 16KB 4-way L1 instruction and data
+// caches (the data cache is write-through, no-write-allocate) and a 32KB
+// direct-mapped unified write-back L2. The model is geometry- and
+// policy-parametric so that the same code also implements the
+// hardware-randomised caches used in the A4 ablation (random placement via
+// a seeded parametric hash, random replacement).
+//
+// A cache services transactions through the mem.Backend interface and
+// forwards misses to the next Backend level, accumulating latency along
+// the way. Per-cache event counters implement the platform's performance
+// monitoring counters (Table I of the paper).
+package cache
+
+import (
+	"fmt"
+
+	"dsr/internal/mem"
+	"dsr/internal/prng"
+)
+
+// Placement selects how a line address is mapped to a set.
+type Placement int
+
+const (
+	// PlacementModulo is the conventional COTS placement: set = line mod sets.
+	PlacementModulo Placement = iota
+	// PlacementHashRandom is a seeded parametric hash of the line address,
+	// modelling a hardware time-randomised cache. Reseeding between runs
+	// re-randomises the layout without moving software.
+	PlacementHashRandom
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacementModulo:
+		return "modulo"
+	case PlacementHashRandom:
+		return "hash-random"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Replacement selects the victim policy within a set.
+type Replacement int
+
+const (
+	// ReplacementLRU evicts the least recently used way.
+	ReplacementLRU Replacement = iota
+	// ReplacementRandom evicts a uniformly random way (hardware
+	// time-randomised caches).
+	ReplacementRandom
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case ReplacementLRU:
+		return "LRU"
+	case ReplacementRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// WritePolicy selects how stores are handled.
+type WritePolicy int
+
+const (
+	// WriteThroughNoAllocate propagates every store to the next level and
+	// does not allocate a line on a store miss (the LEON3 DL1 policy).
+	WriteThroughNoAllocate WritePolicy = iota
+	// WriteBackAllocate marks lines dirty and writes them back on
+	// eviction, allocating on store misses (the LEON3 L2 policy).
+	WriteBackAllocate
+)
+
+func (w WritePolicy) String() string {
+	switch w {
+	case WriteThroughNoAllocate:
+		return "write-through/no-allocate"
+	case WriteBackAllocate:
+		return "write-back/allocate"
+	default:
+		return fmt.Sprintf("WritePolicy(%d)", int(w))
+	}
+}
+
+// Config fully describes a cache instance.
+type Config struct {
+	Name        string
+	Size        int // total bytes; must be LineSize*Ways*sets
+	LineSize    int // bytes per line, power of two
+	Ways        int // associativity; 1 = direct-mapped
+	HitLatency  mem.Cycles
+	Placement   Placement
+	Replacement Replacement
+	Write       WritePolicy
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache %q: non-positive geometry", c.Name)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineSize)
+	case c.Size%(c.LineSize*c.Ways) != 0:
+		return fmt.Errorf("cache %q: size %d not divisible by line*ways=%d",
+			c.Name, c.Size, c.LineSize*c.Ways)
+	}
+	sets := c.Size / (c.LineSize * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c *Config) Sets() int { return c.Size / (c.LineSize * c.Ways) }
+
+// WaySize returns the bytes covered by one way. The paper's DSR runtime
+// bounds its random placement offsets by the *L2* way size so that every
+// cache level's layout is randomised (§III.B.4).
+func (c *Config) WaySize() int { return c.Size / c.Ways }
+
+// Counters are the cache's performance-monitoring events.
+type Counters struct {
+	Accesses      uint64
+	Reads         uint64
+	Writes        uint64
+	Hits          uint64
+	Misses        uint64
+	ReadMisses    uint64
+	WriteMisses   uint64
+	Evictions     uint64
+	Writebacks    uint64 // dirty lines written to the next level
+	Invalidations uint64 // lines discarded by invalidate operations
+	Fills         uint64 // lines allocated
+}
+
+// MissRatio returns misses/accesses, or 0 for an untouched cache.
+func (c Counters) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   mem.Addr // full line address (addr / lineSize); simplest tag form
+	age   uint64   // LRU timestamp
+}
+
+// Cache is a single cache level. It is not safe for concurrent use: the
+// simulated platform is single-core, as in the paper.
+type Cache struct {
+	cfg   Config
+	next  mem.Backend
+	sets  int
+	lines []line // sets × ways, row-major
+	clock uint64 // LRU timestamp source
+	ctr   Counters
+
+	hashSeed uint64
+	repl     prng.Source // used only for ReplacementRandom
+}
+
+// New builds a cache in front of next. It panics on invalid configuration,
+// because configurations are compiled into the platform description and a
+// bad one is a programming error.
+func New(cfg Config, next mem.Backend) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if next == nil {
+		panic(fmt.Sprintf("cache %q: nil next level", cfg.Name))
+	}
+	c := &Cache{
+		cfg:  cfg,
+		next: next,
+		sets: cfg.Sets(),
+	}
+	c.lines = make([]line, c.sets*cfg.Ways)
+	if cfg.Replacement == ReplacementRandom {
+		c.repl = prng.NewMWC(0xC0FFEE)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Counters returns a snapshot of the event counters.
+func (c *Cache) Counters() Counters { return c.ctr }
+
+// ResetCounters zeroes the event counters without touching contents.
+func (c *Cache) ResetCounters() { c.ctr = Counters{} }
+
+// ReseedPlacement reseeds the parametric placement hash and the random
+// replacement source. Hardware-randomised platforms reseed between runs.
+// Seeds are whitened first: the measurement protocol reseeds with
+// sequential values, and feeding those raw into the placement hash
+// leaves detectable correlation between consecutive runs' layouts.
+func (c *Cache) ReseedPlacement(seed uint64) {
+	c.hashSeed = prng.Scramble(seed)
+	if c.repl != nil {
+		c.repl.Seed(seed ^ 0xD1CE)
+	}
+}
+
+func (c *Cache) lineAddr(a mem.Addr) mem.Addr { return a / mem.Addr(c.cfg.LineSize) }
+
+func (c *Cache) setIndex(lineAddr mem.Addr) int {
+	switch c.cfg.Placement {
+	case PlacementHashRandom:
+		// Multiply-xorshift parametric hash (Kosmidis et al. style random
+		// placement): uniform over sets, stable within a run, reseedable.
+		x := uint64(lineAddr) ^ c.hashSeed
+		x *= 0x9E3779B97F4A7C15
+		x ^= x >> 29
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 32
+		return int(x % uint64(c.sets))
+	default:
+		return int(lineAddr % mem.Addr(c.sets))
+	}
+}
+
+func (c *Cache) set(idx int) []line {
+	return c.lines[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways]
+}
+
+// lookup returns the way holding lineAddr in the set, or -1.
+func (c *Cache) lookup(set []line, lineAddr mem.Addr) int {
+	for w := range set {
+		if set[w].valid && set[w].tag == lineAddr {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the way to evict from a full or partial set.
+func (c *Cache) victim(set []line) int {
+	// Prefer an invalid way.
+	for w := range set {
+		if !set[w].valid {
+			return w
+		}
+	}
+	if c.cfg.Replacement == ReplacementRandom {
+		return prng.Intn(c.repl, len(set))
+	}
+	// LRU: smallest age.
+	best := 0
+	for w := 1; w < len(set); w++ {
+		if set[w].age < set[best].age {
+			best = w
+		}
+	}
+	return best
+}
+
+func (c *Cache) touch(set []line, w int) {
+	c.clock++
+	set[w].age = c.clock
+}
+
+// fill allocates lineAddr, evicting if necessary, and returns the latency
+// of the fill traffic (next-level read plus any dirty writeback).
+func (c *Cache) fill(lineAddr mem.Addr, dirty bool) mem.Cycles {
+	idx := c.setIndex(lineAddr)
+	set := c.set(idx)
+	w := c.victim(set)
+	var lat mem.Cycles
+	if set[w].valid {
+		c.ctr.Evictions++
+		if set[w].dirty {
+			c.ctr.Writebacks++
+			lat += c.next.Write(set[w].tag*mem.Addr(c.cfg.LineSize), c.cfg.LineSize)
+		}
+	}
+	lat += c.next.Read(lineAddr*mem.Addr(c.cfg.LineSize), c.cfg.LineSize)
+	set[w] = line{valid: true, dirty: dirty, tag: lineAddr}
+	c.touch(set, w)
+	c.ctr.Fills++
+	return lat
+}
+
+// Read implements mem.Backend. A read that straddles a line boundary is
+// charged as two sequential line accesses, as the real hardware would.
+func (c *Cache) Read(addr mem.Addr, size int) mem.Cycles {
+	if size <= 0 {
+		size = 1
+	}
+	var lat mem.Cycles
+	first := c.lineAddr(addr)
+	last := c.lineAddr(addr + mem.Addr(size) - 1)
+	for la := first; la <= last; la++ {
+		lat += c.readLine(la)
+	}
+	return lat
+}
+
+func (c *Cache) readLine(la mem.Addr) mem.Cycles {
+	c.ctr.Accesses++
+	c.ctr.Reads++
+	idx := c.setIndex(la)
+	set := c.set(idx)
+	if w := c.lookup(set, la); w >= 0 {
+		c.ctr.Hits++
+		c.touch(set, w)
+		return c.cfg.HitLatency
+	}
+	c.ctr.Misses++
+	c.ctr.ReadMisses++
+	return c.cfg.HitLatency + c.fill(la, false)
+}
+
+// Write implements mem.Backend.
+func (c *Cache) Write(addr mem.Addr, size int) mem.Cycles {
+	if size <= 0 {
+		size = 1
+	}
+	var lat mem.Cycles
+	first := c.lineAddr(addr)
+	last := c.lineAddr(addr + mem.Addr(size) - 1)
+	for la := first; la <= last; la++ {
+		// Charge each touched line; partial sizes matter only for the
+		// write-through traffic, which we approximate per line.
+		n := c.cfg.LineSize
+		if first == last {
+			n = size
+		}
+		lat += c.writeLine(la, n)
+	}
+	return lat
+}
+
+func (c *Cache) writeLine(la mem.Addr, size int) mem.Cycles {
+	c.ctr.Accesses++
+	c.ctr.Writes++
+	idx := c.setIndex(la)
+	set := c.set(idx)
+	w := c.lookup(set, la)
+	switch c.cfg.Write {
+	case WriteThroughNoAllocate:
+		if w >= 0 {
+			c.ctr.Hits++
+			c.touch(set, w)
+		} else {
+			c.ctr.Misses++
+			c.ctr.WriteMisses++
+		}
+		// The store always propagates. LEON3 has a store buffer that hides
+		// part of this latency; the next level's write cost models the
+		// visible portion.
+		return c.cfg.HitLatency + c.next.Write(la*mem.Addr(c.cfg.LineSize), size)
+	case WriteBackAllocate:
+		if w >= 0 {
+			c.ctr.Hits++
+			set[w].dirty = true
+			c.touch(set, w)
+			return c.cfg.HitLatency
+		}
+		c.ctr.Misses++
+		c.ctr.WriteMisses++
+		return c.cfg.HitLatency + c.fill(la, true)
+	default:
+		panic("cache: unknown write policy")
+	}
+}
+
+// FlushAll writes back every dirty line and invalidates the whole cache,
+// returning the cost. PikeOS is configured to flush caches at partition
+// start (§IV), which is what guarantees a canonical initial state.
+func (c *Cache) FlushAll() mem.Cycles {
+	var lat mem.Cycles
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.valid {
+			continue
+		}
+		if l.dirty {
+			c.ctr.Writebacks++
+			lat += c.next.Write(l.tag*mem.Addr(c.cfg.LineSize), c.cfg.LineSize)
+		}
+		c.ctr.Invalidations++
+		l.valid = false
+		l.dirty = false
+	}
+	return lat
+}
+
+// InvalidateRange discards (without writeback) all lines overlapping
+// [base, base+size). The DSR relocation routine uses it to drop stale
+// instruction lines at a function's old location (§III.B.1: "any updated
+// IL1 or L2 entry corresponding to the old location need to be
+// invalidated").
+func (c *Cache) InvalidateRange(base mem.Addr, size int) mem.Cycles {
+	var lat mem.Cycles
+	first := c.lineAddr(base)
+	last := c.lineAddr(base + mem.Addr(size) - 1)
+	for la := first; la <= last; la++ {
+		idx := c.setIndex(la)
+		set := c.set(idx)
+		if w := c.lookup(set, la); w >= 0 {
+			set[w].valid = false
+			set[w].dirty = false
+			c.ctr.Invalidations++
+		}
+		lat++ // one cycle per probed line, matching a software loop of ASI stores
+	}
+	return lat
+}
+
+// WritebackRange writes back (keeping valid) all dirty lines overlapping
+// [base, base+size). The DSR relocation routine uses it to push relocated
+// code from the data path to memory before it can be fetched — SPARC has
+// no hardware I/D coherence (§III.B.1).
+func (c *Cache) WritebackRange(base mem.Addr, size int) mem.Cycles {
+	var lat mem.Cycles
+	first := c.lineAddr(base)
+	last := c.lineAddr(base + mem.Addr(size) - 1)
+	for la := first; la <= last; la++ {
+		idx := c.setIndex(la)
+		set := c.set(idx)
+		if w := c.lookup(set, la); w >= 0 && set[w].dirty {
+			set[w].dirty = false
+			c.ctr.Writebacks++
+			lat += c.next.Write(la*mem.Addr(c.cfg.LineSize), c.cfg.LineSize)
+		}
+		lat++
+	}
+	return lat
+}
+
+// Contains reports whether addr is currently cached (any way, valid).
+// Used by tests and by layout-risk analyses.
+func (c *Cache) Contains(addr mem.Addr) bool {
+	la := c.lineAddr(addr)
+	set := c.set(c.setIndex(la))
+	return c.lookup(set, la) >= 0
+}
+
+// ValidLines returns the number of valid lines, a convenience for tests.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// SetOf returns the set index addr maps to under the current placement,
+// exposed for layout-conflict analyses (e.g. the incremental-integration
+// example computes which functions collide in the direct-mapped L2).
+func (c *Cache) SetOf(addr mem.Addr) int { return c.setIndex(c.lineAddr(addr)) }

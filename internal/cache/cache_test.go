@@ -1,0 +1,403 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsr/internal/mem"
+)
+
+// flatMemory is a constant-latency backend recording traffic.
+type flatMemory struct {
+	readLat, writeLat mem.Cycles
+	reads, writes     int
+	lastRead          mem.Addr
+	lastWrite         mem.Addr
+}
+
+func (f *flatMemory) Read(a mem.Addr, size int) mem.Cycles {
+	f.reads++
+	f.lastRead = a
+	return f.readLat
+}
+
+func (f *flatMemory) Write(a mem.Addr, size int) mem.Cycles {
+	f.writes++
+	f.lastWrite = a
+	return f.writeLat
+}
+
+func smallCfg(name string) Config {
+	return Config{
+		Name: name, Size: 1024, LineSize: 16, Ways: 2,
+		HitLatency: 1, Placement: PlacementModulo,
+		Replacement: ReplacementLRU, Write: WriteBackAllocate,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallCfg("ok")
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Name: "zero", Size: 0, LineSize: 16, Ways: 1},
+		{Name: "line3", Size: 1024, LineSize: 24, Ways: 1},
+		{Name: "indivisible", Size: 1000, LineSize: 16, Ways: 2},
+		{Name: "sets3", Size: 3 * 16 * 2, LineSize: 16, Ways: 2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q accepted, want error", c.Name)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := Config{Size: 16 * 1024, LineSize: 32, Ways: 4}
+	if c.Sets() != 128 {
+		t.Errorf("Sets=%d, want 128", c.Sets())
+	}
+	if c.WaySize() != 4096 {
+		t.Errorf("WaySize=%d, want 4096", c.WaySize())
+	}
+	l2 := Config{Size: 32 * 1024, LineSize: 32, Ways: 1}
+	if l2.WaySize() != 32*1024 {
+		t.Errorf("direct-mapped WaySize=%d, want 32768", l2.WaySize())
+	}
+}
+
+func TestReadHitMiss(t *testing.T) {
+	m := &flatMemory{readLat: 10}
+	c := New(smallCfg("t"), m)
+	if lat := c.Read(0x100, 4); lat != 1+10 {
+		t.Errorf("cold read latency=%d, want 11", lat)
+	}
+	if lat := c.Read(0x104, 4); lat != 1 {
+		t.Errorf("same-line read latency=%d, want 1 (hit)", lat)
+	}
+	ctr := c.Counters()
+	if ctr.Accesses != 2 || ctr.Hits != 1 || ctr.Misses != 1 {
+		t.Errorf("counters=%+v", ctr)
+	}
+}
+
+func TestStraddlingReadTouchesTwoLines(t *testing.T) {
+	m := &flatMemory{readLat: 10}
+	c := New(smallCfg("t"), m)
+	lat := c.Read(0x10E, 4) // crosses the 16-byte boundary at 0x110
+	if lat != 2*(1+10) {
+		t.Errorf("straddling read latency=%d, want 22", lat)
+	}
+	if c.Counters().Misses != 2 {
+		t.Errorf("misses=%d, want 2", c.Counters().Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	m := &flatMemory{readLat: 10}
+	c := New(smallCfg("t"), m) // 2-way, 32 sets, line 16 → same set every 512 bytes
+	// Fill both ways of set 0, then access the first again, then a third
+	// line mapping to set 0: the second line must be evicted.
+	c.Read(0x0000, 4)
+	c.Read(0x0200, 4)
+	c.Read(0x0000, 4) // refresh line 0
+	c.Read(0x0400, 4) // evicts 0x0200
+	if !c.Contains(0x0000) {
+		t.Error("LRU evicted the recently used line")
+	}
+	if c.Contains(0x0200) {
+		t.Error("LRU kept the least recently used line")
+	}
+	if !c.Contains(0x0400) {
+		t.Error("newly filled line missing")
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	m := &flatMemory{readLat: 10, writeLat: 12}
+	c := New(smallCfg("t"), m)
+	c.Write(0x0000, 4) // allocate dirty
+	c.Read(0x0200, 4)  // second way
+	c.Read(0x0400, 4)  // evicts 0x0000 (LRU), must write it back
+	if m.writes != 1 {
+		t.Errorf("writebacks to memory=%d, want 1", m.writes)
+	}
+	if c.Counters().Writebacks != 1 {
+		t.Errorf("writeback counter=%d, want 1", c.Counters().Writebacks)
+	}
+	if m.lastWrite != 0x0000 {
+		t.Errorf("writeback address=%#x, want 0", m.lastWrite)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	cfg := smallCfg("dl1")
+	cfg.Write = WriteThroughNoAllocate
+	m := &flatMemory{readLat: 10, writeLat: 5}
+	c := New(cfg, m)
+	// Store miss: no allocation, one write through.
+	c.Write(0x0300, 4)
+	if c.Contains(0x0300) {
+		t.Error("no-write-allocate cache allocated on store miss")
+	}
+	if m.writes != 1 {
+		t.Errorf("writes through=%d, want 1", m.writes)
+	}
+	// Load the line, then store to it: hit, line stays valid, still writes through.
+	c.Read(0x0300, 4)
+	c.Write(0x0300, 4)
+	if !c.Contains(0x0300) {
+		t.Error("store hit invalidated the line")
+	}
+	if m.writes != 2 {
+		t.Errorf("writes through=%d, want 2", m.writes)
+	}
+	ctr := c.Counters()
+	if ctr.WriteMisses != 1 {
+		t.Errorf("write misses=%d, want 1", ctr.WriteMisses)
+	}
+}
+
+func TestFlushAllWritesBackDirty(t *testing.T) {
+	m := &flatMemory{readLat: 10, writeLat: 5}
+	c := New(smallCfg("t"), m)
+	c.Write(0x0000, 4)
+	c.Read(0x0100, 4)
+	lat := c.FlushAll()
+	if lat == 0 {
+		t.Error("flush of dirty cache cost nothing")
+	}
+	if m.writes != 1 {
+		t.Errorf("flush wrote back %d lines, want 1", m.writes)
+	}
+	if c.ValidLines() != 0 {
+		t.Errorf("valid lines after flush=%d, want 0", c.ValidLines())
+	}
+	// After flush, everything misses again.
+	if got := c.Read(0x0000, 4); got != 11 {
+		t.Errorf("post-flush read latency=%d, want 11", got)
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	m := &flatMemory{readLat: 10, writeLat: 5}
+	c := New(smallCfg("t"), m)
+	c.Write(0x0000, 4) // dirty
+	c.Read(0x0040, 4)
+	c.InvalidateRange(0x0000, 0x50)
+	if c.Contains(0x0000) || c.Contains(0x0040) {
+		t.Error("invalidate left lines valid")
+	}
+	// Invalidation discards without writeback.
+	if m.writes != 0 {
+		t.Errorf("invalidate wrote back %d lines, want 0", m.writes)
+	}
+	if c.Counters().Invalidations != 2 {
+		t.Errorf("invalidations=%d, want 2", c.Counters().Invalidations)
+	}
+}
+
+func TestWritebackRange(t *testing.T) {
+	m := &flatMemory{readLat: 10, writeLat: 5}
+	c := New(smallCfg("t"), m)
+	c.Write(0x0000, 4)
+	c.Write(0x0010, 4)
+	c.Read(0x0100, 4) // clean, outside range semantics check
+	c.WritebackRange(0x0000, 0x20)
+	if m.writes != 2 {
+		t.Errorf("writeback range wrote %d lines, want 2", m.writes)
+	}
+	if !c.Contains(0x0000) || !c.Contains(0x0010) {
+		t.Error("writeback range invalidated lines; they must stay valid")
+	}
+	// Lines are now clean: evicting them must not write back again.
+	c.WritebackRange(0x0000, 0x20)
+	if m.writes != 2 {
+		t.Errorf("second writeback of clean lines wrote %d extra", m.writes-2)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// Two addresses one way-size apart conflict in a direct-mapped cache:
+	// this is precisely the L2 risk pattern the paper discusses.
+	cfg := Config{
+		Name: "l2", Size: 1024, LineSize: 16, Ways: 1,
+		HitLatency: 8, Placement: PlacementModulo,
+		Replacement: ReplacementLRU, Write: WriteBackAllocate,
+	}
+	m := &flatMemory{readLat: 30}
+	c := New(cfg, m)
+	a, b := mem.Addr(0x0000), mem.Addr(0x0400) // 1024 apart → same set
+	if c.SetOf(a) != c.SetOf(b) {
+		t.Fatal("test addresses do not conflict; geometry changed?")
+	}
+	for i := 0; i < 10; i++ {
+		c.Read(a, 4)
+		c.Read(b, 4)
+	}
+	ctr := c.Counters()
+	if ctr.Hits != 0 {
+		t.Errorf("ping-pong conflict produced %d hits, want 0", ctr.Hits)
+	}
+}
+
+func TestHashRandomPlacementBreaksConflicts(t *testing.T) {
+	cfg := Config{
+		Name: "l2r", Size: 1024, LineSize: 16, Ways: 1,
+		HitLatency: 8, Placement: PlacementHashRandom,
+		Replacement: ReplacementLRU, Write: WriteBackAllocate,
+	}
+	m := &flatMemory{readLat: 30}
+	// Across many seeds, the two ping-pong addresses should usually land
+	// in different sets (63/64 of the time for 64 sets).
+	conflicts := 0
+	const seeds = 200
+	for s := 0; s < seeds; s++ {
+		c := New(cfg, m)
+		c.ReseedPlacement(uint64(s) + 1)
+		if c.SetOf(0x0000) == c.SetOf(0x0400) {
+			conflicts++
+		}
+	}
+	if conflicts > seeds/8 {
+		t.Errorf("hash placement left %d/%d seeds conflicting", conflicts, seeds)
+	}
+}
+
+func TestHashPlacementStableWithinSeed(t *testing.T) {
+	cfg := smallCfg("h")
+	cfg.Placement = PlacementHashRandom
+	c := New(cfg, &flatMemory{readLat: 10})
+	c.ReseedPlacement(99)
+	s1 := c.SetOf(0x1234)
+	for i := 0; i < 100; i++ {
+		if c.SetOf(0x1234) != s1 {
+			t.Fatal("placement hash unstable within a seed")
+		}
+	}
+	c.ReseedPlacement(100)
+	// Not guaranteed to differ, but across many addresses most must move.
+	moved := 0
+	for a := mem.Addr(0); a < 100*16; a += 16 {
+		cBefore := New(cfg, &flatMemory{readLat: 10})
+		cBefore.ReseedPlacement(99)
+		cAfter := New(cfg, &flatMemory{readLat: 10})
+		cAfter.ReseedPlacement(100)
+		if cBefore.SetOf(a) != cAfter.SetOf(a) {
+			moved++
+		}
+	}
+	if moved < 50 {
+		t.Errorf("reseed moved only %d/100 lines", moved)
+	}
+}
+
+func TestRandomReplacementVaries(t *testing.T) {
+	cfg := smallCfg("rr")
+	cfg.Replacement = ReplacementRandom
+	evictedBoth := map[mem.Addr]bool{}
+	for seed := uint64(1); seed <= 40; seed++ {
+		c := New(cfg, &flatMemory{readLat: 10})
+		c.ReseedPlacement(seed)
+		c.Read(0x0000, 4)
+		c.Read(0x0200, 4)
+		c.Read(0x0400, 4) // evicts one of the two at random
+		if !c.Contains(0x0000) {
+			evictedBoth[0x0000] = true
+		}
+		if !c.Contains(0x0200) {
+			evictedBoth[0x0200] = true
+		}
+	}
+	if len(evictedBoth) != 2 {
+		t.Errorf("random replacement always evicted the same way across 40 seeds")
+	}
+}
+
+// Property: hit+miss == accesses, and reads+writes == accesses.
+func TestCounterInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(smallCfg("p"), &flatMemory{readLat: 10, writeLat: 5})
+		for _, op := range ops {
+			addr := mem.Addr(op&0x3FF) * 4
+			if op&0x8000 != 0 {
+				c.Write(addr, 4)
+			} else {
+				c.Read(addr, 4)
+			}
+		}
+		ctr := c.Counters()
+		return ctr.Hits+ctr.Misses == ctr.Accesses &&
+			ctr.Reads+ctr.Writes == ctr.Accesses &&
+			ctr.ReadMisses+ctr.WriteMisses == ctr.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a second read of any address after a first read is a hit when
+// the working set fits in the cache.
+func TestTemporalLocalityProperty(t *testing.T) {
+	f := func(addrs []uint8) bool {
+		c := New(smallCfg("p"), &flatMemory{readLat: 10})
+		// Constrain the working set to lines 0..63: with modulo placement
+		// over 32 sets that is exactly 2 lines per set = the associativity,
+		// so the whole set fits and a second pass must fully hit.
+		for _, a := range addrs {
+			c.Read(mem.Addr(a%64)*16, 4)
+		}
+		c.ResetCounters()
+		seen := map[uint8]bool{}
+		for _, a := range addrs {
+			seen[a%64] = true
+		}
+		for a := range seen {
+			c.Read(mem.Addr(a)*16, 4)
+		}
+		return c.Counters().Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PlacementModulo.String() != "modulo" || PlacementHashRandom.String() != "hash-random" {
+		t.Error("Placement strings")
+	}
+	if ReplacementLRU.String() != "LRU" || ReplacementRandom.String() != "random" {
+		t.Error("Replacement strings")
+	}
+	if WriteThroughNoAllocate.String() != "write-through/no-allocate" ||
+		WriteBackAllocate.String() != "write-back/allocate" {
+		t.Error("WritePolicy strings")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad config did not panic")
+		}
+	}()
+	New(Config{Name: "bad", Size: 100, LineSize: 16, Ways: 2}, &flatMemory{})
+}
+
+func BenchmarkReadHit(b *testing.B) {
+	c := New(smallCfg("b"), &flatMemory{readLat: 10})
+	c.Read(0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(0, 4)
+	}
+}
+
+func BenchmarkReadMissStream(b *testing.B) {
+	c := New(smallCfg("b"), &flatMemory{readLat: 10})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(mem.Addr(i)*1024, 4) // always conflicting
+	}
+}

@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsr/internal/mem"
+	"dsr/internal/prng"
+)
+
+// refCache is an independent, deliberately naive reference model of a
+// modulo-placed LRU cache: each set is an ordered slice (most recent
+// first), with validity and dirtiness tracked per line. The production
+// model must agree with it event for event on arbitrary traces.
+type refCache struct {
+	lineSize, sets, ways int
+	write                WritePolicy
+	set                  [][]refLine
+}
+
+type refLine struct {
+	tag   mem.Addr
+	dirty bool
+}
+
+func newRefCache(cfg Config) *refCache {
+	r := &refCache{
+		lineSize: cfg.LineSize, sets: cfg.Sets(), ways: cfg.Ways,
+		write: cfg.Write,
+	}
+	r.set = make([][]refLine, r.sets)
+	return r
+}
+
+type refEvent struct {
+	hit       bool
+	writeback bool
+}
+
+func (r *refCache) index(addr mem.Addr) (int, mem.Addr) {
+	line := addr / mem.Addr(r.lineSize)
+	return int(line % mem.Addr(r.sets)), line
+}
+
+func (r *refCache) find(si int, tag mem.Addr) int {
+	for i, l := range r.set[si] {
+		if l.tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch moves way i to the MRU position.
+func (r *refCache) touch(si, i int) {
+	l := r.set[si][i]
+	r.set[si] = append(r.set[si][:i], r.set[si][i+1:]...)
+	r.set[si] = append([]refLine{l}, r.set[si]...)
+}
+
+func (r *refCache) insert(si int, l refLine) (evictedDirty bool) {
+	if len(r.set[si]) == r.ways {
+		victim := r.set[si][len(r.set[si])-1]
+		evictedDirty = victim.dirty
+		r.set[si] = r.set[si][:len(r.set[si])-1]
+	}
+	r.set[si] = append([]refLine{l}, r.set[si]...)
+	return evictedDirty
+}
+
+func (r *refCache) read(addr mem.Addr) refEvent {
+	si, tag := r.index(addr)
+	if i := r.find(si, tag); i >= 0 {
+		r.touch(si, i)
+		return refEvent{hit: true}
+	}
+	wb := r.insert(si, refLine{tag: tag})
+	return refEvent{writeback: wb}
+}
+
+func (r *refCache) writeAccess(addr mem.Addr) refEvent {
+	si, tag := r.index(addr)
+	i := r.find(si, tag)
+	switch r.write {
+	case WriteThroughNoAllocate:
+		if i >= 0 {
+			r.touch(si, i)
+			return refEvent{hit: true}
+		}
+		return refEvent{}
+	default: // WriteBackAllocate
+		if i >= 0 {
+			r.set[si][i].dirty = true
+			r.touch(si, i)
+			return refEvent{hit: true}
+		}
+		wb := r.insert(si, refLine{tag: tag, dirty: true})
+		return refEvent{writeback: wb}
+	}
+}
+
+// countingBackend counts writebacks reaching the next level.
+type countingBackend struct{ writes int }
+
+func (c *countingBackend) Read(mem.Addr, int) mem.Cycles  { return 0 }
+func (c *countingBackend) Write(mem.Addr, int) mem.Cycles { c.writes++; return 0 }
+
+// TestDifferentialAgainstReference drives the production cache and the
+// reference model with identical random traces and checks that every
+// access agrees on hit/miss and that writeback counts match.
+func TestDifferentialAgainstReference(t *testing.T) {
+	cfgs := []Config{
+		{Name: "dm", Size: 512, LineSize: 16, Ways: 1, Write: WriteBackAllocate},
+		{Name: "2w", Size: 1024, LineSize: 16, Ways: 2, Write: WriteBackAllocate},
+		{Name: "4w-wt", Size: 2048, LineSize: 32, Ways: 4, Write: WriteThroughNoAllocate},
+		{Name: "fa", Size: 256, LineSize: 16, Ways: 16, Write: WriteBackAllocate},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			f := func(seed uint64, opsRaw []uint16) bool {
+				back := &countingBackend{}
+				c := New(cfg, back)
+				r := newRefCache(cfg)
+				src := prng.NewMWC(seed)
+				for _, op := range opsRaw {
+					// Confine addresses to a few way-spans so conflicts
+					// are frequent.
+					addr := mem.Addr(op%2048) * 4
+					var hit bool
+					var ev refEvent
+					before := c.Counters().Hits
+					if prng.Intn(src, 3) == 0 {
+						c.Write(addr, 4)
+						ev = r.writeAccess(addr)
+					} else {
+						c.Read(addr, 4)
+						ev = r.read(addr)
+					}
+					hit = c.Counters().Hits > before
+					if hit != ev.hit {
+						t.Logf("%s: divergence at addr %#x: model hit=%v ref hit=%v",
+							cfg.Name, addr, hit, ev.hit)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialWritebackCount checks the dirty-eviction behaviour in
+// bulk: after a long write-heavy trace plus a full flush, the number of
+// writebacks reaching the next level must equal the reference's count
+// plus its remaining dirty lines.
+func TestDifferentialWritebackCount(t *testing.T) {
+	cfg := Config{Name: "wb", Size: 1024, LineSize: 16, Ways: 2, Write: WriteBackAllocate}
+	f := func(seed uint64) bool {
+		back := &countingBackend{}
+		c := New(cfg, back)
+		r := newRefCache(cfg)
+		refWb := 0
+		src := prng.NewMWC(seed)
+		for i := 0; i < 3000; i++ {
+			addr := mem.Addr(prng.Intn(src, 4096)) * 4
+			if prng.Intn(src, 2) == 0 {
+				c.Write(addr, 4)
+				if r.writeAccess(addr).writeback {
+					refWb++
+				}
+			} else {
+				c.Read(addr, 4)
+				if r.read(addr).writeback {
+					refWb++
+				}
+			}
+		}
+		c.FlushAll()
+		for si := range r.set {
+			for _, l := range r.set[si] {
+				if l.dirty {
+					refWb++
+				}
+			}
+		}
+		return back.writes == refWb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+
+	"dsr/internal/heap"
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/platform"
+	"dsr/internal/prng"
+	"dsr/internal/prog"
+)
+
+// RelocationMode selects when functions are moved to their random
+// locations (§III.B.1). The paper's port chose eager relocation because
+// lazy relocation complicates worst-case memory and WCET bounds; lazy is
+// retained for the A1 ablation.
+type RelocationMode int
+
+const (
+	// Eager relocates every function at program start, before the
+	// measured window opens.
+	Eager RelocationMode = iota
+	// Lazy relocates each function at its first call — inside the
+	// measured window, which is exactly why the paper rejects it.
+	Lazy
+)
+
+func (m RelocationMode) String() string {
+	if m == Lazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// Options configures the DSR runtime.
+type Options struct {
+	// OffsetBound is the exclusive bound of random placement offsets.
+	// 0 selects the platform's L2 way size (§III.B.4), which also
+	// randomises the L1 layouts because the L1 way size divides it.
+	OffsetBound int
+	// StackOffsetBound bounds the per-function stack offsets; 0 selects
+	// OffsetBound.
+	StackOffsetBound int
+	// Align is the offset granularity; 0 selects 8 (SPARC double-word,
+	// §III.B.2).
+	Align int
+	// Mode selects eager (default) or lazy relocation.
+	Mode RelocationMode
+	// Source is the PRNG; nil selects the MWC generator (§III.B.3).
+	Source prng.Source
+	// Pool geometry; zero values select the defaults below.
+	CodePoolBase mem.Addr
+	CodePoolSize mem.Addr
+	DataPoolBase mem.Addr
+	DataPoolSize mem.Addr
+}
+
+func (o *Options) fillDefaults(plat *platform.Platform) {
+	if o.OffsetBound == 0 {
+		o.OffsetBound = plat.Cfg.L2.WaySize()
+	}
+	if o.StackOffsetBound == 0 {
+		o.StackOffsetBound = o.OffsetBound
+	}
+	if o.Align == 0 {
+		o.Align = mem.DoubleWord
+	}
+	if o.Source == nil {
+		o.Source = prng.NewMWC(1)
+	}
+	if o.CodePoolSize == 0 {
+		o.CodePoolBase, o.CodePoolSize = 0x4400_0000, 64<<20
+	}
+	if o.DataPoolSize == 0 {
+		o.DataPoolBase, o.DataPoolSize = 0x5400_0000, 64<<20
+	}
+}
+
+// BootStats reports what one reboot (re-randomisation) did.
+type BootStats struct {
+	Seed           uint64
+	RelocatedFuncs int
+	RelocatedBytes mem.Addr
+	// BootCycles is the modelled cost of the eager relocation loop plus
+	// the SPARC cache-consistency routine (writeback + invalidate); it is
+	// spent before the measured window opens, so it does not appear in
+	// the UoA execution time — the paper's motivation for eager mode.
+	BootCycles mem.Cycles
+	// CodePages/DataPages are the distinct pages backing the pools, the
+	// TLB-randomisation surface (§III.B.5).
+	CodePages int
+	DataPages int
+}
+
+type relocInfo struct {
+	name    string
+	oldBase mem.Addr
+	size    mem.Addr
+}
+
+// Runtime drives DSR on a platform: it owns the transformed program, the
+// code and data pools, and the per-run randomisation protocol.
+type Runtime struct {
+	plat  *platform.Platform
+	tp    *prog.Program
+	meta  *Metadata
+	stats PassStats
+	opts  Options
+
+	codePool *heap.Pool
+	dataPool *heap.Pool
+	src      prng.Source
+
+	img       *loader.Image
+	placement loader.Placement
+	// linkBase is the pre-relocation (sequential) placement: the
+	// addresses functions are copied *from* during relocation.
+	linkBase loader.Placement
+
+	// lazy state
+	pending map[mem.Addr]relocInfo
+	boot    *BootStats
+}
+
+// NewRuntime runs the compiler pass on p and prepares a runtime bound to
+// plat. Call Reboot before every measured run.
+func NewRuntime(p *prog.Program, plat *platform.Platform, opts Options) (*Runtime, error) {
+	opts.fillDefaults(plat)
+	tp, meta, stats, err := Transform(p)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := loader.LayoutSequential(tp, loader.DefaultSequentialConfig())
+	if err != nil {
+		return nil, fmt.Errorf("core: link layout: %w", err)
+	}
+	r := &Runtime{
+		plat: plat, tp: tp, meta: meta, stats: stats, opts: opts,
+		src:      opts.Source,
+		linkBase: seq.Placement,
+	}
+	r.codePool = heap.NewPool("dsr-code", opts.CodePoolBase, opts.CodePoolSize,
+		opts.OffsetBound, opts.Align, prng.NewMWC(2))
+	r.dataPool = heap.NewPool("dsr-data", opts.DataPoolBase, opts.DataPoolSize,
+		opts.OffsetBound, opts.Align, prng.NewMWC(3))
+	return r, nil
+}
+
+// Program returns the transformed program.
+func (r *Runtime) Program() *prog.Program { return r.tp }
+
+// Metadata returns the relocation metadata.
+func (r *Runtime) Metadata() *Metadata { return r.meta }
+
+// PassStats returns the compiler-pass statistics.
+func (r *Runtime) PassStats() PassStats { return r.stats }
+
+// Image returns the image of the current run (nil before first Reboot).
+func (r *Runtime) Image() *loader.Image { return r.img }
+
+// Placement returns the current run's symbol placement.
+func (r *Runtime) Placement() loader.Placement { return r.placement }
+
+// Reboot models the partition reboot of §IV: memory is cleared, a fresh
+// random layout is drawn with the given seed, the image is rebuilt and
+// loaded, the metadata tables are written, and (in eager mode) the
+// relocation plus cache-consistency cost is charged to boot time.
+func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
+	r.src.Seed(seed)
+	r.codePool.Reset(prng.Uint64(r.src))
+	r.dataPool.Reset(prng.Uint64(r.src))
+
+	pl := loader.Placement{}
+	// Shuffle relocation order so pool layout does not correlate with
+	// link order across runs.
+	order := prng.Perm(r.src, len(r.tp.Functions))
+	var reloc []relocInfo
+	var bytes mem.Addr
+	for _, fi := range order {
+		f := r.tp.Functions[fi]
+		obj := &mem.Object{Name: f.Name, Kind: mem.KindCode, Size: f.SizeBytes(), Align: isa.InstrBytes}
+		if _, err := r.codePool.Allocate(obj); err != nil {
+			return BootStats{}, fmt.Errorf("core: reboot: %w", err)
+		}
+		pl[f.Name] = obj.Base
+		reloc = append(reloc, relocInfo{name: f.Name, oldBase: r.linkBase[f.Name], size: obj.Size})
+		bytes += obj.Size
+	}
+	for _, d := range r.tp.Data {
+		align := d.Align
+		if align == 0 {
+			align = mem.DoubleWord
+		}
+		obj := &mem.Object{Name: d.Name, Kind: mem.KindData, Size: d.Size, Align: align}
+		if _, err := r.dataPool.Allocate(obj); err != nil {
+			return BootStats{}, fmt.Errorf("core: reboot: %w", err)
+		}
+		pl[d.Name] = obj.Base
+	}
+
+	img, err := loader.BuildImage(r.tp, pl)
+	if err != nil {
+		return BootStats{}, fmt.Errorf("core: reboot: %w", err)
+	}
+	r.img = img
+	r.placement = pl
+
+	r.plat.Mem.Clear()
+	r.plat.LoadImage(img)
+
+	// Write the metadata tables (runtime startup writes, before the
+	// partition's measured window).
+	ftable := pl[FTableSym]
+	offsets := pl[OffsetsSym]
+	for i, name := range r.meta.Funcs {
+		r.plat.Mem.StoreWord(ftable+mem.Addr(i)*4, uint32(pl[name]))
+		var off uint32
+		if f := r.tp.Function(name); f != nil && !f.Leaf {
+			off = uint32(prng.AlignedOffset(r.src, r.opts.StackOffsetBound, r.opts.Align))
+		}
+		r.plat.Mem.StoreWord(offsets+mem.Addr(i)*4, off)
+	}
+
+	stats := BootStats{
+		Seed:           seed,
+		RelocatedFuncs: len(reloc),
+		RelocatedBytes: bytes,
+		CodePages:      len(r.codePool.PagesTouched()),
+		DataPages:      len(r.dataPool.PagesTouched()),
+	}
+
+	switch r.opts.Mode {
+	case Eager:
+		for _, ri := range reloc {
+			stats.BootCycles += r.relocationCost(ri, pl[ri.name])
+		}
+		r.pending = nil
+		r.plat.CPU.SetCallHook(nil)
+	case Lazy:
+		r.pending = make(map[mem.Addr]relocInfo, len(reloc))
+		for _, ri := range reloc {
+			r.pending[pl[ri.name]] = ri
+		}
+		// The entry function's first use is program start itself, so it
+		// is relocated at boot even in lazy mode.
+		if ri, ok := r.pending[pl[r.tp.Entry]]; ok {
+			delete(r.pending, pl[r.tp.Entry])
+			stats.BootCycles += r.relocationCost(ri, pl[r.tp.Entry])
+		}
+		r.plat.CPU.SetCallHook(r.lazyHook)
+	}
+	r.boot = &stats
+	return stats, nil
+}
+
+// relocationCost models moving one function: a word-copy loop through
+// the data cache from the old to the new location, then the SPARC v8
+// consistency routine — write back the new range (the L2 is write-back,
+// so relocated code must reach memory before it can be fetched) and
+// invalidate any stale IL1/L2 lines at the old location (§III.B.1).
+func (r *Runtime) relocationCost(ri relocInfo, newBase mem.Addr) mem.Cycles {
+	var cost mem.Cycles
+	for off := mem.Addr(0); off < ri.size; off += mem.WordSize {
+		cost += r.plat.DL1.Read(ri.oldBase+off, mem.WordSize)
+		cost += r.plat.DL1.Write(newBase+off, mem.WordSize)
+		cost += 2 // the copy loop's own instructions
+	}
+	cost += r.plat.L2.WritebackRange(newBase, int(ri.size))
+	cost += r.plat.IL1.InvalidateRange(ri.oldBase, int(ri.size))
+	cost += r.plat.L2.InvalidateRange(ri.oldBase, int(ri.size))
+	return cost
+}
+
+// lazyHook performs first-call relocation inside the measured window.
+func (r *Runtime) lazyHook(target mem.Addr) {
+	ri, ok := r.pending[target]
+	if !ok {
+		return
+	}
+	delete(r.pending, target)
+	cost := r.relocationCost(ri, target)
+	r.plat.CPU.AddCycles(cost)
+	if r.boot != nil {
+		r.boot.RelocatedFuncs--
+	}
+}
+
+// Run performs one measured run on the current layout. Reboot must have
+// been called; the paper's protocol is one Reboot per Run so that every
+// measurement sees a fresh random layout.
+func (r *Runtime) Run() (platform.RunResult, error) {
+	if r.img == nil {
+		return platform.RunResult{}, fmt.Errorf("core: Run before Reboot")
+	}
+	return r.plat.Run()
+}
+
+// RunBudget is Run under a partition-window cycle budget; the flag
+// reports whether the program completed within it.
+func (r *Runtime) RunBudget(budget mem.Cycles) (platform.RunResult, bool, error) {
+	if r.img == nil {
+		return platform.RunResult{}, false, fmt.Errorf("core: RunBudget before Reboot")
+	}
+	return r.plat.RunBudget(budget)
+}
+
+// Collect is the measurement campaign helper: n runs, rebooting with
+// seeds base, base+1, ... before each, returning the per-run results.
+func (r *Runtime) Collect(base uint64, n int) ([]platform.RunResult, error) {
+	out := make([]platform.RunResult, 0, n)
+	for i := 0; i < n; i++ {
+		if _, err := r.Reboot(base + uint64(i)); err != nil {
+			return nil, err
+		}
+		res, err := r.Run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

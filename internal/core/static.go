@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/prng"
+	"dsr/internal/prog"
+)
+
+// StaticLayout implements the static software randomisation variant
+// (TASA, Kosmidis et al. ICCAD'16; the DAC'14 automotive deployment) for
+// the A5 ablation: the *link-time* layout of an unmodified program is
+// randomised — functions are permuted and padded with random gaps — so
+// each build is one fixed random layout with zero runtime overhead. The
+// price is that every measurement run needs a different binary, whereas
+// DSR re-randomises a single binary at boot.
+func StaticLayout(p *prog.Program, cfg loader.SequentialConfig, offsetBound int, seed uint64) (loader.Placement, error) {
+	if offsetBound <= 0 || offsetBound%mem.DoubleWord != 0 {
+		return nil, fmt.Errorf("core: static offset bound %d must be a positive multiple of 8", offsetBound)
+	}
+	src := prng.NewMWC(seed)
+	pl := loader.Placement{}
+
+	code := mem.NewSpace(cfg.CodeBase, cfg.CodeSize)
+	for _, fi := range prng.Perm(src, len(p.Functions)) {
+		f := p.Functions[fi]
+		gap := mem.Addr(prng.AlignedOffset(src, offsetBound, mem.DoubleWord))
+		if gap > 0 {
+			pad := &mem.Object{Name: f.Name + ".pad", Kind: mem.KindCode, Size: gap, Align: 1}
+			if err := code.Place(pad); err != nil {
+				return nil, fmt.Errorf("core: static layout: %w", err)
+			}
+		}
+		obj := &mem.Object{Name: f.Name, Kind: mem.KindCode, Size: f.SizeBytes(), Align: isa.InstrBytes}
+		if err := code.Place(obj); err != nil {
+			return nil, fmt.Errorf("core: static layout: %w", err)
+		}
+		pl[f.Name] = obj.Base
+	}
+
+	data := mem.NewSpace(cfg.DataBase, cfg.DataSize)
+	for _, di := range prng.Perm(src, len(p.Data)) {
+		d := p.Data[di]
+		gap := mem.Addr(prng.AlignedOffset(src, offsetBound, mem.DoubleWord))
+		if gap > 0 {
+			pad := &mem.Object{Name: d.Name + ".pad", Kind: mem.KindData, Size: gap, Align: 1}
+			if err := data.Place(pad); err != nil {
+				return nil, fmt.Errorf("core: static layout: %w", err)
+			}
+		}
+		align := d.Align
+		if align == 0 {
+			align = mem.DoubleWord
+		}
+		obj := &mem.Object{Name: d.Name, Kind: mem.KindData, Size: d.Size, Align: align}
+		if err := data.Place(obj); err != nil {
+			return nil, fmt.Errorf("core: static layout: %w", err)
+		}
+		pl[d.Name] = obj.Base
+	}
+	return pl, nil
+}
+
+// StaticBuild lays p out with StaticLayout and builds the image — one
+// randomised "binary". Successive seeds model successive builds.
+func StaticBuild(p *prog.Program, cfg loader.SequentialConfig, offsetBound int, seed uint64) (*loader.Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pl, err := StaticLayout(p, cfg, offsetBound, seed)
+	if err != nil {
+		return nil, err
+	}
+	return loader.BuildImage(p, pl)
+}

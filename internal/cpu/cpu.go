@@ -1,0 +1,644 @@
+// Package cpu models the LEON3 integer pipeline at instruction
+// granularity with cycle-approximate timing: one base cycle per
+// instruction plus stalls from the memory hierarchy, multi-cycle
+// integer/floating-point operations (with the value-dependent FPU jitter
+// the paper notes in §III.A/§VI), taken-branch penalties, and SPARC
+// register-window overflow/underflow traps whose 16-word spill/fill
+// traffic flows through the data cache — which is how stack placement
+// randomisation reaches the memory hierarchy.
+//
+// The CPU is functional: it computes real values, so the case-study
+// application produces real wavefront errors and its input-dependent
+// paths (the paper's high-level jitter source) arise naturally.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/tlb"
+)
+
+// Config is the core's timing model. NewDefaultConfig documents the
+// values used for the PROXIMA LEON3 reproduction.
+type Config struct {
+	NumWindows int // SPARC register windows (LEON3: 8)
+
+	BranchTaken mem.Cycles // extra cycles for a taken branch
+	LoadUse     mem.Cycles // extra cycles for any load
+	StoreBase   mem.Cycles // base cycles for any store
+	// StoreHidden is the portion of the write-through path the LEON3
+	// store buffer hides: the charged store stall is
+	// StoreBase + max(0, hierarchy latency - StoreHidden).
+	StoreHidden  mem.Cycles
+	MulLatency   mem.Cycles
+	DivLatency   mem.Cycles
+	FAddLatency  mem.Cycles // fadd/fsub/fcmp/fitos/fstoi
+	FMulLatency  mem.Cycles
+	FDivLatency  mem.Cycles
+	FSqrtLatency mem.Cycles
+	// FPJitterMax is the value-dependent extra latency of fdiv and fsqrt,
+	// the two jittery FPU instruction types (§VI: "only two types of
+	// those instructions have a maximum jitter of 3 cycles").
+	FPJitterMax  mem.Cycles
+	TrapOverhead mem.Cycles // window overflow/underflow trap entry/exit
+	IPointCost   mem.Cycles // instrumentation point (timestamp store)
+
+	// MaxInstrs aborts runaway programs; 0 means no limit.
+	MaxInstrs uint64
+}
+
+// NewDefaultConfig returns the timing constants of the reproduction
+// platform (see DESIGN.md §5).
+func NewDefaultConfig() Config {
+	return Config{
+		NumWindows:   8,
+		BranchTaken:  1,
+		LoadUse:      1,
+		StoreBase:    1,
+		StoreHidden:  12,
+		MulLatency:   4,
+		DivLatency:   20,
+		FAddLatency:  3,
+		FMulLatency:  4,
+		FDivLatency:  15,
+		FSqrtLatency: 22,
+		FPJitterMax:  3,
+		TrapOverhead: 3,
+		IPointCost:   2,
+		MaxInstrs:    50_000_000,
+	}
+}
+
+// Counters are the core's performance-monitoring counters. Together with
+// the cache counters they reproduce Table I.
+type Counters struct {
+	Instrs           uint64
+	FPUOps           uint64
+	Loads            uint64
+	Stores           uint64
+	Branches         uint64
+	TakenBranches    uint64
+	Calls            uint64
+	WindowOverflows  uint64
+	WindowUnderflows uint64
+}
+
+// TracePoint is one instrumentation-point record: which ipoint fired and
+// at what cycle count (the RVS timestamp, §V).
+type TracePoint struct {
+	ID     int32
+	Cycles mem.Cycles
+}
+
+// ErrMaxInstrs is returned when the instruction watchdog fires.
+var ErrMaxInstrs = errors.New("cpu: instruction limit exceeded")
+
+// CPU is one LEON3-like core bound to an image and a memory hierarchy.
+type CPU struct {
+	cfg Config
+	img *loader.Image
+
+	icache mem.Backend
+	dcache mem.Backend
+	itlb   *tlb.TLB // may be nil
+	dtlb   *tlb.TLB // may be nil
+	data   *Memory
+
+	// Integer register file: globals plus the windowed banks. outs[w]
+	// holds the out registers of window w; the ins of window w are
+	// outs[(w+1)%NumWindows]. locals[w] are private to window w.
+	globals [8]uint32
+	outs    [][8]uint32
+	locals  [][8]uint32
+	cwp     int
+	liveWin int // unspilled frames resident in the register file
+
+	fregs [isa.NumFRegs]float32
+
+	iccZ, iccN bool
+	fcc        int // -1 less, 0 equal, 1 greater, 2 unordered (NaN)
+
+	pc     mem.Addr
+	cycles mem.Cycles
+	halted bool
+	ctr    Counters
+	trace  []TracePoint
+
+	curFn *loader.PlacedFunc // fetch cache
+
+	// callHook, when set, fires on every Call/CallR with the resolved
+	// target address before control transfers. The DSR runtime uses it
+	// to model lazy relocation (§III.B.1): the hook may charge cycles
+	// via AddCycles and issue cache traffic of its own.
+	callHook func(target mem.Addr)
+}
+
+// New builds a CPU. icache and dcache are the L1 fronts of the memory
+// hierarchy; itlb/dtlb may be nil to disable address translation costs;
+// data is the functional store.
+func New(cfg Config, img *loader.Image, icache, dcache mem.Backend, itlb, dtlb *tlb.TLB, data *Memory) *CPU {
+	if cfg.NumWindows < 2 {
+		panic("cpu: need at least 2 register windows")
+	}
+	c := &CPU{
+		cfg: cfg, img: img,
+		icache: icache, dcache: dcache,
+		itlb: itlb, dtlb: dtlb,
+		data: data,
+	}
+	c.outs = make([][8]uint32, cfg.NumWindows)
+	c.locals = make([][8]uint32, cfg.NumWindows)
+	c.Reset(0)
+	return c
+}
+
+// Reset prepares the core for a run: registers cleared, window state
+// reset, PC at the image entry, SP at stackTop. Counters, the cycle
+// counter and the trace are cleared too.
+func (c *CPU) Reset(stackTop uint32) {
+	c.globals = [8]uint32{}
+	for i := range c.outs {
+		c.outs[i] = [8]uint32{}
+		c.locals[i] = [8]uint32{}
+	}
+	c.fregs = [isa.NumFRegs]float32{}
+	c.cwp = c.cfg.NumWindows - 1
+	c.liveWin = 1
+	c.iccZ, c.iccN = false, false
+	c.fcc = 0
+	c.pc = c.img.Entry
+	c.cycles = 0
+	c.halted = false
+	c.ctr = Counters{}
+	c.trace = c.trace[:0]
+	c.curFn = nil
+	c.setReg(isa.SP, stackTop)
+}
+
+// SetImage rebinds the core to a (re-randomised) image without touching
+// data memory; used by the DSR runtime after relocation.
+func (c *CPU) SetImage(img *loader.Image) {
+	c.img = img
+	c.pc = img.Entry
+	c.curFn = nil
+}
+
+// Cycles returns the execution-time register (cycle counter).
+func (c *CPU) Cycles() mem.Cycles { return c.cycles }
+
+// AddCycles charges external latency (e.g. a modelled runtime routine).
+func (c *CPU) AddCycles(n mem.Cycles) { c.cycles += n }
+
+// Counters returns a snapshot of the performance counters.
+func (c *CPU) Counters() Counters { return c.ctr }
+
+// Trace returns the instrumentation points recorded so far.
+func (c *CPU) Trace() []TracePoint { return c.trace }
+
+// Halted reports whether the program executed Halt.
+func (c *CPU) Halted() bool { return c.halted }
+
+// PC returns the current program counter.
+func (c *CPU) PC() mem.Addr { return c.pc }
+
+// Data returns the functional memory.
+func (c *CPU) Data() *Memory { return c.data }
+
+// SetCallHook installs (or clears, with nil) the call interception hook.
+func (c *CPU) SetCallHook(f func(target mem.Addr)) { c.callHook = f }
+
+// reg reads an integer register in the current window; %g0 reads zero.
+func (c *CPU) reg(r isa.Reg) uint32 {
+	switch {
+	case r == isa.G0:
+		return 0
+	case r < isa.O0:
+		return c.globals[r]
+	case r < isa.L0:
+		return c.outs[c.cwp][r-isa.O0]
+	case r < isa.I0:
+		return c.locals[c.cwp][r-isa.L0]
+	default:
+		return c.outs[(c.cwp+1)%c.cfg.NumWindows][r-isa.I0]
+	}
+}
+
+// setReg writes an integer register; writes to %g0 are discarded.
+func (c *CPU) setReg(r isa.Reg, v uint32) {
+	switch {
+	case r == isa.G0:
+	case r < isa.O0:
+		c.globals[r] = v
+	case r < isa.L0:
+		c.outs[c.cwp][r-isa.O0] = v
+	case r < isa.I0:
+		c.locals[c.cwp][r-isa.L0] = v
+	default:
+		c.outs[(c.cwp+1)%c.cfg.NumWindows][r-isa.I0] = v
+	}
+}
+
+// Reg exposes register reads for tests and the RTOS (return values).
+func (c *CPU) Reg(r isa.Reg) uint32 { return c.reg(r) }
+
+// SetRegister exposes register writes for run setup (arguments).
+func (c *CPU) SetRegister(r isa.Reg, v uint32) { c.setReg(r, v) }
+
+// FReg exposes FP register reads for tests.
+func (c *CPU) FReg(f isa.FReg) float32 { return c.fregs[f] }
+
+func (c *CPU) src2(in *isa.Instr) uint32 {
+	if in.UseImm {
+		return uint32(in.Imm)
+	}
+	return c.reg(in.Rs2)
+}
+
+// fetch translates and reads the instruction at pc, returning the decoded
+// instruction and charging fetch latency.
+func (c *CPU) fetch() (*isa.Instr, error) {
+	if c.itlb != nil {
+		c.cycles += c.itlb.Translate(c.pc)
+	}
+	c.cycles += c.icache.Read(c.pc, isa.InstrBytes)
+	if c.curFn == nil || c.pc < c.curFn.Base || c.pc >= c.curFn.End() {
+		c.curFn = c.img.FuncAt(c.pc)
+		if c.curFn == nil {
+			return nil, fmt.Errorf("cpu: fetch from unmapped address %#x", c.pc)
+		}
+	}
+	off := c.pc - c.curFn.Base
+	if off%isa.InstrBytes != 0 {
+		return nil, fmt.Errorf("cpu: misaligned pc %#x", c.pc)
+	}
+	return &c.curFn.Code[off/isa.InstrBytes], nil
+}
+
+// dataAddr computes and validates an effective address.
+func (c *CPU) dataAddr(in *isa.Instr, align mem.Addr) (mem.Addr, error) {
+	ea := mem.Addr(c.reg(in.Rs1) + uint32(in.Imm))
+	if align > 1 && ea%align != 0 {
+		return 0, fmt.Errorf("cpu: misaligned %s at %#x (pc %#x)", in.Op, ea, c.pc)
+	}
+	return ea, nil
+}
+
+// loadWord performs a timed word load.
+func (c *CPU) loadWord(ea mem.Addr) uint32 {
+	c.ctr.Loads++
+	if c.dtlb != nil {
+		c.cycles += c.dtlb.Translate(ea)
+	}
+	c.cycles += c.cfg.LoadUse + c.dcache.Read(ea, mem.WordSize)
+	return c.data.LoadWord(ea)
+}
+
+// storeCost charges the store-buffer-adjusted write-through cost.
+func (c *CPU) storeCost(lat mem.Cycles) {
+	c.cycles += c.cfg.StoreBase
+	if lat > c.cfg.StoreHidden {
+		c.cycles += lat - c.cfg.StoreHidden
+	}
+}
+
+// storeWord performs a timed word store.
+func (c *CPU) storeWord(ea mem.Addr, v uint32) {
+	c.ctr.Stores++
+	if c.dtlb != nil {
+		c.cycles += c.dtlb.Translate(ea)
+	}
+	c.storeCost(c.dcache.Write(ea, mem.WordSize))
+	c.data.StoreWord(ea, v)
+}
+
+// spillWindow stores 16 registers (locals then ins) of window w at sp.
+func (c *CPU) spillWindow(w int, sp uint32) {
+	c.ctr.WindowOverflows++
+	c.cycles += c.cfg.TrapOverhead
+	base := mem.Addr(sp)
+	for i := 0; i < 8; i++ {
+		c.storeWord(base+mem.Addr(i)*4, c.locals[w][i])
+	}
+	ins := (w + 1) % c.cfg.NumWindows
+	for i := 0; i < 8; i++ {
+		c.storeWord(base+mem.Addr(32+i*4), c.outs[ins][i])
+	}
+}
+
+// fillWindow loads 16 registers of window w from sp.
+func (c *CPU) fillWindow(w int, sp uint32) {
+	c.ctr.WindowUnderflows++
+	c.cycles += c.cfg.TrapOverhead
+	base := mem.Addr(sp)
+	for i := 0; i < 8; i++ {
+		c.locals[w][i] = c.loadWord(base + mem.Addr(i)*4)
+	}
+	ins := (w + 1) % c.cfg.NumWindows
+	for i := 0; i < 8; i++ {
+		c.outs[ins][i] = c.loadWord(base + mem.Addr(32+i*4))
+	}
+}
+
+// save rotates the window down, handling overflow, and sets the new SP.
+func (c *CPU) save(frame, offset uint32) error {
+	newSP := c.reg(isa.SP) - frame - offset
+	if newSP%mem.DoubleWord != 0 {
+		return fmt.Errorf("cpu: save would misalign sp to %#x (frame %d offset %d)", newSP, frame, offset)
+	}
+	n := c.cfg.NumWindows
+	if c.liveWin == n-1 {
+		// Overflow: spill the oldest resident frame. Its window is
+		// cwp+liveWin-1; its SP lives in that window's %o6.
+		wOld := (c.cwp + c.liveWin - 1) % n
+		c.spillWindow(wOld, c.outs[wOld][6])
+		c.liveWin--
+	}
+	c.cwp = (c.cwp - 1 + n) % n
+	c.liveWin++
+	c.setReg(isa.SP, newSP)
+	return nil
+}
+
+// restore rotates the window up, handling underflow.
+func (c *CPU) restore() {
+	n := c.cfg.NumWindows
+	if c.liveWin == 1 {
+		// Underflow: the caller's frame was spilled. Its SP is the
+		// current frame's %fp (= caller's %o6, physically intact).
+		wTgt := (c.cwp + 1) % n
+		c.fillWindow(wTgt, c.outs[wTgt][6])
+		c.liveWin++
+	}
+	c.cwp = (c.cwp + 1) % n
+	c.liveWin--
+}
+
+// fpJitter is the deterministic value-dependent extra latency of the two
+// jittery FPU instruction types: iterative dividers terminate early
+// depending on operand bit patterns, modelled as a function of the
+// operand mantissa.
+func (c *CPU) fpJitter(v float32) mem.Cycles {
+	if c.cfg.FPJitterMax == 0 {
+		return 0
+	}
+	m := math.Float32bits(v) & 0x7FFFFF
+	return mem.Cycles(bits.OnesCount32(m)) % (c.cfg.FPJitterMax + 1)
+}
+
+// Step executes one instruction. It returns an error on architectural
+// traps the simulator treats as fatal (unmapped fetch, misalignment,
+// division by zero) — a correct program never triggers them.
+func (c *CPU) Step() error {
+	if c.halted {
+		return errors.New("cpu: step after halt")
+	}
+	in, err := c.fetch()
+	if err != nil {
+		return err
+	}
+	c.ctr.Instrs++
+	c.cycles++ // base cycle
+	if in.Op.IsFPU() {
+		c.ctr.FPUOps++
+	}
+	next := c.pc + isa.InstrBytes
+
+	switch in.Op {
+	case isa.Nop:
+	case isa.Halt:
+		c.halted = true
+
+	case isa.Add:
+		c.setReg(in.Rd, c.reg(in.Rs1)+c.src2(in))
+	case isa.Sub:
+		c.setReg(in.Rd, c.reg(in.Rs1)-c.src2(in))
+	case isa.And:
+		c.setReg(in.Rd, c.reg(in.Rs1)&c.src2(in))
+	case isa.Or:
+		c.setReg(in.Rd, c.reg(in.Rs1)|c.src2(in))
+	case isa.Xor:
+		c.setReg(in.Rd, c.reg(in.Rs1)^c.src2(in))
+	case isa.Sll:
+		c.setReg(in.Rd, c.reg(in.Rs1)<<(c.src2(in)&31))
+	case isa.Srl:
+		c.setReg(in.Rd, c.reg(in.Rs1)>>(c.src2(in)&31))
+	case isa.Sra:
+		c.setReg(in.Rd, uint32(int32(c.reg(in.Rs1))>>(c.src2(in)&31)))
+	case isa.Mul:
+		c.cycles += c.cfg.MulLatency
+		c.setReg(in.Rd, uint32(int32(c.reg(in.Rs1))*int32(c.src2(in))))
+	case isa.Div:
+		d := int32(c.src2(in))
+		if d == 0 {
+			return fmt.Errorf("cpu: division by zero at pc %#x", c.pc)
+		}
+		c.cycles += c.cfg.DivLatency
+		c.setReg(in.Rd, uint32(int32(c.reg(in.Rs1))/d))
+
+	case isa.Cmp:
+		a, b := int32(c.reg(in.Rs1)), int32(c.src2(in))
+		c.iccZ = a == b
+		c.iccN = a < b
+
+	case isa.Set:
+		c.setReg(in.Rd, uint32(in.Imm))
+	case isa.Mov:
+		c.setReg(in.Rd, c.src2(in))
+
+	case isa.Ld:
+		ea, err := c.dataAddr(in, mem.WordSize)
+		if err != nil {
+			return err
+		}
+		c.setReg(in.Rd, c.loadWord(ea))
+	case isa.Ldub:
+		ea, _ := c.dataAddr(in, 1)
+		c.ctr.Loads++
+		if c.dtlb != nil {
+			c.cycles += c.dtlb.Translate(ea)
+		}
+		c.cycles += c.cfg.LoadUse + c.dcache.Read(ea, 1)
+		c.setReg(in.Rd, c.data.LoadByte(ea))
+	case isa.St:
+		ea, err := c.dataAddr(in, mem.WordSize)
+		if err != nil {
+			return err
+		}
+		c.storeWord(ea, c.reg(in.Rd))
+	case isa.Stb:
+		ea, _ := c.dataAddr(in, 1)
+		c.ctr.Stores++
+		if c.dtlb != nil {
+			c.cycles += c.dtlb.Translate(ea)
+		}
+		c.storeCost(c.dcache.Write(ea, 1))
+		c.data.StoreByte(ea, c.reg(in.Rd))
+
+	case isa.FLd:
+		ea, err := c.dataAddr(in, mem.WordSize)
+		if err != nil {
+			return err
+		}
+		c.fregs[in.FRd] = math.Float32frombits(c.loadWord(ea))
+	case isa.FSt:
+		ea, err := c.dataAddr(in, mem.WordSize)
+		if err != nil {
+			return err
+		}
+		c.storeWord(ea, math.Float32bits(c.fregs[in.FRs2]))
+
+	case isa.Fadd:
+		c.cycles += c.cfg.FAddLatency
+		c.fregs[in.FRd] = c.fregs[in.FRs1] + c.fregs[in.FRs2]
+	case isa.Fsub:
+		c.cycles += c.cfg.FAddLatency
+		c.fregs[in.FRd] = c.fregs[in.FRs1] - c.fregs[in.FRs2]
+	case isa.Fmul:
+		c.cycles += c.cfg.FMulLatency
+		c.fregs[in.FRd] = c.fregs[in.FRs1] * c.fregs[in.FRs2]
+	case isa.Fdiv:
+		c.cycles += c.cfg.FDivLatency + c.fpJitter(c.fregs[in.FRs2])
+		c.fregs[in.FRd] = c.fregs[in.FRs1] / c.fregs[in.FRs2]
+	case isa.Fsqrt:
+		c.cycles += c.cfg.FSqrtLatency + c.fpJitter(c.fregs[in.FRs2])
+		c.fregs[in.FRd] = float32(math.Sqrt(float64(c.fregs[in.FRs2])))
+	case isa.Fcmp:
+		c.cycles += c.cfg.FAddLatency
+		a, b := c.fregs[in.FRs1], c.fregs[in.FRs2]
+		switch {
+		case a != a || b != b:
+			// SPARC sets the "unordered" condition for NaN operands; the
+			// ordered branches (fbl/fbg/fbe) are not taken on it.
+			c.fcc = 2
+		case a == b:
+			c.fcc = 0
+		case a < b:
+			c.fcc = -1
+		default:
+			c.fcc = 1
+		}
+	case isa.Fitos:
+		c.cycles += c.cfg.FAddLatency
+		c.fregs[in.FRd] = float32(int32(math.Float32bits(c.fregs[in.FRs2])))
+	case isa.Fstoi:
+		c.cycles += c.cfg.FAddLatency
+		c.fregs[in.FRd] = math.Float32frombits(uint32(int32(c.fregs[in.FRs2])))
+
+	case isa.Ba, isa.Be, isa.Bne, isa.Bl, isa.Ble, isa.Bg, isa.Bge,
+		isa.Fbe, isa.Fbne, isa.Fbl, isa.Fbg:
+		c.ctr.Branches++
+		if c.branchTaken(in.Op) {
+			c.ctr.TakenBranches++
+			c.cycles += c.cfg.BranchTaken
+			next = c.pc + mem.Addr(int64(in.Disp)*isa.InstrBytes)
+		}
+
+	case isa.Call:
+		c.ctr.Calls++
+		c.setReg(isa.O7, uint32(c.pc))
+		next = mem.Addr(uint32(in.Imm))
+		if c.callHook != nil {
+			c.callHook(next)
+		}
+	case isa.CallR:
+		c.ctr.Calls++
+		tgt := c.reg(in.Rs1)
+		c.setReg(isa.O7, uint32(c.pc))
+		next = mem.Addr(tgt)
+		if c.callHook != nil {
+			c.callHook(next)
+		}
+	case isa.Ret:
+		ret := c.reg(isa.I7)
+		c.restore()
+		next = mem.Addr(ret) + isa.InstrBytes
+	case isa.RetL:
+		next = mem.Addr(c.reg(isa.O7)) + isa.InstrBytes
+
+	case isa.Save:
+		if err := c.save(uint32(in.Imm), 0); err != nil {
+			return err
+		}
+	case isa.SaveX:
+		if err := c.save(uint32(in.Imm), c.reg(in.Rs2)); err != nil {
+			return err
+		}
+	case isa.Restore:
+		c.restore()
+
+	case isa.IPoint:
+		c.cycles += c.cfg.IPointCost
+		c.trace = append(c.trace, TracePoint{ID: in.Imm, Cycles: c.cycles})
+
+	default:
+		return fmt.Errorf("cpu: unimplemented op %s at pc %#x", in.Op, c.pc)
+	}
+
+	c.pc = next
+	return nil
+}
+
+func (c *CPU) branchTaken(op isa.Op) bool {
+	switch op {
+	case isa.Ba:
+		return true
+	case isa.Be:
+		return c.iccZ
+	case isa.Bne:
+		return !c.iccZ
+	case isa.Bl:
+		return c.iccN
+	case isa.Ble:
+		return c.iccN || c.iccZ
+	case isa.Bg:
+		return !c.iccN && !c.iccZ
+	case isa.Bge:
+		return !c.iccN
+	case isa.Fbe:
+		return c.fcc == 0
+	case isa.Fbne:
+		// SPARC FBNE is "unordered or not equal": taken on NaN.
+		return c.fcc != 0
+	case isa.Fbl:
+		return c.fcc == -1
+	case isa.Fbg:
+		return c.fcc == 1
+	default:
+		panic("cpu: not a branch")
+	}
+}
+
+// Run executes until Halt, an error, or the instruction watchdog.
+// It returns the cycle counter value at halt.
+func (c *CPU) Run() (mem.Cycles, error) {
+	for !c.halted {
+		if c.cfg.MaxInstrs > 0 && c.ctr.Instrs >= c.cfg.MaxInstrs {
+			return c.cycles, ErrMaxInstrs
+		}
+		if err := c.Step(); err != nil {
+			return c.cycles, err
+		}
+	}
+	return c.cycles, nil
+}
+
+// RunBudget executes until Halt or until the cycle counter reaches
+// budget — the RTOS partition-window enforcement. Check Halted() to see
+// whether the program completed within its budget.
+func (c *CPU) RunBudget(budget mem.Cycles) (mem.Cycles, error) {
+	for !c.halted && c.cycles < budget {
+		if c.cfg.MaxInstrs > 0 && c.ctr.Instrs >= c.cfg.MaxInstrs {
+			return c.cycles, ErrMaxInstrs
+		}
+		if err := c.Step(); err != nil {
+			return c.cycles, err
+		}
+	}
+	return c.cycles, nil
+}

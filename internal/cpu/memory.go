@@ -1,0 +1,79 @@
+package cpu
+
+import (
+	"fmt"
+
+	"dsr/internal/mem"
+)
+
+// pageWords is the number of 32-bit words per functional-memory page.
+const pageWords = mem.PageSize / mem.WordSize
+
+// Memory is the functional (value-holding) data store of the simulated
+// machine, separate from the timing model: caches decide how long an
+// access takes, Memory decides what it returns. Sparse paged storage
+// keeps the 32-bit address space cheap. SPARC is big-endian; byte
+// accesses honour that.
+type Memory struct {
+	pages map[mem.Addr]*[pageWords]uint32
+}
+
+// NewMemory returns an empty memory; all bytes read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[mem.Addr]*[pageWords]uint32)}
+}
+
+func (m *Memory) page(a mem.Addr, create bool) *[pageWords]uint32 {
+	pn := mem.Page(a)
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageWords]uint32)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadWord returns the word at a. a must be word-aligned; the SPARC
+// alignment trap is modelled as an error by the CPU before calling here.
+func (m *Memory) LoadWord(a mem.Addr) uint32 {
+	if a%mem.WordSize != 0 {
+		panic(fmt.Sprintf("cpu: misaligned word load at %#x", a))
+	}
+	p := m.page(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[(a%mem.PageSize)/mem.WordSize]
+}
+
+// StoreWord writes the word at a (word-aligned).
+func (m *Memory) StoreWord(a mem.Addr, v uint32) {
+	if a%mem.WordSize != 0 {
+		panic(fmt.Sprintf("cpu: misaligned word store at %#x", a))
+	}
+	m.page(a, true)[(a%mem.PageSize)/mem.WordSize] = v
+}
+
+// LoadByte returns the byte at a, zero-extended, big-endian within words.
+func (m *Memory) LoadByte(a mem.Addr) uint32 {
+	w := m.LoadWord(a &^ 3)
+	shift := (3 - (a & 3)) * 8
+	return (w >> shift) & 0xFF
+}
+
+// StoreByte writes the low byte of v at a, big-endian within words.
+func (m *Memory) StoreByte(a mem.Addr, v uint32) {
+	wa := a &^ 3
+	w := m.LoadWord(wa)
+	shift := (3 - (a & 3)) * 8
+	w = w&^(0xFF<<shift) | (v&0xFF)<<shift
+	m.StoreWord(wa, w)
+}
+
+// Clear drops all contents (partition reboot).
+func (m *Memory) Clear() {
+	m.pages = make(map[mem.Addr]*[pageWords]uint32)
+}
+
+// PagesAllocated returns how many distinct pages hold data (tests).
+func (m *Memory) PagesAllocated() int { return len(m.pages) }

@@ -1,0 +1,42 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyModel(t *testing.T) {
+	d := New(Config{Name: "sdram", AccessLatency: 20, PerWord: 2})
+	if got := d.Read(0, 4); got != 22 {
+		t.Errorf("1-word read=%d, want 22", got)
+	}
+	if got := d.Read(0, 32); got != 20+8*2 {
+		t.Errorf("8-word read=%d, want 36", got)
+	}
+	if got := d.Write(0, 16); got != 20+4*2 {
+		t.Errorf("4-word write=%d, want 28", got)
+	}
+	ctr := d.Counters()
+	if ctr.Reads != 2 || ctr.Writes != 1 || ctr.WordsRead != 9 || ctr.WordsWrite != 4 {
+		t.Errorf("counters=%+v", ctr)
+	}
+}
+
+func TestZeroSizeChargedAsOneWord(t *testing.T) {
+	d := New(Config{AccessLatency: 20, PerWord: 2})
+	if got := d.Read(0, 0); got != 22 {
+		t.Errorf("0-size read=%d, want 22", got)
+	}
+}
+
+// Property: latency is monotonic in transfer size.
+func TestMonotonicLatency(t *testing.T) {
+	d := New(Config{AccessLatency: 20, PerWord: 2})
+	f := func(a, b uint8) bool {
+		s1, s2 := int(a)+1, int(a)+1+int(b)
+		return d.Read(0, s1) <= d.Read(0, s2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

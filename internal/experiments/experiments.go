@@ -1,0 +1,536 @@
+// Package experiments is the campaign harness behind every table and
+// figure of the paper's evaluation (§VI), shared by cmd/dsrsim and the
+// repository benchmarks:
+//
+//	E1 / Table I  — performance-counter ranges, original vs DSR
+//	E2 / Fig. 2   — min/average/max execution time, original vs DSR
+//	E3 / Fig. 3   — the pWCET curve of the DSR binary
+//	E4            — the i.i.d. verification (Ljung-Box + KS p-values)
+//	E5            — pWCET vs the MOET+20% industrial margin
+//
+// plus the A1–A5 ablation campaigns (eager/lazy, offset bound, PRNG,
+// hardware randomisation, static randomisation).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dsr/internal/bus"
+	"dsr/internal/core"
+	"dsr/internal/layout"
+	"dsr/internal/loader"
+	"dsr/internal/mbpta"
+	"dsr/internal/platform"
+	"dsr/internal/prng"
+	"dsr/internal/prog"
+	"dsr/internal/rvs"
+	"dsr/internal/spaceapp"
+	"dsr/internal/stats"
+)
+
+// Config dimensions a measurement campaign.
+type Config struct {
+	// Runs is the number of measurement runs per configuration; the
+	// paper's campaigns use on the order of 1000.
+	Runs int
+	// SeedBase seeds the per-run layout randomisation (DSR reboots,
+	// static builds, hardware cache reseeds).
+	SeedBase uint64
+	// InputSeedBase seeds the per-run input vectors; baseline and
+	// randomised campaigns share it so runs are pairwise comparable.
+	InputSeedBase uint64
+	// MBPTA is the analysis configuration (E3/E4/E5).
+	MBPTA mbpta.Options
+	// Margin is the industrial engineering margin (E5; paper: 20%).
+	Margin float64
+}
+
+// DefaultConfig returns the paper-scale campaign configuration.
+func DefaultConfig() Config {
+	return Config{
+		Runs:          1000,
+		SeedBase:      1,
+		InputSeedBase: 9000,
+		MBPTA:         mbpta.DefaultOptions(),
+		Margin:        0.20,
+	}
+}
+
+// Series is one campaign: every run's result under one configuration.
+type Series struct {
+	Name    string
+	Cycles  []float64
+	Results []platform.RunResult
+}
+
+// MinMeanMax summarises the execution times (Fig. 2's three bars).
+func (s *Series) MinMeanMax() (min, mean, max float64) {
+	return stats.Min(s.Cycles), stats.Mean(s.Cycles), stats.Max(s.Cycles)
+}
+
+// verify checks a run against the golden model; layout randomisation
+// must never change functional results.
+func verify(res platform.RunResult, in *spaceapp.ControlInput) error {
+	if want := spaceapp.ControlReference(in); res.ExitValue != want {
+		return fmt.Errorf("experiments: functional mismatch: got %#x, golden %#x", res.ExitValue, want)
+	}
+	return nil
+}
+
+// uoaCycles extracts the unit-of-analysis duration from the run's
+// instrumentation trace (ipoints 1→2, §V); it falls back to the whole
+// run when the trace is absent.
+func uoaCycles(res platform.RunResult) float64 {
+	if ds := rvs.Durations(res.Trace, 1, 2); len(ds) > 0 {
+		return float64(ds[0])
+	}
+	return float64(res.Cycles)
+}
+
+// RunBaseline measures the original (non-randomised) binary: one fixed
+// sequential layout, fresh input per run, cache flush and memory reload
+// between runs — the paper's COTS configuration.
+func RunBaseline(cfg Config) (*Series, error) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		return nil, err
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		return nil, err
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	plat.LoadImage(img)
+	s := &Series{Name: "No Rand"}
+	for i := 0; i < cfg.Runs; i++ {
+		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+		plat.Reload()
+		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+			return nil, err
+		}
+		res, err := plat.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := verify(res, in); err != nil {
+			return nil, err
+		}
+		s.Cycles = append(s.Cycles, uoaCycles(res))
+		s.Results = append(s.Results, res)
+	}
+	return s, nil
+}
+
+// dsrSeries is the common DSR campaign loop.
+func dsrSeries(cfg Config, name string, opts core.Options) (*Series, error) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		return nil, err
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	rt, err := core.NewRuntime(p, plat, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{Name: name}
+	for i := 0; i < cfg.Runs; i++ {
+		if _, err := rt.Reboot(cfg.SeedBase + uint64(i)); err != nil {
+			return nil, err
+		}
+		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+		if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
+			return nil, err
+		}
+		res, err := rt.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := verify(res, in); err != nil {
+			return nil, err
+		}
+		s.Cycles = append(s.Cycles, uoaCycles(res))
+		s.Results = append(s.Results, res)
+	}
+	return s, nil
+}
+
+// RunDSR measures the dynamically software-randomised binary: partition
+// reboot with a fresh seed before every run (§IV).
+func RunDSR(cfg Config) (*Series, error) {
+	return dsrSeries(cfg, "Sw Rand", core.Options{})
+}
+
+// RunDSRLazy is the A1 ablation: lazy relocation inside the measured
+// window.
+func RunDSRLazy(cfg Config) (*Series, error) {
+	return dsrSeries(cfg, "Sw Rand (lazy)", core.Options{Mode: core.Lazy})
+}
+
+// RunDSRWithOffsetBound is the A2 ablation: DSR with a caller-chosen
+// placement offset bound (e.g. the L1 way size instead of the L2's).
+func RunDSRWithOffsetBound(cfg Config, bound int, name string) (*Series, error) {
+	return dsrSeries(cfg, name, core.Options{OffsetBound: bound})
+}
+
+// RunDSRWithPRNG is the A3 ablation: DSR drawing from a caller-chosen
+// generator (MWC vs LFSR).
+func RunDSRWithPRNG(cfg Config, src prng.Source, name string) (*Series, error) {
+	return dsrSeries(cfg, name, core.Options{Source: src})
+}
+
+// RunHWRand is the A4 ablation: the unmodified binary on hardware
+// time-randomised caches (random placement and replacement), reseeded
+// per run.
+func RunHWRand(cfg Config) (*Series, error) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		return nil, err
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		return nil, err
+	}
+	plat := platform.New(platform.HWRandLEON3())
+	plat.LoadImage(img)
+	s := &Series{Name: "Hw Rand"}
+	for i := 0; i < cfg.Runs; i++ {
+		plat.ReseedCaches(cfg.SeedBase + uint64(i))
+		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+		plat.Reload()
+		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+			return nil, err
+		}
+		res, err := plat.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := verify(res, in); err != nil {
+			return nil, err
+		}
+		s.Cycles = append(s.Cycles, uoaCycles(res))
+		s.Results = append(s.Results, res)
+	}
+	return s, nil
+}
+
+// RunStatic is the A5 ablation: static software randomisation — one
+// fresh randomised binary per run, zero runtime overhead (TASA-style).
+func RunStatic(cfg Config) (*Series, error) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{Name: "Static Rand"}
+	plat := platform.New(platform.ProximaLEON3())
+	for i := 0; i < cfg.Runs; i++ {
+		img, err := core.StaticBuild(p, loader.DefaultSequentialConfig(), plat.Cfg.L2.WaySize(), cfg.SeedBase+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		plat.LoadImage(img)
+		plat.Reload()
+		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+			return nil, err
+		}
+		res, err := plat.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := verify(res, in); err != nil {
+			return nil, err
+		}
+		s.Cycles = append(s.Cycles, uoaCycles(res))
+		s.Results = append(s.Results, res)
+	}
+	return s, nil
+}
+
+// counterRange formats a min-max counter span the way Table I does
+// ("126-127", or just "126" when constant).
+func counterRange(vals []uint64) string {
+	min, max := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min == max {
+		return fmt.Sprintf("%d", min)
+	}
+	return fmt.Sprintf("%d-%d", min, max)
+}
+
+// Table1Row is one line of Table I.
+type Table1Row struct {
+	Config string
+	ICMiss string
+	DCMiss string
+	L2Miss string
+	FPU    string
+	Instr  string
+	// L2MissRatio is the §VI derived metric (min-max).
+	L2MissRatio string
+}
+
+// Table1 builds the performance-counter comparison of Table I.
+func Table1(series ...*Series) []Table1Row {
+	rows := make([]Table1Row, 0, len(series))
+	for _, s := range series {
+		n := len(s.Results)
+		ic := make([]uint64, n)
+		dc := make([]uint64, n)
+		l2 := make([]uint64, n)
+		fpu := make([]uint64, n)
+		instr := make([]uint64, n)
+		ratios := make([]float64, n)
+		for i, r := range s.Results {
+			ic[i], dc[i], l2[i] = r.PMCs.ICMiss, r.PMCs.DCMiss, r.PMCs.L2Miss
+			fpu[i], instr[i] = r.PMCs.FPU, r.PMCs.Instr
+			ratios[i] = r.PMCs.L2MissRatio()
+		}
+		rows = append(rows, Table1Row{
+			Config: s.Name,
+			ICMiss: counterRange(ic),
+			DCMiss: counterRange(dc),
+			L2Miss: counterRange(l2),
+			FPU:    counterRange(fpu),
+			Instr:  counterRange(instr),
+			L2MissRatio: fmt.Sprintf("%.1f%%-%.1f%%",
+				stats.Min(ratios)*100, stats.Max(ratios)*100),
+		})
+	}
+	return rows
+}
+
+// FormatTable1 renders Table I as text.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I: PERFORMANCE COUNTER READINGS FOR THE CONTROL TASK\n")
+	fmt.Fprintf(&b, "%-16s %-12s %-12s %-12s %-10s %-16s %s\n",
+		"", "icmiss", "dcmiss", "L2miss", "FPU", "Instr", "L2 miss ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-12s %-12s %-12s %-10s %-16s %s\n",
+			r.Config, r.ICMiss, r.DCMiss, r.L2Miss, r.FPU, r.Instr, r.L2MissRatio)
+	}
+	return b.String()
+}
+
+// Fig2Bar is one configuration of Fig. 2.
+type Fig2Bar struct {
+	Config string
+	Min    float64
+	Mean   float64
+	Max    float64
+}
+
+// Figure2 builds the min/average/max comparison of Fig. 2.
+func Figure2(series ...*Series) []Fig2Bar {
+	bars := make([]Fig2Bar, 0, len(series))
+	for _, s := range series {
+		min, mean, max := s.MinMeanMax()
+		bars = append(bars, Fig2Bar{Config: s.Name, Min: min, Mean: mean, Max: max})
+	}
+	return bars
+}
+
+// FormatFigure2 renders Fig. 2 as text with proportional bars.
+func FormatFigure2(bars []Fig2Bar) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIG. 2: AVERAGE PERFORMANCE COMPARISON (execution time, cycles)\n")
+	var scale float64
+	for _, bar := range bars {
+		if bar.Max > scale {
+			scale = bar.Max
+		}
+	}
+	for _, bar := range bars {
+		fmt.Fprintf(&b, "%-16s min=%-10.0f avg=%-10.0f max=%-10.0f |%s\n",
+			bar.Config, bar.Min, bar.Mean, bar.Max,
+			strings.Repeat("#", int(bar.Mean/scale*40))+
+				strings.Repeat(".", int((bar.Max-bar.Mean)/scale*40)))
+	}
+	return b.String()
+}
+
+// Figure3 runs MBPTA on a series and returns the report that backs the
+// pWCET curve of Fig. 3.
+func Figure3(s *Series, opts mbpta.Options) (*mbpta.Report, error) {
+	return mbpta.Analyse(s.Cycles, opts)
+}
+
+// RenderFigure3 renders the Fig. 3 plot for a series.
+func RenderFigure3(s *Series, rep *mbpta.Report) string {
+	return rvs.RenderCurve(rep, s.Cycles, 72, 18)
+}
+
+// FormatIID renders the E4 i.i.d. verification summary.
+func FormatIID(rep mbpta.IIDReport) string {
+	verdict := "REJECTED — EVT not applicable"
+	if rep.Pass() {
+		verdict = "PASSED — EVT applicable"
+	}
+	return fmt.Sprintf(
+		"i.i.d. verification (alpha=%.2f):\n"+
+			"  Ljung-Box (independence):        Q=%.2f  p=%.4f\n"+
+			"  Kolmogorov-Smirnov (identical):  D=%.4f p=%.4f\n"+
+			"  verdict: %s\n",
+		rep.Alpha, rep.LjungBox.Statistic, rep.LjungBox.PValue,
+		rep.KS.Statistic, rep.KS.PValue, verdict)
+}
+
+// FormatMargin renders the E5 comparison against industrial practice.
+func FormatMargin(mc mbpta.MarginComparison, dsrMOET float64) string {
+	return fmt.Sprintf(
+		"pWCET vs industrial practice:\n"+
+			"  non-randomised MOET:             %.0f cycles\n"+
+			"  MOET + %.0f%% engineering margin:  %.0f cycles\n"+
+			"  DSR MOET:                        %.0f cycles\n"+
+			"  MBPTA pWCET @ 1e-15:             %.0f cycles (+%.2f%% over DSR MOET)\n"+
+			"  pWCET is %.1f%% tighter than the margin budget\n",
+		mc.MOETRef, mc.Margin*100, mc.Budget, dsrMOET,
+		mc.PWCET, mc.OverMOET*100, mc.Gain*100)
+}
+
+// RunDSRWithContention is the future-work experiment of §VII (ii): DSR
+// under multicore bus interference. With a random (time-randomisable)
+// arbiter model the interference is one more i.i.d. jitter source, so
+// MBPTA still applies and the pWCET absorbs the contention; with the
+// worst-case model every transaction is padded, giving the conventional
+// deterministic upper-bounding treatment for comparison.
+func RunDSRWithContention(cfg Config, cont bus.Contention, name string) (*Series, error) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		return nil, err
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	plat.Bus.SetContention(cont)
+	rt, err := core.NewRuntime(p, plat, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{Name: name}
+	for i := 0; i < cfg.Runs; i++ {
+		if _, err := rt.Reboot(cfg.SeedBase + uint64(i)); err != nil {
+			return nil, err
+		}
+		plat.Bus.ReseedContention(cfg.SeedBase + uint64(i)*31 + 7)
+		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+		if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
+			return nil, err
+		}
+		res, err := rt.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := verify(res, in); err != nil {
+			return nil, err
+		}
+		s.Cycles = append(s.Cycles, uoaCycles(res))
+		s.Results = append(s.Results, res)
+	}
+	return s, nil
+}
+
+// RunProcessing measures the image-processing task under DSR with scenes
+// drawn at the given lit-lens fraction. It supports the future-work
+// study of §VII (i): the task's execution path depends on how many
+// lenses are lightened (the high-level jitter source), and MBPTA bounds
+// only the paths exercised — measurements at the worst path (all lenses
+// lit, litFrac=1) upper-bound the path dimension the way EPC
+// (Ziccardi et al., RTSS'15) would.
+func RunProcessing(cfg Config, litFrac float64, name string) (*Series, error) {
+	p, err := spaceapp.BuildProcessing()
+	if err != nil {
+		return nil, err
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	rt, err := core.NewRuntime(p, plat, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Series{Name: name}
+	for i := 0; i < cfg.Runs; i++ {
+		if _, err := rt.Reboot(cfg.SeedBase + uint64(i)); err != nil {
+			return nil, err
+		}
+		scene := spaceapp.GenScene(cfg.InputSeedBase+uint64(i), litFrac)
+		if err := spaceapp.ApplyScene(plat.Mem, rt.Image(), scene); err != nil {
+			return nil, err
+		}
+		res, err := rt.Run()
+		if err != nil {
+			return nil, err
+		}
+		if want := spaceapp.ProcessingReference(scene).RMSBits; res.ExitValue != want {
+			return nil, fmt.Errorf("experiments: processing mismatch: %#x vs %#x", res.ExitValue, want)
+		}
+		s.Cycles = append(s.Cycles, uoaCycles(res))
+		s.Results = append(s.Results, res)
+	}
+	return s, nil
+}
+
+// ControlLayoutWeights returns the interaction weights of the control
+// task for cache-aware positioning: the static call graph plus the data
+// pairs that are hot across the EDAC-scrub pass (the conflicts behind
+// the baseline's bad layout).
+func ControlLayoutWeights(p *prog.Program) layout.Weights {
+	w := layout.StaticCallWeights(p)
+	// The corrector pass re-reads the influence matrix and filter state
+	// right after the scrub streams the whole window through the caches.
+	w.Add(spaceapp.SymInfluence, spaceapp.SymScrub, 10)
+	w.Add(spaceapp.SymFilterState, spaceapp.SymScrub, 5)
+	w.Add(spaceapp.SymOutF, spaceapp.SymScrub, 3)
+	// The CRC stages alternate between the frame, the ring and the table.
+	w.Add(spaceapp.SymCRCTable, spaceapp.SymTelemetry, 3)
+	w.Add(spaceapp.SymCRCTable, spaceapp.SymHistory, 3)
+	w.Add(spaceapp.SymTelemetry, spaceapp.SymHistory, 2)
+	return w
+}
+
+// RunPositioned is the A7 ablation: the cache-aware procedure/data
+// positioning of Mezzetti & Vardanega (RTAS'13, the paper's reference
+// [12]) — one deterministic layout engineered to avoid the weighted
+// conflicts, instead of randomising over all layouts. It typically beats
+// DSR's average (no overhead, no bad layouts) but, like any single
+// layout, offers no representativeness argument and must be re-derived
+// at every integration.
+func RunPositioned(cfg Config) (*Series, error) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		return nil, err
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	pl, err := layout.Optimize(p, plat.Cfg.L2, ControlLayoutWeights(p), loader.DefaultSequentialConfig())
+	if err != nil {
+		return nil, err
+	}
+	img, err := loader.BuildImage(p, pl)
+	if err != nil {
+		return nil, err
+	}
+	plat.LoadImage(img)
+	s := &Series{Name: "Positioned"}
+	for i := 0; i < cfg.Runs; i++ {
+		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+		plat.Reload()
+		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+			return nil, err
+		}
+		res, err := plat.Run()
+		if err != nil {
+			return nil, err
+		}
+		if err := verify(res, in); err != nil {
+			return nil, err
+		}
+		s.Cycles = append(s.Cycles, uoaCycles(res))
+		s.Results = append(s.Results, res)
+	}
+	return s, nil
+}

@@ -1,0 +1,280 @@
+// Package layout provides static cache-layout analysis and the
+// cache-aware positioning optimisation the paper cites as the
+// deterministic alternative to randomisation (Mezzetti & Vardanega,
+// "A rapid cache-aware procedure positioning optimization to favor
+// incremental development", RTAS 2013 — reference [12], discussed in
+// §II for incremental integration).
+//
+// Two facilities:
+//
+//   - Conflicts computes, for a concrete placement, which pairs of
+//     memory objects alias in a given cache's sets — the diagnostic that
+//     explains a "bad and rare cache layout" like the one the paper's
+//     COTS binary suffered; and
+//
+//   - Optimize produces a placement that greedily pads objects apart so
+//     that high-weight pairs (callers/callees, producer/consumer data)
+//     do not alias — one fixed good layout, the opposite philosophy to
+//     DSR's "make all layouts equally likely".
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"dsr/internal/cache"
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+)
+
+// setSpan returns the half-open interval(s) of set indices covered by
+// [base, base+size) in cfg, as a bitset over the cache's sets.
+func setBits(base, size mem.Addr, cfg cache.Config) []uint64 {
+	sets := cfg.Sets()
+	bits := make([]uint64, (sets+63)/64)
+	if size == 0 {
+		return bits
+	}
+	first := base / mem.Addr(cfg.LineSize)
+	last := (base + size - 1) / mem.Addr(cfg.LineSize)
+	if last-first >= mem.Addr(sets) {
+		for i := range bits {
+			bits[i] = ^uint64(0)
+		}
+		trimBits(bits, sets)
+		return bits
+	}
+	for la := first; la <= last; la++ {
+		s := int(la % mem.Addr(sets))
+		bits[s/64] |= 1 << (s % 64)
+	}
+	return bits
+}
+
+func trimBits(bits []uint64, sets int) {
+	if rem := sets % 64; rem != 0 {
+		bits[len(bits)-1] &= (1 << rem) - 1
+	}
+}
+
+func popcount(bits []uint64) int {
+	n := 0
+	for _, w := range bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func overlap(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		w := a[i] & b[i]
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Object is one placed memory object for analysis.
+type Object struct {
+	Name string
+	Base mem.Addr
+	Size mem.Addr
+}
+
+// Conflict reports the set aliasing between two objects.
+type Conflict struct {
+	A, B string
+	// SharedSets is the number of cache sets both objects map to.
+	SharedSets int
+	// FracA / FracB are the fraction of each object's sets that alias.
+	FracA, FracB float64
+}
+
+// Conflicts computes all pairwise set conflicts of at least minShared
+// sets under cfg, sorted by shared sets descending. For a direct-mapped
+// cache these are exactly the pairs that can evict each other.
+func Conflicts(objs []Object, cfg cache.Config, minShared int) []Conflict {
+	type withBits struct {
+		Object
+		bits []uint64
+		sets int
+	}
+	items := make([]withBits, 0, len(objs))
+	for _, o := range objs {
+		b := setBits(o.Base, o.Size, cfg)
+		items = append(items, withBits{Object: o, bits: b, sets: popcount(b)})
+	}
+	var out []Conflict
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			s := overlap(items[i].bits, items[j].bits)
+			if s < minShared || s == 0 {
+				continue
+			}
+			c := Conflict{A: items[i].Name, B: items[j].Name, SharedSets: s}
+			if items[i].sets > 0 {
+				c.FracA = float64(s) / float64(items[i].sets)
+			}
+			if items[j].sets > 0 {
+				c.FracB = float64(s) / float64(items[j].sets)
+			}
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SharedSets != out[j].SharedSets {
+			return out[i].SharedSets > out[j].SharedSets
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// FromPlacement assembles analysis objects from a placement and the
+// program that defines the sizes.
+func FromPlacement(p *prog.Program, pl loader.Placement) []Object {
+	var out []Object
+	for _, f := range p.Functions {
+		if base, ok := pl[f.Name]; ok {
+			out = append(out, Object{Name: f.Name, Base: base, Size: f.SizeBytes()})
+		}
+	}
+	for _, d := range p.Data {
+		if base, ok := pl[d.Name]; ok {
+			out = append(out, Object{Name: d.Name, Base: base, Size: d.Size})
+		}
+	}
+	return out
+}
+
+// Weights assigns an interaction weight to unordered object pairs: how
+// costly it is for the pair to alias. StaticCallWeights derives code
+// weights from the call graph; callers add data-pair weights from
+// domain knowledge or profiling.
+type Weights map[[2]string]float64
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Add accumulates weight onto a pair.
+func (w Weights) Add(a, b string, v float64) { w[pairKey(a, b)] += v }
+
+// Get returns a pair's weight.
+func (w Weights) Get(a, b string) float64 { return w[pairKey(a, b)] }
+
+// StaticCallWeights weights each caller/callee pair by its number of
+// static call sites: functions that call each other alternate in the
+// instruction stream, so aliasing them is expensive.
+func StaticCallWeights(p *prog.Program) Weights {
+	w := Weights{}
+	for _, f := range p.Functions {
+		for i := range f.Code {
+			if f.Code[i].Op == isa.Call {
+				w.Add(f.Name, f.Code[i].Sym, 1)
+			}
+		}
+	}
+	return w
+}
+
+// Optimize produces a cache-aware sequential placement: objects are laid
+// out in definition order, but before each placement the offset is
+// advanced (up to one way size, in line-size steps) to the position that
+// minimises the weighted set overlap with everything already placed.
+// The result is one deterministic layout engineered to avoid the
+// conflicts randomisation would merely make improbable.
+func Optimize(p *prog.Program, ccfg cache.Config, w Weights, cfg loader.SequentialConfig) (loader.Placement, error) {
+	if err := ccfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FuncAlign == 0 {
+		cfg.FuncAlign = isa.InstrBytes
+	}
+	pl := loader.Placement{}
+	type placed struct {
+		name string
+		bits []uint64
+	}
+	var done []placed
+
+	cost := func(name string, base, size mem.Addr) float64 {
+		bits := setBits(base, size, ccfg)
+		var c float64
+		for _, q := range done {
+			if weight := w.Get(name, q.name); weight > 0 {
+				c += weight * float64(overlap(bits, q.bits))
+			}
+		}
+		return c
+	}
+
+	place := func(space *mem.Space, name string, size, align mem.Addr) error {
+		if align == 0 {
+			align = mem.DoubleWord
+		}
+		base := mem.Align(space.Base()+space.Used(), align)
+		bestBase, bestCost := base, cost(name, base, size)
+		step := mem.Addr(ccfg.LineSize)
+		if step < align {
+			step = align
+		}
+		for off := step; off < mem.Addr(ccfg.WaySize()) && bestCost > 0; off += step {
+			cand := mem.Align(base+off, align)
+			if c := cost(name, cand, size); c < bestCost {
+				bestBase, bestCost = cand, c
+			}
+		}
+		obj := &mem.Object{Name: name, Size: size, Align: align}
+		if err := space.PlaceAt(obj, bestBase); err != nil {
+			return err
+		}
+		pl[name] = bestBase
+		done = append(done, placed{name: name, bits: setBits(bestBase, size, ccfg)})
+		return nil
+	}
+
+	code := mem.NewSpace(cfg.CodeBase, cfg.CodeSize)
+	for _, f := range p.Functions {
+		if err := place(code, f.Name, f.SizeBytes(), cfg.FuncAlign); err != nil {
+			return nil, fmt.Errorf("layout: %w", err)
+		}
+	}
+	data := mem.NewSpace(cfg.DataBase, cfg.DataSize)
+	for _, d := range p.Data {
+		if err := place(data, d.Name, d.Size, d.Align); err != nil {
+			return nil, fmt.Errorf("layout: %w", err)
+		}
+	}
+	return pl, nil
+}
+
+// TotalWeightedOverlap scores a placement under the weights: the
+// objective Optimize minimises, exposed so layouts can be compared.
+func TotalWeightedOverlap(objs []Object, ccfg cache.Config, w Weights) float64 {
+	bits := make(map[string][]uint64, len(objs))
+	for _, o := range objs {
+		bits[o.Name] = setBits(o.Base, o.Size, ccfg)
+	}
+	var total float64
+	for i := 0; i < len(objs); i++ {
+		for j := i + 1; j < len(objs); j++ {
+			if weight := w.Get(objs[i].Name, objs[j].Name); weight > 0 {
+				total += weight * float64(overlap(bits[objs[i].Name], bits[objs[j].Name]))
+			}
+		}
+	}
+	return total
+}

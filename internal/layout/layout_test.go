@@ -1,0 +1,230 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsr/internal/cache"
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+)
+
+func l2cfg() cache.Config {
+	return cache.Config{
+		Name: "L2", Size: 32 * 1024, LineSize: 32, Ways: 1,
+		Write: cache.WriteBackAllocate,
+	}
+}
+
+func TestConflictsDetectsAliasing(t *testing.T) {
+	cfg := l2cfg()
+	objs := []Object{
+		{Name: "a", Base: 0x0000, Size: 1024},
+		{Name: "b", Base: 0x8000, Size: 1024}, // 32KB apart: full alias with a
+		{Name: "c", Base: 0x1000, Size: 1024}, // disjoint sets
+		{Name: "d", Base: 0x8200, Size: 512},  // aliases the middle of a
+	}
+	cs := Conflicts(objs, cfg, 1)
+	if len(cs) == 0 {
+		t.Fatal("no conflicts found")
+	}
+	top := cs[0]
+	if top.A != "a" || top.B != "b" || top.SharedSets != 32 {
+		t.Errorf("top conflict=%+v, want a/b with 32 sets", top)
+	}
+	if top.FracA != 1 || top.FracB != 1 {
+		t.Errorf("full alias fractions=%f/%f", top.FracA, top.FracB)
+	}
+	// a/d partial alias: d covers 16 sets inside a.
+	found := false
+	for _, c := range cs {
+		if c.A == "a" && c.B == "d" {
+			found = true
+			if c.SharedSets != 16 {
+				t.Errorf("a/d shared=%d, want 16", c.SharedSets)
+			}
+		}
+		if (c.A == "a" && c.B == "c") || (c.A == "c" && c.B == "b") {
+			t.Errorf("spurious conflict %+v", c)
+		}
+	}
+	if !found {
+		t.Error("a/d conflict missed")
+	}
+}
+
+func TestConflictsHugeObjectCoversAllSets(t *testing.T) {
+	cfg := l2cfg()
+	objs := []Object{
+		{Name: "scrub", Base: 0x10000, Size: 64 * 1024}, // 2x the cache
+		{Name: "x", Base: 0x0000, Size: 64},
+	}
+	cs := Conflicts(objs, cfg, 1)
+	if len(cs) != 1 || cs[0].FracB != 1 {
+		t.Fatalf("cache-sized object must alias everything: %+v", cs)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	w := Weights{}
+	w.Add("b", "a", 2)
+	w.Add("a", "b", 3)
+	if w.Get("a", "b") != 5 || w.Get("b", "a") != 5 {
+		t.Error("weights not symmetric/accumulating")
+	}
+	if w.Get("a", "c") != 0 {
+		t.Error("phantom weight")
+	}
+}
+
+func testProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	p := &prog.Program{Name: "t", Entry: "main"}
+	callee := prog.NewFunc("callee", prog.MinFrame).Prologue().Epilogue().MustBuild()
+	main := prog.NewFunc("main", prog.MinFrame).
+		Prologue().Call("callee").Call("callee").Halt().MustBuild()
+	for _, f := range []*prog.Function{main, callee} {
+		if err := p.AddFunction(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two data objects that would alias under naive placement: a big one
+	// covering many sets and a small hot one.
+	if err := p.AddData(&prog.DataObject{Name: "big", Size: 32 * 1024, Align: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddData(&prog.DataObject{Name: "hot", Size: 1024, Align: 8}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStaticCallWeights(t *testing.T) {
+	w := StaticCallWeights(testProgram(t))
+	if w.Get("main", "callee") != 2 {
+		t.Errorf("call weight=%f, want 2", w.Get("main", "callee"))
+	}
+}
+
+func TestOptimizeReducesWeightedOverlap(t *testing.T) {
+	p := testProgram(t)
+	ccfg := l2cfg()
+	w := StaticCallWeights(p)
+	w.Add("big", "hot", 10)
+
+	seqCfg := loader.DefaultSequentialConfig()
+	seq, err := loader.LayoutSequential(p, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := TotalWeightedOverlap(FromPlacement(p, seq.Placement), ccfg, w)
+
+	opt, err := Optimize(p, ccfg, w, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimised := TotalWeightedOverlap(FromPlacement(p, opt), ccfg, w)
+	// "big" covers the whole cache, so "hot" must alias somewhere; the
+	// optimiser cannot do better than hot's own set count, but must not
+	// do worse than naive.
+	if optimised > naive {
+		t.Errorf("optimiser made it worse: %f > %f", optimised, naive)
+	}
+
+	// The optimised placement must still load and run.
+	img, err := loader.BuildImage(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry == 0 {
+		t.Error("no entry")
+	}
+}
+
+func TestOptimizeSeparatesAliasingPair(t *testing.T) {
+	// Two same-size objects exactly one cache apart under naive layout.
+	p := &prog.Program{Name: "t", Entry: "main"}
+	main := prog.NewFunc("main", prog.MinFrame).Prologue().Halt().MustBuild()
+	if err := p.AddFunction(main); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddData(&prog.DataObject{Name: "a", Size: 1024, Align: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Pad object pushes "b" exactly one cache size past "a".
+	if err := p.AddData(&prog.DataObject{Name: "pad", Size: 31 * 1024, Align: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddData(&prog.DataObject{Name: "b", Size: 1024, Align: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ccfg := l2cfg()
+	w := Weights{}
+	w.Add("a", "b", 1)
+
+	seqCfg := loader.DefaultSequentialConfig()
+	seq, err := loader.LayoutSequential(p, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := TotalWeightedOverlap(FromPlacement(p, seq.Placement), ccfg, w)
+	if naive == 0 {
+		t.Fatal("test setup: naive layout should alias a and b")
+	}
+	opt, err := Optimize(p, ccfg, w, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalWeightedOverlap(FromPlacement(p, opt), ccfg, w); got != 0 {
+		t.Errorf("optimiser left %f weighted overlap, want 0", got)
+	}
+}
+
+// Property: Optimize never overlaps objects in memory and preserves
+// word alignment of functions.
+func TestOptimizePlacementValidProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		p := &prog.Program{Name: "t", Entry: "main"}
+		main := prog.NewFunc("main", prog.MinFrame).Prologue().Halt().MustBuild()
+		if err := p.AddFunction(main); err != nil {
+			return false
+		}
+		for i, sz := range sizes {
+			if i >= 12 {
+				break
+			}
+			d := &prog.DataObject{
+				Name: string(rune('a'+i)) + "obj", Size: mem.Addr(sz%4096) + 8, Align: 8,
+			}
+			if err := p.AddData(d); err != nil {
+				return false
+			}
+		}
+		w := Weights{}
+		for i := 0; i+1 < len(p.Data); i++ {
+			w.Add(p.Data[i].Name, p.Data[i+1].Name, float64(i+1))
+		}
+		pl, err := Optimize(p, l2cfg(), w, loader.DefaultSequentialConfig())
+		if err != nil {
+			return false
+		}
+		objs := FromPlacement(p, pl)
+		for i := 0; i < len(objs); i++ {
+			if !mem.IsAligned(objs[i].Base, isa.InstrBytes) {
+				return false
+			}
+			for j := i + 1; j < len(objs); j++ {
+				a, b := objs[i], objs[j]
+				if a.Base < b.Base+b.Size && b.Base < a.Base+a.Size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+
+	"dsr/internal/isa"
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+)
+
+func testProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	helper := prog.NewLeaf("helper").
+		Set(isa.O1, "table").
+		Ld(isa.O0, isa.O1, 0).
+		RetLeaf().
+		MustBuild()
+	main := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		Call("helper").
+		Halt().
+		MustBuild()
+	p := &prog.Program{Name: "t", Entry: "main"}
+	for _, f := range []*prog.Function{main, helper} {
+		if err := p.AddFunction(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddData(&prog.DataObject{Name: "table", Size: 16, Init: []uint32{7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSequentialLayoutOrder(t *testing.T) {
+	p := testProgram(t)
+	cfg := DefaultSequentialConfig()
+	l, err := LayoutSequential(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Placement["main"] != cfg.CodeBase {
+		t.Errorf("main at %#x, want %#x", l.Placement["main"], cfg.CodeBase)
+	}
+	mainEnd := cfg.CodeBase + p.Function("main").SizeBytes()
+	if l.Placement["helper"] != mem.Align(mainEnd, cfg.FuncAlign) {
+		t.Errorf("helper at %#x, want %#x", l.Placement["helper"], mem.Align(mainEnd, cfg.FuncAlign))
+	}
+	if l.Placement["table"] != cfg.DataBase {
+		t.Errorf("table at %#x, want %#x", l.Placement["table"], cfg.DataBase)
+	}
+}
+
+func TestLoadPatchesSymbols(t *testing.T) {
+	p := testProgram(t)
+	img, err := Load(p, DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != img.Symbols["main"] {
+		t.Error("entry not resolved to main")
+	}
+	// helper's Set must carry table's address; main's Call helper's.
+	var helper, main *PlacedFunc
+	for _, pf := range img.Funcs {
+		switch pf.Fn.Name {
+		case "helper":
+			helper = pf
+		case "main":
+			main = pf
+		}
+	}
+	if got := mem.Addr(helper.Code[0].Imm); got != img.Symbols["table"] {
+		t.Errorf("set patched to %#x, want %#x", got, img.Symbols["table"])
+	}
+	if got := mem.Addr(main.Code[1].Imm); got != img.Symbols["helper"] {
+		t.Errorf("call patched to %#x, want %#x", got, img.Symbols["helper"])
+	}
+	// Patch must not leak into the original program.
+	if p.Function("helper").Code[0].Imm != 0 {
+		t.Error("BuildImage mutated the source program")
+	}
+}
+
+func TestInitWrites(t *testing.T) {
+	p := testProgram(t)
+	img, err := Load(p, DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := img.Symbols["table"]
+	want := []InitWrite{{base, 7}, {base + 4, 8}}
+	if len(img.Inits) != 2 || img.Inits[0] != want[0] || img.Inits[1] != want[1] {
+		t.Errorf("inits=%v, want %v", img.Inits, want)
+	}
+}
+
+func TestInstrAndFuncLookup(t *testing.T) {
+	p := testProgram(t)
+	img, err := Load(p, DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainBase := img.Symbols["main"]
+	if pf := img.FuncAt(mainBase); pf == nil || pf.Fn.Name != "main" {
+		t.Fatal("FuncAt(main base) failed")
+	}
+	if pf := img.FuncAt(mainBase + 4); pf == nil || pf.Fn.Name != "main" {
+		t.Fatal("FuncAt(main+4) failed")
+	}
+	if in := img.InstrAt(mainBase); in == nil || in.Op != isa.Save {
+		t.Fatalf("InstrAt(main base)=%v", in)
+	}
+	if in := img.InstrAt(mainBase + 2); in != nil {
+		t.Error("misaligned pc should return nil")
+	}
+	if in := img.InstrAt(0x1000); in != nil {
+		t.Error("pc outside any function should return nil")
+	}
+	// Gap between functions (alignment padding) must not resolve.
+	mainEnd := mainBase + p.Function("main").SizeBytes()
+	helperBase := img.Symbols["helper"]
+	if mainEnd != helperBase {
+		if pf := img.FuncAt(mainEnd); pf != nil {
+			t.Error("padding gap resolved to a function")
+		}
+	}
+}
+
+func TestBuildImageErrors(t *testing.T) {
+	p := testProgram(t)
+	l, err := LayoutSequential(p, DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("missing function placement", func(t *testing.T) {
+		pl := Placement{}
+		for k, v := range l.Placement {
+			pl[k] = v
+		}
+		delete(pl, "helper")
+		if _, err := BuildImage(p, pl); err == nil || !strings.Contains(err.Error(), "helper") {
+			t.Errorf("err=%v", err)
+		}
+	})
+	t.Run("missing data placement", func(t *testing.T) {
+		pl := Placement{}
+		for k, v := range l.Placement {
+			pl[k] = v
+		}
+		delete(pl, "table")
+		if _, err := BuildImage(p, pl); err == nil {
+			t.Error("missing data placement accepted")
+		}
+	})
+	t.Run("misaligned function", func(t *testing.T) {
+		pl := Placement{}
+		for k, v := range l.Placement {
+			pl[k] = v
+		}
+		pl["helper"] = pl["helper"] + 2
+		if _, err := BuildImage(p, pl); err == nil {
+			t.Error("misaligned function accepted")
+		}
+	})
+	t.Run("overlapping functions", func(t *testing.T) {
+		pl := Placement{}
+		for k, v := range l.Placement {
+			pl[k] = v
+		}
+		pl["helper"] = pl["main"] + 4
+		if _, err := BuildImage(p, pl); err == nil {
+			t.Error("overlapping functions accepted")
+		}
+	})
+}
+
+func TestLoadRejectsInvalidProgram(t *testing.T) {
+	p := &prog.Program{Name: "bad", Entry: "ghost"}
+	if _, err := Load(p, DefaultSequentialConfig()); err == nil {
+		t.Error("invalid program loaded")
+	}
+}
+
+func TestCodeSpaceExhaustion(t *testing.T) {
+	p := testProgram(t)
+	cfg := DefaultSequentialConfig()
+	cfg.CodeSize = 4 // nothing fits
+	if _, err := Load(p, cfg); err == nil {
+		t.Error("exhausted code space accepted")
+	}
+}

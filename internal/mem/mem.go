@@ -1,0 +1,234 @@
+// Package mem provides the basic address arithmetic and memory-object
+// bookkeeping shared by the whole simulator: physical addresses, alignment
+// helpers, object descriptors (a named, sized, aligned region such as a
+// function body or a data table) and a simple address-space allocator used
+// by the deterministic loader and by the randomising runtime alike.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Addr is a physical byte address in the simulated machine.
+// The simulated LEON3 platform has a 32-bit physical address space, but we
+// carry addresses in 64 bits so that intermediate arithmetic cannot wrap.
+type Addr uint64
+
+// WordSize is the architectural word size in bytes (SPARC v8 is 32-bit).
+const WordSize = 4
+
+// DoubleWord is the stack alignment required by the SPARC v8 ABI; the
+// paper (§III.B.2) stresses that random stack offsets must be multiples
+// of 8 to keep the stack pointer double-word aligned.
+const DoubleWord = 8
+
+// PageSize is the MMU page size used by the TLB model.
+const PageSize = 4096
+
+// Align rounds a up to the next multiple of align. align must be a power
+// of two; Align panics otherwise because a misaligned allocator is a
+// programming error, not a runtime condition.
+func Align(a Addr, align Addr) Addr {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	return (a + align - 1) &^ (align - 1)
+}
+
+// IsAligned reports whether a is a multiple of align (power of two).
+func IsAligned(a Addr, align Addr) bool {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	return a&(align-1) == 0
+}
+
+// Page returns the page number containing a.
+func Page(a Addr) Addr { return a / PageSize }
+
+// PageOffset returns the offset of a within its page.
+func PageOffset(a Addr) Addr { return a % PageSize }
+
+// ObjectKind distinguishes the classes of memory object the randomiser
+// can move. The paper randomises functions (code) and stack frames; data
+// objects are placed through the randomised pool allocator as well.
+type ObjectKind int
+
+const (
+	// KindCode is a function body.
+	KindCode ObjectKind = iota
+	// KindData is a global data object (tables, buffers, constants).
+	KindData
+	// KindStack is a stack region.
+	KindStack
+	// KindMetadata is DSR runtime metadata (pointer tables, offset tables).
+	KindMetadata
+)
+
+func (k ObjectKind) String() string {
+	switch k {
+	case KindCode:
+		return "code"
+	case KindData:
+		return "data"
+	case KindStack:
+		return "stack"
+	case KindMetadata:
+		return "metadata"
+	default:
+		return fmt.Sprintf("ObjectKind(%d)", int(k))
+	}
+}
+
+// Object describes a placed memory object. Base is assigned by a loader
+// or by the DSR runtime; Size and Align are fixed at build time.
+type Object struct {
+	Name  string
+	Kind  ObjectKind
+	Size  Addr
+	Align Addr
+	Base  Addr
+}
+
+// End returns the first address past the object.
+func (o *Object) End() Addr { return o.Base + o.Size }
+
+// Contains reports whether a falls inside the object's placed range.
+func (o *Object) Contains(a Addr) bool { return a >= o.Base && a < o.End() }
+
+// Overlaps reports whether two placed objects share any byte.
+func (o *Object) Overlaps(p *Object) bool {
+	return o.Base < p.End() && p.Base < o.End()
+}
+
+func (o *Object) String() string {
+	return fmt.Sprintf("%s %q [%#x,%#x) size=%d", o.Kind, o.Name, o.Base, o.End(), o.Size)
+}
+
+// Space is a simple bump allocator over a contiguous address range,
+// used by the deterministic loader to lay out images sequentially and by
+// the pool allocator to carve page-diverse chunks.
+type Space struct {
+	base Addr
+	end  Addr
+	next Addr
+	objs []*Object
+}
+
+// NewSpace returns an allocator over [base, base+size).
+func NewSpace(base, size Addr) *Space {
+	return &Space{base: base, end: base + size, next: base}
+}
+
+// Base returns the first address of the space.
+func (s *Space) Base() Addr { return s.base }
+
+// End returns the first address past the space.
+func (s *Space) End() Addr { return s.end }
+
+// Used returns the number of bytes consumed so far, including padding.
+func (s *Space) Used() Addr { return s.next - s.base }
+
+// Remaining returns the bytes still available.
+func (s *Space) Remaining() Addr { return s.end - s.next }
+
+// Objects returns the objects placed so far, in placement order.
+func (s *Space) Objects() []*Object { return s.objs }
+
+// Place assigns the next suitably aligned address to obj and records it.
+// It returns an error if the space is exhausted.
+func (s *Space) Place(obj *Object) error {
+	align := obj.Align
+	if align == 0 {
+		align = WordSize
+	}
+	base := Align(s.next, align)
+	if base+obj.Size > s.end {
+		return fmt.Errorf("mem: space exhausted placing %q: need %d bytes at %#x, space ends at %#x",
+			obj.Name, obj.Size, base, s.end)
+	}
+	obj.Base = base
+	s.next = base + obj.Size
+	s.objs = append(s.objs, obj)
+	return nil
+}
+
+// PlaceAt assigns a caller-chosen base address to obj and records it.
+// The address must be suitably aligned, inside the space, and must not
+// overlap any previously placed object.
+func (s *Space) PlaceAt(obj *Object, base Addr) error {
+	align := obj.Align
+	if align == 0 {
+		align = WordSize
+	}
+	if !IsAligned(base, align) {
+		return fmt.Errorf("mem: %q requires %d-byte alignment, got %#x", obj.Name, align, base)
+	}
+	if base < s.base || base+obj.Size > s.end {
+		return fmt.Errorf("mem: %q at [%#x,%#x) outside space [%#x,%#x)",
+			obj.Name, base, base+obj.Size, s.base, s.end)
+	}
+	placed := *obj
+	placed.Base = base
+	for _, o := range s.objs {
+		if o.Overlaps(&placed) {
+			return fmt.Errorf("mem: %q at [%#x,%#x) overlaps %s", obj.Name, base, base+obj.Size, o)
+		}
+	}
+	obj.Base = base
+	s.objs = append(s.objs, obj)
+	if base+obj.Size > s.next {
+		s.next = base + obj.Size
+	}
+	return nil
+}
+
+// Reset forgets all placements, allowing the space to be reused for a
+// fresh layout (a new DSR run).
+func (s *Space) Reset() {
+	s.next = s.base
+	s.objs = s.objs[:0]
+}
+
+// FindByAddr returns the object containing a, or nil.
+func (s *Space) FindByAddr(a Addr) *Object {
+	for _, o := range s.objs {
+		if o.Contains(a) {
+			return o
+		}
+	}
+	return nil
+}
+
+// PagesTouched returns the sorted set of distinct page numbers covered by
+// the placed objects. The DSR pool allocator uses page diversity to
+// randomise TLB contents (§III.B.5).
+func (s *Space) PagesTouched() []Addr {
+	seen := map[Addr]bool{}
+	for _, o := range s.objs {
+		for p := Page(o.Base); p <= Page(o.End()-1); p++ {
+			seen[p] = true
+		}
+	}
+	pages := make([]Addr, 0, len(seen))
+	for p := range seen {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
+// Cycles counts processor clock cycles. All latency accounting in the
+// simulator is expressed in Cycles.
+type Cycles uint64
+
+// Backend is any component that can service a memory transaction and
+// report its latency: a cache level, the bus, or the DRAM controller.
+// Transactions never fail; the simulated machine has no faulting memory.
+type Backend interface {
+	// Read fetches size bytes at addr and returns the latency.
+	Read(addr Addr, size int) Cycles
+	// Write stores size bytes at addr and returns the latency.
+	Write(addr Addr, size int) Cycles
+}

@@ -1,0 +1,176 @@
+package platform
+
+import (
+	"testing"
+
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+)
+
+func spinProgram(t *testing.T, iters int32) *loader.Image {
+	t.Helper()
+	p := &prog.Program{Name: "spin", Entry: "main"}
+	b := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		MovI(isa.L0, 0).
+		Label("loop").
+		AddI(isa.L0, isa.L0, 1).
+		CmpI(isa.L0, iters).
+		Bl("loop").
+		Mov(isa.O0, isa.L0).
+		Halt()
+	if err := p.AddFunction(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestRunBudgetCompletes(t *testing.T) {
+	pl := New(ProximaLEON3())
+	pl.LoadImage(spinProgram(t, 100))
+	res, done, err := pl.RunBudget(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("program within budget reported incomplete")
+	}
+	if res.ExitValue != 100 {
+		t.Errorf("exit=%d", res.ExitValue)
+	}
+}
+
+func TestRunBudgetCutsOff(t *testing.T) {
+	pl := New(ProximaLEON3())
+	pl.LoadImage(spinProgram(t, 50_000_000))
+	const budget = 10_000
+	res, done, err := pl.RunBudget(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Error("endless program reported complete")
+	}
+	if res.Cycles < budget {
+		t.Errorf("cut at %d, before the %d budget", res.Cycles, budget)
+	}
+	// The cut must be prompt: within one instruction's worst latency.
+	if res.Cycles > budget+1000 {
+		t.Errorf("cut at %d, far beyond budget %d", res.Cycles, budget)
+	}
+}
+
+func TestRunBudgetWithoutImage(t *testing.T) {
+	pl := New(ProximaLEON3())
+	if _, _, err := pl.RunBudget(100); err == nil {
+		t.Error("budget run without image succeeded")
+	}
+}
+
+func TestReloadRestoresInits(t *testing.T) {
+	p := &prog.Program{Name: "t", Entry: "main"}
+	if err := p.AddData(&prog.DataObject{Name: "d", Size: 8, Init: []uint32{42}}); err != nil {
+		t.Fatal(err)
+	}
+	b := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		Set(isa.L0, "d").
+		Ld(isa.O0, isa.L0, 0).
+		MovI(isa.L1, 7).
+		St(isa.L1, isa.L0, 0). // clobber the initialiser
+		Halt()
+	if err := p.AddFunction(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := New(ProximaLEON3())
+	pl.LoadImage(img)
+	r1, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExitValue != 42 {
+		t.Fatalf("first run read %d", r1.ExitValue)
+	}
+	// Without reload the second run would read the clobbered 7.
+	pl.Reload()
+	r2, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ExitValue != 42 {
+		t.Errorf("post-reload run read %d, want 42", r2.ExitValue)
+	}
+	// Reload on an image-less platform is a no-op, not a panic.
+	New(ProximaLEON3()).Reload()
+}
+
+func TestPMCSnapshotZeroWithoutCPU(t *testing.T) {
+	pl := New(ProximaLEON3())
+	if pl.Counters() != (PMCs{}) {
+		t.Error("counters before any image should be zero")
+	}
+}
+
+func TestL2MissRatioEdge(t *testing.T) {
+	var m PMCs
+	if m.L2MissRatio() != 0 {
+		t.Error("zero-access miss ratio should be 0")
+	}
+	m.L2Access, m.L2Miss = 10, 5
+	if m.L2MissRatio() != 0.5 {
+		t.Error("ratio")
+	}
+}
+
+func TestTraceIsolationBetweenRuns(t *testing.T) {
+	pl := New(ProximaLEON3())
+	p := &prog.Program{Name: "t", Entry: "main"}
+	b := prog.NewFunc("main", prog.MinFrame).
+		Prologue().IPoint(1).IPoint(2).Halt()
+	if err := p.AddFunction(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.LoadImage(img)
+	r1, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Trace) != 2 || len(r2.Trace) != 2 {
+		t.Fatalf("trace lengths %d/%d, want 2/2", len(r1.Trace), len(r2.Trace))
+	}
+	// The returned traces must be snapshots: mutating one run's slice
+	// must not affect the other's.
+	r1.Trace[0].ID = 99
+	if r2.Trace[0].ID == 99 {
+		t.Error("traces alias each other")
+	}
+}
+
+func TestBudgetRunCountsAgainstCaches(t *testing.T) {
+	pl := New(ProximaLEON3())
+	pl.LoadImage(spinProgram(t, 1000))
+	if _, _, err := pl.RunBudget(mem.Cycles(1) << 40); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Counters().Instr == 0 {
+		t.Error("budget run recorded no instructions")
+	}
+}

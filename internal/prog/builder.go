@@ -1,0 +1,294 @@
+package prog
+
+import (
+	"fmt"
+
+	"dsr/internal/isa"
+)
+
+// Builder assembles one function with symbolic labels. Emitters append
+// instructions; Label defines a branch target; unresolved references are
+// fixed up by Build. The convenience emitters keep the hand-written
+// case-study code close to the assembly a compiler would emit.
+type Builder struct {
+	fn       *Function
+	labels   map[string]int
+	fixups   []fixup
+	buildErr error
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewFunc starts a non-leaf function with the given frame size. The
+// prologue (save) and epilogue (ret+restore) are NOT implicit; emit them
+// with Prologue/Epilogue or by hand, so that transformation passes can
+// observe them.
+func NewFunc(name string, frameSize int32) *Builder {
+	return &Builder{
+		fn:     &Function{Name: name, FrameSize: frameSize},
+		labels: map[string]int{},
+	}
+}
+
+// NewLeaf starts a leaf function (no window, no frame, returns via RetL).
+func NewLeaf(name string) *Builder {
+	return &Builder{
+		fn:     &Function{Name: name, Leaf: true},
+		labels: map[string]int{},
+	}
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Instr) *Builder {
+	b.fn.Code = append(b.fn.Code, in)
+	return b
+}
+
+// Label defines a branch target at the next instruction.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.fn.Code)
+	return b
+}
+
+func (b *Builder) fail(format string, args ...interface{}) {
+	if b.buildErr == nil {
+		b.buildErr = fmt.Errorf("builder %s: "+format, append([]interface{}{b.fn.Name}, args...)...)
+	}
+}
+
+// branch emits a branch to a label, recording a fixup.
+func (b *Builder) branch(op isa.Op, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{instr: len(b.fn.Code), label: label})
+	return b.Emit(isa.Instr{Op: op})
+}
+
+// Build resolves label fixups and returns the finished function.
+func (b *Builder) Build() (*Function, error) {
+	if b.buildErr != nil {
+		return nil, b.buildErr
+	}
+	for _, fx := range b.fixups {
+		tgt, ok := b.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("builder %s: undefined label %q", b.fn.Name, fx.label)
+		}
+		b.fn.Code[fx.instr].Disp = int32(tgt - fx.instr)
+	}
+	return b.fn, nil
+}
+
+// MustBuild is Build that panics on error, for statically written code.
+func (b *Builder) MustBuild() *Function {
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// --- Convenience emitters -------------------------------------------------
+
+// Prologue emits the standard window save for the function's frame size.
+func (b *Builder) Prologue() *Builder {
+	return b.Emit(isa.Instr{Op: isa.Save, Imm: b.fn.FrameSize})
+}
+
+// Epilogue emits the function return. The simulator has no delay slots,
+// so Ret performs both halves of SPARC's `ret; restore` pair — the jump
+// to %i7+4 and the window restore — as one architectural step.
+func (b *Builder) Epilogue() *Builder {
+	return b.Emit(isa.Instr{Op: isa.Ret})
+}
+
+// RetLeaf emits a leaf return.
+func (b *Builder) RetLeaf() *Builder { return b.Emit(isa.Instr{Op: isa.RetL}) }
+
+// Nop emits a nop.
+func (b *Builder) Nop() *Builder { return b.Emit(isa.Instr{Op: isa.Nop}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() *Builder { return b.Emit(isa.Instr{Op: isa.Halt}) }
+
+// Op3 emits a three-register ALU operation rd = rs1 op rs2.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// OpI emits an ALU operation with immediate rd = rs1 op imm.
+func (b *Builder) OpI(op isa.Op, rd, rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true})
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.Add, rd, rs1, rs2) }
+
+// AddI emits rd = rs1 + imm.
+func (b *Builder) AddI(rd, rs1 isa.Reg, imm int32) *Builder { return b.OpI(isa.Add, rd, rs1, imm) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.Sub, rd, rs1, rs2) }
+
+// SubI emits rd = rs1 - imm.
+func (b *Builder) SubI(rd, rs1 isa.Reg, imm int32) *Builder { return b.OpI(isa.Sub, rd, rs1, imm) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) *Builder { return b.Op3(isa.Mul, rd, rs1, rs2) }
+
+// MulI emits rd = rs1 * imm.
+func (b *Builder) MulI(rd, rs1 isa.Reg, imm int32) *Builder { return b.OpI(isa.Mul, rd, rs1, imm) }
+
+// AndI emits rd = rs1 & imm.
+func (b *Builder) AndI(rd, rs1 isa.Reg, imm int32) *Builder { return b.OpI(isa.And, rd, rs1, imm) }
+
+// SllI emits rd = rs1 << imm.
+func (b *Builder) SllI(rd, rs1 isa.Reg, imm int32) *Builder { return b.OpI(isa.Sll, rd, rs1, imm) }
+
+// SrlI emits rd = rs1 >> imm (logical).
+func (b *Builder) SrlI(rd, rs1 isa.Reg, imm int32) *Builder { return b.OpI(isa.Srl, rd, rs1, imm) }
+
+// MovI emits rd = imm.
+func (b *Builder) MovI(rd isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Mov, Rd: rd, Imm: imm, UseImm: true})
+}
+
+// Mov emits rd = rs.
+func (b *Builder) Mov(rd, rs isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Mov, Rd: rd, Rs2: rs})
+}
+
+// Set emits rd = address-of(sym), resolved at load time.
+func (b *Builder) Set(rd isa.Reg, sym string) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Set, Rd: rd, Sym: sym})
+}
+
+// SetI emits rd = 32-bit immediate.
+func (b *Builder) SetI(rd isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Set, Rd: rd, Imm: imm})
+}
+
+// Cmp emits a register comparison.
+func (b *Builder) Cmp(rs1, rs2 isa.Reg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Cmp, Rs1: rs1, Rs2: rs2})
+}
+
+// CmpI emits a register-immediate comparison.
+func (b *Builder) CmpI(rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Cmp, Rs1: rs1, Imm: imm, UseImm: true})
+}
+
+// Ld emits rd = word at [rs1+imm].
+func (b *Builder) Ld(rd, rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Ld, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St emits word store of rd to [rs1+imm].
+func (b *Builder) St(rd, rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.St, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ldub emits rd = zero-extended byte at [rs1+imm].
+func (b *Builder) Ldub(rd, rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Ldub, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Stb emits byte store of rd's low byte to [rs1+imm].
+func (b *Builder) Stb(rd, rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Stb, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// FLd emits frd = float word at [rs1+imm].
+func (b *Builder) FLd(frd isa.FReg, rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.FLd, FRd: frd, Rs1: rs1, Imm: imm})
+}
+
+// FSt emits float store of frs2 to [rs1+imm].
+func (b *Builder) FSt(frs2 isa.FReg, rs1 isa.Reg, imm int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.FSt, FRs2: frs2, Rs1: rs1, Imm: imm})
+}
+
+// FOp3 emits frd = frs1 op frs2.
+func (b *Builder) FOp3(op isa.Op, frd, frs1, frs2 isa.FReg) *Builder {
+	return b.Emit(isa.Instr{Op: op, FRd: frd, FRs1: frs1, FRs2: frs2})
+}
+
+// Fadd emits frd = frs1 + frs2.
+func (b *Builder) Fadd(frd, frs1, frs2 isa.FReg) *Builder { return b.FOp3(isa.Fadd, frd, frs1, frs2) }
+
+// Fsub emits frd = frs1 - frs2.
+func (b *Builder) Fsub(frd, frs1, frs2 isa.FReg) *Builder { return b.FOp3(isa.Fsub, frd, frs1, frs2) }
+
+// Fmul emits frd = frs1 * frs2.
+func (b *Builder) Fmul(frd, frs1, frs2 isa.FReg) *Builder { return b.FOp3(isa.Fmul, frd, frs1, frs2) }
+
+// Fdiv emits frd = frs1 / frs2.
+func (b *Builder) Fdiv(frd, frs1, frs2 isa.FReg) *Builder { return b.FOp3(isa.Fdiv, frd, frs1, frs2) }
+
+// Fsqrt emits frd = sqrt(frs2).
+func (b *Builder) Fsqrt(frd, frs2 isa.FReg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Fsqrt, FRd: frd, FRs2: frs2})
+}
+
+// Fcmp emits an FP comparison.
+func (b *Builder) Fcmp(frs1, frs2 isa.FReg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Fcmp, FRs1: frs1, FRs2: frs2})
+}
+
+// Fitos emits frd = float(int in frs2).
+func (b *Builder) Fitos(frd, frs2 isa.FReg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Fitos, FRd: frd, FRs2: frs2})
+}
+
+// Fstoi emits frd = int(float in frs2).
+func (b *Builder) Fstoi(frd, frs2 isa.FReg) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Fstoi, FRd: frd, FRs2: frs2})
+}
+
+// Ba emits an unconditional branch to label.
+func (b *Builder) Ba(label string) *Builder { return b.branch(isa.Ba, label) }
+
+// Be branches to label if equal.
+func (b *Builder) Be(label string) *Builder { return b.branch(isa.Be, label) }
+
+// Bne branches to label if not equal.
+func (b *Builder) Bne(label string) *Builder { return b.branch(isa.Bne, label) }
+
+// Bl branches to label if signed less.
+func (b *Builder) Bl(label string) *Builder { return b.branch(isa.Bl, label) }
+
+// Ble branches to label if signed less-or-equal.
+func (b *Builder) Ble(label string) *Builder { return b.branch(isa.Ble, label) }
+
+// Bg branches to label if signed greater.
+func (b *Builder) Bg(label string) *Builder { return b.branch(isa.Bg, label) }
+
+// Bge branches to label if signed greater-or-equal.
+func (b *Builder) Bge(label string) *Builder { return b.branch(isa.Bge, label) }
+
+// Fbe branches to label if FP equal.
+func (b *Builder) Fbe(label string) *Builder { return b.branch(isa.Fbe, label) }
+
+// Fbne branches to label if FP not equal.
+func (b *Builder) Fbne(label string) *Builder { return b.branch(isa.Fbne, label) }
+
+// Fbl branches to label if FP less.
+func (b *Builder) Fbl(label string) *Builder { return b.branch(isa.Fbl, label) }
+
+// Fbg branches to label if FP greater.
+func (b *Builder) Fbg(label string) *Builder { return b.branch(isa.Fbg, label) }
+
+// Call emits a direct call.
+func (b *Builder) Call(sym string) *Builder {
+	return b.Emit(isa.Instr{Op: isa.Call, Sym: sym})
+}
+
+// IPoint emits an instrumentation point with the given identifier.
+func (b *Builder) IPoint(id int32) *Builder {
+	return b.Emit(isa.Instr{Op: isa.IPoint, Imm: id})
+}

@@ -1,0 +1,124 @@
+package prog
+
+import (
+	"testing"
+
+	"dsr/internal/isa"
+)
+
+// TestBuilderEmittersProduceExpectedOpcodes drives every convenience
+// emitter once and checks the emitted opcode stream.
+func TestBuilderEmittersProduceExpectedOpcodes(t *testing.T) {
+	f := NewFunc("all", MinFrame).
+		Prologue().
+		Nop().
+		Add(isa.L0, isa.L1, isa.L2).
+		AddI(isa.L0, isa.L1, 1).
+		Sub(isa.L0, isa.L1, isa.L2).
+		SubI(isa.L0, isa.L1, 1).
+		Mul(isa.L0, isa.L1, isa.L2).
+		MulI(isa.L0, isa.L1, 3).
+		AndI(isa.L0, isa.L1, 0xF).
+		SllI(isa.L0, isa.L1, 2).
+		SrlI(isa.L0, isa.L1, 2).
+		MovI(isa.L0, 5).
+		Mov(isa.L0, isa.L1).
+		SetI(isa.L0, 100).
+		Cmp(isa.L0, isa.L1).
+		CmpI(isa.L0, 7).
+		Ld(isa.L0, isa.SP, 0).
+		St(isa.L0, isa.SP, 0).
+		Ldub(isa.L0, isa.SP, 0).
+		Stb(isa.L0, isa.SP, 0).
+		FLd(0, isa.SP, 0).
+		FSt(0, isa.SP, 0).
+		Fadd(0, 1, 2).
+		Fsub(0, 1, 2).
+		Fmul(0, 1, 2).
+		Fdiv(0, 1, 2).
+		Fsqrt(0, 1).
+		Fcmp(0, 1).
+		Fitos(0, 1).
+		Fstoi(0, 1).
+		IPoint(9).
+		Label("x").
+		Ba("x").
+		Be("x").
+		Bne("x").
+		Bl("x").
+		Ble("x").
+		Bg("x").
+		Bge("x").
+		Fbe("x").
+		Fbne("x").
+		Fbl("x").
+		Fbg("x").
+		Halt().
+		MustBuild()
+
+	want := []isa.Op{
+		isa.Save, isa.Nop,
+		isa.Add, isa.Add, isa.Sub, isa.Sub, isa.Mul, isa.Mul,
+		isa.And, isa.Sll, isa.Srl,
+		isa.Mov, isa.Mov, isa.Set, isa.Cmp, isa.Cmp,
+		isa.Ld, isa.St, isa.Ldub, isa.Stb, isa.FLd, isa.FSt,
+		isa.Fadd, isa.Fsub, isa.Fmul, isa.Fdiv, isa.Fsqrt, isa.Fcmp,
+		isa.Fitos, isa.Fstoi, isa.IPoint,
+		isa.Ba, isa.Be, isa.Bne, isa.Bl, isa.Ble, isa.Bg, isa.Bge,
+		isa.Fbe, isa.Fbne, isa.Fbl, isa.Fbg,
+		isa.Halt,
+	}
+	if len(f.Code) != len(want) {
+		t.Fatalf("emitted %d instructions, want %d", len(f.Code), len(want))
+	}
+	for i, op := range want {
+		if f.Code[i].Op != op {
+			t.Errorf("instr %d is %s, want %s", i, f.Code[i].Op, op)
+		}
+	}
+	// All branch displacements point back at the label.
+	for i := range f.Code {
+		if f.Code[i].Op.IsBranch() {
+			if tgt := i + int(f.Code[i].Disp); tgt != 31 {
+				t.Errorf("branch at %d targets %d, want 31", i, tgt)
+			}
+		}
+	}
+}
+
+func TestBuilderCallAndSet(t *testing.T) {
+	f := NewFunc("c", MinFrame).
+		Prologue().
+		Set(isa.O0, "obj").
+		Call("callee").
+		Epilogue().
+		MustBuild()
+	if f.Code[1].Op != isa.Set || f.Code[1].Sym != "obj" {
+		t.Error("Set emitter")
+	}
+	if f.Code[2].Op != isa.Call || f.Code[2].Sym != "callee" {
+		t.Error("Call emitter")
+	}
+	if f.Code[3].Op != isa.Ret {
+		t.Error("Epilogue emitter")
+	}
+}
+
+func TestBuilderErrorSticks(t *testing.T) {
+	b := NewLeaf("bad").Label("dup").Nop().Label("dup")
+	// Further emissions after an error must not panic, and Build must
+	// still report the first error.
+	b.Nop().RetLeaf()
+	if _, err := b.Build(); err == nil {
+		t.Error("sticky error lost")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on bad function")
+		}
+	}()
+	NewLeaf("bad").Ba("nowhere").MustBuild()
+}

@@ -1,0 +1,240 @@
+// Package rtos models the hypervisor configuration of the paper's setup
+// (§IV): PikeOS Native hosting two partitions — the high-criticality
+// control task invoked every second and the low-criticality image
+// processing task invoked every 100 ms — with spatial and temporal
+// isolation, caches flushed automatically at each partition start,
+// preemption disabled during partition execution, and partition reboot
+// between measurement runs so that every execution starts from a fresh
+// (and, under DSR, freshly randomised) memory layout.
+//
+// The scheduler is a cyclic time-partitioned executive: a major frame is
+// divided into windows, each window owns one partition activation, and a
+// partition that overruns its window is cut off (temporal isolation) and
+// flagged — the mixed-criticality concern that motivates the case study.
+package rtos
+
+import (
+	"fmt"
+
+	"dsr/internal/core"
+	"dsr/internal/mem"
+	"dsr/internal/platform"
+)
+
+// Criticality is the design-assurance level of a partition.
+type Criticality int
+
+const (
+	// LowCriticality marks the image-processing partition.
+	LowCriticality Criticality = iota
+	// HighCriticality marks the control partition.
+	HighCriticality
+)
+
+func (c Criticality) String() string {
+	if c == HighCriticality {
+		return "high"
+	}
+	return "low"
+}
+
+// Runner abstracts the software hosted in a partition: a plain image or
+// a DSR runtime. Activate prepares a fresh run (the partition reboot);
+// Execute performs one run under a cycle budget, reporting whether the
+// program completed within it.
+type Runner interface {
+	Name() string
+	Activate(activation uint64) error
+	Execute(budget mem.Cycles) (platform.RunResult, bool, error)
+}
+
+// ImageRunner hosts a fixed (non-randomised) image: every activation
+// reloads it so runs are independent of each other's memory state.
+type ImageRunner struct {
+	Plat *platform.Platform
+}
+
+// NewImageRunner binds an already-loaded platform image.
+func NewImageRunner(plat *platform.Platform) *ImageRunner {
+	return &ImageRunner{Plat: plat}
+}
+
+// Name implements Runner.
+func (r *ImageRunner) Name() string {
+	if img := r.Plat.Image(); img != nil {
+		return img.Name
+	}
+	return "image"
+}
+
+// Activate implements Runner: partition reboot = memory reload.
+func (r *ImageRunner) Activate(uint64) error {
+	if r.Plat.Image() == nil {
+		return fmt.Errorf("rtos: image runner has no image")
+	}
+	r.Plat.Reload()
+	return nil
+}
+
+// Execute implements Runner.
+func (r *ImageRunner) Execute(budget mem.Cycles) (platform.RunResult, bool, error) {
+	return r.Plat.RunBudget(budget)
+}
+
+// DSRRunner hosts a DSR runtime: every activation reboots it with a new
+// seed, drawing a fresh random layout (§IV: "the partition is rebooted
+// through software means to guarantee that each execution starts with a
+// different memory layout").
+type DSRRunner struct {
+	RT       *core.Runtime
+	SeedBase uint64
+}
+
+// NewDSRRunner wraps rt; seeds are SeedBase+activation.
+func NewDSRRunner(rt *core.Runtime, seedBase uint64) *DSRRunner {
+	return &DSRRunner{RT: rt, SeedBase: seedBase}
+}
+
+// Name implements Runner.
+func (r *DSRRunner) Name() string { return r.RT.Program().Name + "+dsr" }
+
+// Activate implements Runner.
+func (r *DSRRunner) Activate(activation uint64) error {
+	_, err := r.RT.Reboot(r.SeedBase + activation)
+	return err
+}
+
+// Execute implements Runner.
+func (r *DSRRunner) Execute(budget mem.Cycles) (platform.RunResult, bool, error) {
+	if r.RT.Image() == nil {
+		return platform.RunResult{}, false, fmt.Errorf("rtos: DSR runner not activated")
+	}
+	return r.RT.RunBudget(budget)
+}
+
+// Partition is one hosted application.
+type Partition struct {
+	Name        string
+	Criticality Criticality
+	Runner      Runner
+	// PeriodMillis is the activation period (control: 1000, processing: 100).
+	PeriodMillis int
+}
+
+// Window is one slot of the major frame.
+type Window struct {
+	Partition    *Partition
+	OffsetMillis int
+	BudgetMillis int
+}
+
+// Config describes the executive.
+type Config struct {
+	MajorFrameMillis int
+	// CyclesPerMilli converts wall-clock windows to core cycles
+	// (an 80 MHz LEON3 gives 80_000 cycles per millisecond).
+	CyclesPerMilli mem.Cycles
+}
+
+// DefaultConfig is the case study's frame: 1 s major frame on an 80 MHz
+// core.
+func DefaultConfig() Config {
+	return Config{MajorFrameMillis: 1000, CyclesPerMilli: 80_000}
+}
+
+// Scheduler is the cyclic executive.
+type Scheduler struct {
+	cfg     Config
+	windows []Window
+	acts    map[string]uint64 // per-partition activation counters
+}
+
+// NewScheduler builds a scheduler; windows must fit the major frame and
+// not overlap.
+func NewScheduler(cfg Config, windows []Window) (*Scheduler, error) {
+	if cfg.MajorFrameMillis <= 0 || cfg.CyclesPerMilli == 0 {
+		return nil, fmt.Errorf("rtos: bad config %+v", cfg)
+	}
+	end := 0
+	for i, w := range windows {
+		if w.Partition == nil || w.Partition.Runner == nil {
+			return nil, fmt.Errorf("rtos: window %d has no partition/runner", i)
+		}
+		if w.OffsetMillis < end {
+			return nil, fmt.Errorf("rtos: window %d (%s) overlaps previous window",
+				i, w.Partition.Name)
+		}
+		if w.BudgetMillis <= 0 {
+			return nil, fmt.Errorf("rtos: window %d has non-positive budget", i)
+		}
+		end = w.OffsetMillis + w.BudgetMillis
+		if end > cfg.MajorFrameMillis {
+			return nil, fmt.Errorf("rtos: window %d (%s) exceeds the major frame",
+				i, w.Partition.Name)
+		}
+	}
+	return &Scheduler{cfg: cfg, windows: windows, acts: map[string]uint64{}}, nil
+}
+
+// Activation records one partition execution.
+type Activation struct {
+	Partition   string
+	Criticality Criticality
+	MajorFrame  int
+	Window      int
+	Activation  uint64
+	Cycles      mem.Cycles
+	Budget      mem.Cycles
+	// Completed is false when the window expired first (temporal
+	// isolation cut the partition off).
+	Completed bool
+	Result    platform.RunResult
+}
+
+// Overrun reports whether the partition consumed its entire window
+// without completing.
+func (a Activation) Overrun() bool { return !a.Completed }
+
+// RunMajorFrames executes n major frames and returns every activation
+// record in schedule order.
+func (s *Scheduler) RunMajorFrames(n int) ([]Activation, error) {
+	var out []Activation
+	for frame := 0; frame < n; frame++ {
+		for wi, w := range s.windows {
+			p := w.Partition
+			act := s.acts[p.Name]
+			s.acts[p.Name]++
+			if err := p.Runner.Activate(act); err != nil {
+				return out, fmt.Errorf("rtos: activate %s: %w", p.Name, err)
+			}
+			budget := mem.Cycles(w.BudgetMillis) * s.cfg.CyclesPerMilli
+			res, done, err := p.Runner.Execute(budget)
+			if err != nil {
+				return out, fmt.Errorf("rtos: execute %s: %w", p.Name, err)
+			}
+			out = append(out, Activation{
+				Partition:   p.Name,
+				Criticality: p.Criticality,
+				MajorFrame:  frame,
+				Window:      wi,
+				Activation:  act,
+				Cycles:      res.Cycles,
+				Budget:      budget,
+				Completed:   done,
+				Result:      res,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ByPartition filters activation records.
+func ByPartition(acts []Activation, name string) []Activation {
+	var out []Activation
+	for _, a := range acts {
+		if a.Partition == name {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package rtos
+
+import (
+	"testing"
+
+	"dsr/internal/core"
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/platform"
+	"dsr/internal/prog"
+)
+
+// loopProgram spins for roughly `iters` loop iterations then halts,
+// returning iters in %o0.
+func loopProgram(t *testing.T, name string, iters int32) *prog.Program {
+	t.Helper()
+	p := &prog.Program{Name: name, Entry: "main"}
+	b := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		MovI(isa.L0, 0).
+		Label("loop").
+		AddI(isa.L0, isa.L0, 1).
+		CmpI(isa.L0, iters).
+		Bl("loop").
+		Mov(isa.O0, isa.L0).
+		Halt()
+	if err := p.AddFunction(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func imagePartition(t *testing.T, name string, iters int32, crit Criticality) (*Partition, *platform.Platform) {
+	t.Helper()
+	img, err := loader.Load(loopProgram(t, name, iters), loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	plat.LoadImage(img)
+	return &Partition{
+		Name:        name,
+		Criticality: crit,
+		Runner:      NewImageRunner(plat),
+	}, plat
+}
+
+func TestSchedulerRunsWindowsInOrder(t *testing.T) {
+	ctrl, _ := imagePartition(t, "control", 100, HighCriticality)
+	proc, _ := imagePartition(t, "processing", 50, LowCriticality)
+	cfg := DefaultConfig()
+	sched, err := NewScheduler(cfg, []Window{
+		{Partition: proc, OffsetMillis: 0, BudgetMillis: 80},
+		{Partition: ctrl, OffsetMillis: 100, BudgetMillis: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts, err := sched.RunMajorFrames(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 6 {
+		t.Fatalf("activations=%d, want 6", len(acts))
+	}
+	for i, a := range acts {
+		wantPart := "processing"
+		if i%2 == 1 {
+			wantPart = "control"
+		}
+		if a.Partition != wantPart {
+			t.Errorf("activation %d partition=%s, want %s", i, a.Partition, wantPart)
+		}
+		if !a.Completed {
+			t.Errorf("activation %d overran unexpectedly", i)
+		}
+		if a.MajorFrame != i/2 {
+			t.Errorf("activation %d frame=%d", i, a.MajorFrame)
+		}
+	}
+	// Activation counters advance per partition.
+	ctrlActs := ByPartition(acts, "control")
+	for i, a := range ctrlActs {
+		if a.Activation != uint64(i) {
+			t.Errorf("control activation %d numbered %d", i, a.Activation)
+		}
+	}
+}
+
+func TestTemporalIsolationCutsOverrun(t *testing.T) {
+	// A "malfunctioning" processing task that spins far beyond its window
+	// must be cut off, and the control task must still run.
+	ctrl, _ := imagePartition(t, "control", 100, HighCriticality)
+	rogue, _ := imagePartition(t, "processing", 100_000_000, LowCriticality)
+	cfg := DefaultConfig()
+	sched, err := NewScheduler(cfg, []Window{
+		{Partition: rogue, OffsetMillis: 0, BudgetMillis: 10},
+		{Partition: ctrl, OffsetMillis: 100, BudgetMillis: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts, err := sched.RunMajorFrames(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acts[0].Overrun() {
+		t.Error("rogue partition not flagged as overrun")
+	}
+	if acts[0].Cycles < acts[0].Budget {
+		t.Error("overrun cut before the budget")
+	}
+	if acts[1].Overrun() {
+		t.Error("control task affected by rogue partition")
+	}
+	if acts[1].Result.ExitValue != 100 {
+		t.Errorf("control result=%d, want 100", acts[1].Result.ExitValue)
+	}
+}
+
+// walkProgram sums a table in a loop; its timing depends on where the
+// table and code land in the caches, so DSR activations show jitter.
+func walkProgram(t *testing.T, name string, iters int32) *prog.Program {
+	t.Helper()
+	p := &prog.Program{Name: name, Entry: "main"}
+	if err := p.AddData(&prog.DataObject{Name: "tbl", Size: 4096, Align: 8}); err != nil {
+		t.Fatal(err)
+	}
+	b := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		MovI(isa.L0, 0). // i
+		MovI(isa.L1, 0). // sum
+		Set(isa.L2, "tbl").
+		Label("loop").
+		AndI(isa.L3, isa.L0, 1023).
+		SllI(isa.L3, isa.L3, 2).
+		Add(isa.L4, isa.L2, isa.L3).
+		Ld(isa.L5, isa.L4, 0).
+		Add(isa.L1, isa.L1, isa.L5).
+		AddI(isa.L0, isa.L0, 1).
+		CmpI(isa.L0, iters).
+		Bl("loop").
+		Mov(isa.O0, isa.L0).
+		Halt()
+	if err := p.AddFunction(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDSRRunnerRerandomisesPerActivation(t *testing.T) {
+	p := walkProgram(t, "control", 200)
+	plat := platform.New(platform.ProximaLEON3())
+	rt, err := core.NewRuntime(p, plat, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := &Partition{
+		Name:        "control",
+		Criticality: HighCriticality,
+		Runner:      NewDSRRunner(rt, 1000),
+	}
+	sched, err := NewScheduler(DefaultConfig(), []Window{
+		{Partition: part, OffsetMillis: 0, BudgetMillis: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts, err := sched.RunMajorFrames(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[uint64]bool{}
+	for _, a := range acts {
+		if a.Result.ExitValue != 200 {
+			t.Fatalf("functional result=%d under DSR", a.Result.ExitValue)
+		}
+		distinct[uint64(a.Cycles)] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("only %d distinct execution times across 12 DSR activations", len(distinct))
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	ctrl, _ := imagePartition(t, "control", 10, HighCriticality)
+	cases := map[string][]Window{
+		"overlap": {
+			{Partition: ctrl, OffsetMillis: 0, BudgetMillis: 200},
+			{Partition: ctrl, OffsetMillis: 100, BudgetMillis: 100},
+		},
+		"beyond frame": {
+			{Partition: ctrl, OffsetMillis: 900, BudgetMillis: 200},
+		},
+		"zero budget": {
+			{Partition: ctrl, OffsetMillis: 0, BudgetMillis: 0},
+		},
+		"nil partition": {
+			{Partition: nil, OffsetMillis: 0, BudgetMillis: 10},
+		},
+	}
+	for name, ws := range cases {
+		if _, err := NewScheduler(DefaultConfig(), ws); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := NewScheduler(Config{}, nil); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestImageRunnerReloadIsolatesRuns(t *testing.T) {
+	// A program that increments a global counter would drift without the
+	// reload-per-activation reboot semantics.
+	p := &prog.Program{Name: "counter", Entry: "main"}
+	if err := p.AddData(&prog.DataObject{Name: "count", Size: 4}); err != nil {
+		t.Fatal(err)
+	}
+	b := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		Set(isa.L0, "count").
+		Ld(isa.L1, isa.L0, 0).
+		AddI(isa.L1, isa.L1, 1).
+		St(isa.L1, isa.L0, 0).
+		Mov(isa.O0, isa.L1).
+		Halt()
+	if err := p.AddFunction(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	plat.LoadImage(img)
+	part := &Partition{Name: "counter", Runner: NewImageRunner(plat)}
+	sched, err := NewScheduler(DefaultConfig(), []Window{
+		{Partition: part, OffsetMillis: 0, BudgetMillis: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts, err := sched.RunMajorFrames(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range acts {
+		if a.Result.ExitValue != 1 {
+			t.Errorf("activation %d saw stale memory: count=%d", i, a.Result.ExitValue)
+		}
+	}
+}
+
+func TestCriticalityString(t *testing.T) {
+	if HighCriticality.String() != "high" || LowCriticality.String() != "low" {
+		t.Error("criticality strings")
+	}
+}

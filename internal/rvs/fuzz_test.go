@@ -1,0 +1,64 @@
+package rvs
+
+import (
+	"bytes"
+	"testing"
+
+	"dsr/internal/cpu"
+	"dsr/internal/mem"
+)
+
+// FuzzDecode checks that arbitrary byte streams never panic the trace
+// decoder, and that every valid encoding round-trips.
+func FuzzDecode(f *testing.F) {
+	var good bytes.Buffer
+	if err := Encode(&good, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("RVST"))
+	f.Add([]byte("RVST\x00\x01\xFF\xFF\xFF\xFF"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trace, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same trace.
+		var buf bytes.Buffer
+		if err := Encode(&buf, trace); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(trace) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(trace))
+		}
+		for i := range trace {
+			if trace[i] != again[i] {
+				t.Fatalf("round trip changed record %d", i)
+			}
+		}
+		_ = Durations(trace, UoAEnter, UoAExit)
+	})
+}
+
+// FuzzDurations checks the pairing logic tolerates arbitrary ID streams.
+func FuzzDurations(f *testing.F) {
+	f.Add([]byte{1, 2, 1, 2}, int32(1), int32(2))
+	f.Add([]byte{2, 2, 1, 1}, int32(1), int32(2))
+	f.Fuzz(func(t *testing.T, ids []byte, enter, exit int32) {
+		trace := make([]cpu.TracePoint, len(ids))
+		for i, id := range ids {
+			trace[i] = cpu.TracePoint{ID: int32(id), Cycles: mem.Cycles(i) * 10}
+		}
+		ds := Durations(trace, enter, exit)
+		for _, d := range ds {
+			if int64(d) < 0 {
+				t.Fatal("negative duration")
+			}
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package rvs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dsr/internal/mbpta"
+	"dsr/internal/stats"
+)
+
+// RenderCurve draws the pWCET plot of Fig. 3 as text, in the style of
+// the RVS Viewer: X axis execution time, Y axis exceedance probability
+// in log scale; '+' marks the measured execution times (their empirical
+// exceedance), '*' the fitted pWCET curve, and the vertical bar the
+// estimate at the target probability.
+func RenderCurve(rep *mbpta.Report, times []float64, width, height int) string {
+	if rep.Fit == nil || len(times) == 0 || width < 20 || height < 5 {
+		return "rvs: nothing to render\n"
+	}
+	ecdf := stats.NewECDF(times)
+	maxDecade := float64(len(rep.Curve))
+	xMin := stats.Min(times)
+	xMax := rep.Curve[len(rep.Curve)-1].Time
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Row for probability p: row 0 is 10^0, last row is 10^-maxDecade.
+	row := func(p float64) int {
+		if p <= 0 {
+			return height - 1
+		}
+		d := -math.Log10(p)
+		r := int(d / maxDecade * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	col := func(x float64) int {
+		c := int((x - xMin) / (xMax - xMin) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	// Measured execution times (MET): plot empirical exceedance.
+	for _, x := range ecdf.Sorted() {
+		p := ecdf.Exceedance(x)
+		if p <= 0 {
+			p = 1 / float64(2*ecdf.Len())
+		}
+		grid[row(p)][col(x)] = '+'
+	}
+	// pWCET curve.
+	for _, cp := range rep.Curve {
+		grid[row(cp.Exceedance)][col(cp.Time)] = '*'
+	}
+	// Target estimate marker.
+	tc := col(rep.PWCET)
+	for r := 0; r < height; r++ {
+		if grid[r][tc] == ' ' {
+			grid[r][tc] = '|'
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "pWCET curve (N=%d runs)   '+' measured   '*' pWCET fit   '|' estimate at %.0e\n",
+		rep.N, rep.TargetExceedance)
+	for r := 0; r < height; r++ {
+		d := float64(r) / float64(height-1) * maxDecade
+		fmt.Fprintf(&b, "1e-%04.1f %s\n", d, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "        time: %.0f .. %.0f cycles; MOET=%.0f; pWCET@%.0e=%.0f (+%.2f%%)\n",
+		xMin, xMax, rep.MOET, rep.TargetExceedance, rep.PWCET, (rep.PWCET/rep.MOET-1)*100)
+	return b.String()
+}

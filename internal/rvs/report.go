@@ -1,0 +1,89 @@
+package rvs
+
+import (
+	"fmt"
+	"io"
+
+	"dsr/internal/mbpta"
+	"dsr/internal/stats"
+)
+
+// WriteReport emits the full analysis report for one unit of analysis —
+// the textual counterpart of the RVS analysis view: descriptive
+// statistics, the i.i.d. verification, the EVT fit with its
+// cross-checks, the pWCET table at decreasing exceedance probabilities,
+// and the plot. rep may be a rejected analysis (Fit == nil), in which
+// case the report documents the rejection.
+func WriteReport(w io.Writer, name string, rep *mbpta.Report, times []float64) error {
+	p := func(format string, args ...interface{}) (err error) {
+		_, err = fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("MBPTA ANALYSIS REPORT — %s\n", name); err != nil {
+		return err
+	}
+	if rep == nil || len(times) == 0 {
+		return p("no data\n")
+	}
+	if err := p(
+		"\n[measurements]\n"+
+			"  runs:    %d\n"+
+			"  min:     %.0f cycles\n"+
+			"  mean:    %.0f cycles\n"+
+			"  stddev:  %.0f cycles\n"+
+			"  MOET:    %.0f cycles\n",
+		rep.N, rep.Min, rep.Mean, stats.StdDev(times), rep.MOET); err != nil {
+		return err
+	}
+
+	verdict := "REJECTED"
+	if rep.IID.Pass() {
+		verdict = "passed"
+	}
+	if err := p(
+		"\n[i.i.d. verification, alpha=%.2f]\n"+
+			"  Ljung-Box (independence):       Q=%.3f  p=%.4f\n"+
+			"  Kolmogorov-Smirnov (identical): D=%.4f  p=%.4f\n"+
+			"  verdict: %s\n",
+		rep.IID.Alpha,
+		rep.IID.LjungBox.Statistic, rep.IID.LjungBox.PValue,
+		rep.IID.KS.Statistic, rep.IID.KS.PValue, verdict); err != nil {
+		return err
+	}
+	if rep.Fit == nil {
+		return p("\nEVT was not applied: the execution times are not i.i.d.;\n" +
+			"the platform needs a randomisation source (§III of the paper).\n")
+	}
+
+	if err := p(
+		"\n[EVT fit]\n"+
+			"  model:      Gumbel(mu=%.1f, beta=%.3f)\n"+
+			"  block size: %d (%d maxima)\n"+
+			"  CV check:   cv=%.3f (band ±%.3f) pass=%v\n"+
+			"  converged:  %v\n",
+		rep.Fit.Model.Mu, rep.Fit.Model.Beta,
+		rep.Fit.Block, rep.N/rep.Fit.Block,
+		rep.CV, rep.CVBand, rep.CVPass, rep.Converged); err != nil {
+		return err
+	}
+
+	if err := p("\n[pWCET]\n  %-14s %-14s %s\n", "exceedance", "cycles", "over MOET"); err != nil {
+		return err
+	}
+	for _, cp := range rep.Curve {
+		if err := p("  %-14.0e %-14.0f %+.2f%%\n",
+			cp.Exceedance, cp.Time, (cp.Time/rep.MOET-1)*100); err != nil {
+			return err
+		}
+	}
+	if err := p("  estimate at target %.0e: %.0f cycles\n", rep.TargetExceedance, rep.PWCET); err != nil {
+		return err
+	}
+	if rep.PWCETAlt > 0 {
+		if err := p("  PWM cross-estimate:        %.0f cycles (%+.2f%% vs moments)\n",
+			rep.PWCETAlt, (rep.PWCETAlt/rep.PWCET-1)*100); err != nil {
+			return err
+		}
+	}
+	return p("\n%s", RenderCurve(rep, times, 72, 18))
+}

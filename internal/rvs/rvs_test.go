@@ -1,0 +1,237 @@
+package rvs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dsr/internal/cpu"
+	"dsr/internal/mbpta"
+	"dsr/internal/prng"
+)
+
+func sampleTrace() []cpu.TracePoint {
+	return []cpu.TracePoint{
+		{ID: UoAEnter, Cycles: 100},
+		{ID: UoAExit, Cycles: 350},
+		{ID: UoAEnter, Cycles: 1000},
+		{ID: UoAExit, Cycles: 1300},
+		{ID: 9, Cycles: 1400}, // unrelated ipoint
+	}
+}
+
+func TestDurations(t *testing.T) {
+	ds := Durations(sampleTrace(), UoAEnter, UoAExit)
+	if len(ds) != 2 || ds[0] != 250 || ds[1] != 300 {
+		t.Errorf("durations=%v", ds)
+	}
+}
+
+func TestDurationsNested(t *testing.T) {
+	tr := []cpu.TracePoint{
+		{ID: 1, Cycles: 0},
+		{ID: 1, Cycles: 10}, // nested enter
+		{ID: 2, Cycles: 15}, // closes the inner
+		{ID: 2, Cycles: 40}, // closes the outer
+	}
+	ds := Durations(tr, 1, 2)
+	if len(ds) != 2 || ds[0] != 5 || ds[1] != 40 {
+		t.Errorf("nested durations=%v", ds)
+	}
+}
+
+func TestDurationsUnmatched(t *testing.T) {
+	tr := []cpu.TracePoint{
+		{ID: 2, Cycles: 5}, // exit with no enter: ignored
+		{ID: 1, Cycles: 10},
+		{ID: 2, Cycles: 30},
+		{ID: 1, Cycles: 50}, // dangling enter: ignored
+	}
+	ds := Durations(tr, 1, 2)
+	if len(ds) != 1 || ds[0] != 20 {
+		t.Errorf("durations=%v", ds)
+	}
+}
+
+func TestToFloats(t *testing.T) {
+	fs := ToFloats(Durations(sampleTrace(), UoAEnter, UoAExit))
+	if len(fs) != 2 || fs[0] != 250 || fs[1] != 300 {
+		t.Errorf("floats=%v", fs)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := sampleTrace()
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Errorf("record %d: %v != %v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d records from empty trace", len(got))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x00\x01\x00\x00\x00\x00"),
+		"truncated": func() []byte {
+			var buf bytes.Buffer
+			if err := Encode(&buf, sampleTrace()); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()[:buf.Len()-4]
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: err=%v, want ErrBadTrace", name, err)
+		}
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	if err := Encode(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[5] = 99
+	if _, err := Decode(bytes.NewReader(b)); !errors.Is(err, ErrBadTrace) {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "ipoint,cycles" || len(lines) != 6 {
+		t.Errorf("csv=%q", buf.String())
+	}
+	if lines[1] != "1,100" {
+		t.Errorf("first record=%q", lines[1])
+	}
+}
+
+func TestRenderCurve(t *testing.T) {
+	src := prng.NewMWC(9)
+	times := make([]float64, 1000)
+	for i := range times {
+		var s float64
+		for k := 0; k < 6; k++ {
+			s += prng.Float64(src)
+		}
+		times[i] = 200000 + 1500*s
+	}
+	rep, err := mbpta.Analyse(times, mbpta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderCurve(rep, times, 70, 18)
+	if !strings.Contains(out, "pWCET curve") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "*") {
+		t.Error("plot marks missing")
+	}
+	if !strings.Contains(out, "MOET") {
+		t.Error("missing MOET annotation")
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 20 {
+		t.Errorf("unexpected plot height:\n%s", out)
+	}
+}
+
+func TestRenderCurveDegenerate(t *testing.T) {
+	out := RenderCurve(&mbpta.Report{}, nil, 70, 18)
+	if !strings.Contains(out, "nothing to render") {
+		t.Error("degenerate render")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	src := prng.NewMWC(19)
+	times := make([]float64, 600)
+	for i := range times {
+		var s float64
+		for k := 0; k < 6; k++ {
+			s += prng.Float64(src)
+		}
+		times[i] = 100000 + 900*s
+	}
+	rep, err := mbpta.Analyse(times, mbpta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, "uoa", rep, times); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"MBPTA ANALYSIS REPORT", "[measurements]", "[i.i.d. verification",
+		"[EVT fit]", "[pWCET]", "Gumbel", "estimate at target", "pWCET curve",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteReportRejected(t *testing.T) {
+	// An autocorrelated series: Analyse returns the rejected report.
+	src := prng.NewMWC(23)
+	times := make([]float64, 600)
+	x := 0.0
+	for i := range times {
+		x = 0.95*x + prng.Float64(src)
+		times[i] = 100000 + 500*x
+	}
+	rep, err := mbpta.Analyse(times, mbpta.DefaultOptions())
+	if err == nil {
+		t.Fatal("expected rejection")
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, "uoa", rep, times); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REJECTED") ||
+		!strings.Contains(buf.String(), "EVT was not applied") {
+		t.Errorf("rejection report wrong:\n%s", buf.String())
+	}
+}
+
+func TestWriteReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, "x", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty report")
+	}
+}

@@ -1,0 +1,165 @@
+// Package sched provides the scheduling-analysis half of timing V&V:
+// §I of the paper frames the process as deriving "a timing bound for
+// each software unit together with a scheduling of those software units
+// so that system's timing requirements are fulfilled". Given per-task
+// WCET bounds — deterministic (MOET + margin) or probabilistic (pWCET
+// at the criticality-appropriate exceedance) — and the cyclic partition
+// schedule, this package verifies that every activation fits its window
+// and reports slack and utilisation, so the two bounding approaches can
+// be compared end to end.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"dsr/internal/mem"
+)
+
+// Task is one schedulable unit with its derived WCET bound.
+type Task struct {
+	Name string
+	// PeriodMillis is the activation period.
+	PeriodMillis int
+	// WCETCycles is the bound used for analysis: a pWCET quantile for
+	// MBPTA, or MOET × (1+margin) for current practice.
+	WCETCycles float64
+	// WindowBudgetMillis is the partition window reserved per activation.
+	WindowBudgetMillis int
+}
+
+// Result is the verdict for one task.
+type Result struct {
+	Task Task
+	// BudgetCycles is the window budget in cycles.
+	BudgetCycles float64
+	// SlackCycles is budget - WCET (negative when the task does not fit).
+	SlackCycles float64
+	// Fits reports WCET <= budget.
+	Fits bool
+	// Utilisation is WCET / period, the long-run core share.
+	Utilisation float64
+}
+
+// Report is the system-level outcome.
+type Report struct {
+	Results []Result
+	// TotalUtilisation sums the per-task utilisations.
+	TotalUtilisation float64
+	// Schedulable is true when every task fits its window and the total
+	// utilisation is below one.
+	Schedulable bool
+}
+
+// Check analyses the task set on a core running cyclesPerMilli cycles
+// per millisecond.
+func Check(tasks []Task, cyclesPerMilli mem.Cycles) (*Report, error) {
+	if cyclesPerMilli == 0 {
+		return nil, fmt.Errorf("sched: zero clock rate")
+	}
+	rep := &Report{Schedulable: true}
+	for _, t := range tasks {
+		if t.PeriodMillis <= 0 {
+			return nil, fmt.Errorf("sched: task %q has non-positive period", t.Name)
+		}
+		if t.WindowBudgetMillis <= 0 {
+			return nil, fmt.Errorf("sched: task %q has non-positive window", t.Name)
+		}
+		if t.WindowBudgetMillis > t.PeriodMillis {
+			return nil, fmt.Errorf("sched: task %q window %dms exceeds period %dms",
+				t.Name, t.WindowBudgetMillis, t.PeriodMillis)
+		}
+		if t.WCETCycles <= 0 {
+			return nil, fmt.Errorf("sched: task %q has non-positive WCET bound", t.Name)
+		}
+		budget := float64(t.WindowBudgetMillis) * float64(cyclesPerMilli)
+		period := float64(t.PeriodMillis) * float64(cyclesPerMilli)
+		r := Result{
+			Task:         t,
+			BudgetCycles: budget,
+			SlackCycles:  budget - t.WCETCycles,
+			Fits:         t.WCETCycles <= budget,
+			Utilisation:  t.WCETCycles / period,
+		}
+		rep.Results = append(rep.Results, r)
+		rep.TotalUtilisation += r.Utilisation
+		if !r.Fits {
+			rep.Schedulable = false
+		}
+	}
+	if rep.TotalUtilisation > 1 {
+		rep.Schedulable = false
+	}
+	return rep, nil
+}
+
+// MinWindow returns the smallest integer window budget (in ms) that fits
+// the bound — the dimensioning question a system integrator asks, and
+// where a tighter pWCET directly buys schedulable capacity.
+func MinWindow(wcetCycles float64, cyclesPerMilli mem.Cycles) int {
+	if wcetCycles <= 0 {
+		return 0
+	}
+	cpm := float64(cyclesPerMilli)
+	w := int(wcetCycles / cpm)
+	if float64(w)*cpm < wcetCycles {
+		w++
+	}
+	return w
+}
+
+// HyperperiodFit lays the tasks into one hyperperiod (lcm of periods)
+// first-fit by period (rate-monotonic order) and reports whether the
+// windows pack: a constructive cyclic-executive feasibility check.
+func HyperperiodFit(tasks []Task) (hyperMillis int, packs bool, err error) {
+	if len(tasks) == 0 {
+		return 0, true, nil
+	}
+	hyper := 1
+	for _, t := range tasks {
+		if t.PeriodMillis <= 0 {
+			return 0, false, fmt.Errorf("sched: task %q has non-positive period", t.Name)
+		}
+		hyper = lcm(hyper, t.PeriodMillis)
+		if hyper > 1<<20 {
+			return 0, false, fmt.Errorf("sched: hyperperiod overflow")
+		}
+	}
+	// Busy map at millisecond granularity.
+	busy := make([]bool, hyper)
+	order := append([]Task(nil), tasks...)
+	sort.Slice(order, func(i, j int) bool { return order[i].PeriodMillis < order[j].PeriodMillis })
+	for _, t := range order {
+		for start := 0; start < hyper; start += t.PeriodMillis {
+			placed := false
+			for off := 0; off+t.WindowBudgetMillis <= t.PeriodMillis && !placed; off++ {
+				free := true
+				for m := 0; m < t.WindowBudgetMillis; m++ {
+					if busy[start+off+m] {
+						free = false
+						break
+					}
+				}
+				if free {
+					for m := 0; m < t.WindowBudgetMillis; m++ {
+						busy[start+off+m] = true
+					}
+					placed = true
+				}
+			}
+			if !placed {
+				return hyper, false, nil
+			}
+		}
+	}
+	return hyper, true, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// the case study's dimensioning: 80 MHz core, control 1 s / processing
+// 100 ms periods.
+const cpm = 80_000
+
+func caseStudyTasks() []Task {
+	// Note the control window: a 200ms contiguous window cannot coexist
+	// with processing's 60ms-every-100ms windows (HyperperiodFit catches
+	// that); 30ms fits in the inter-processing gaps and is still ~7x the
+	// control task's pWCET.
+	return []Task{
+		{Name: "control", PeriodMillis: 1000, WCETCycles: 280_279, WindowBudgetMillis: 30},
+		{Name: "processing", PeriodMillis: 100, WCETCycles: 1_500_000, WindowBudgetMillis: 60},
+	}
+}
+
+func TestCheckCaseStudy(t *testing.T) {
+	rep, err := Check(caseStudyTasks(), cpm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable {
+		t.Fatal("case study should be schedulable")
+	}
+	for _, r := range rep.Results {
+		if !r.Fits || r.SlackCycles <= 0 {
+			t.Errorf("%s: fits=%v slack=%f", r.Task.Name, r.Fits, r.SlackCycles)
+		}
+	}
+	// control: 280279 / 80e6 cycles-per-second ≈ 0.35% utilisation.
+	if u := rep.Results[0].Utilisation; u < 0.001 || u > 0.01 {
+		t.Errorf("control utilisation=%f", u)
+	}
+	if rep.TotalUtilisation >= 1 {
+		t.Errorf("total utilisation=%f", rep.TotalUtilisation)
+	}
+}
+
+func TestCheckDetectsOverrun(t *testing.T) {
+	tasks := caseStudyTasks()
+	tasks[0].WCETCycles = 17_000_000 // > 200ms * 80k = 16M budget
+	rep, err := Check(tasks, cpm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Error("overrunning task set declared schedulable")
+	}
+	if rep.Results[0].Fits || rep.Results[0].SlackCycles >= 0 {
+		t.Error("overrun not reflected in result")
+	}
+}
+
+func TestCheckDetectsOverUtilisation(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", PeriodMillis: 10, WCETCycles: 7 * cpm, WindowBudgetMillis: 8},
+		{Name: "b", PeriodMillis: 10, WCETCycles: 6 * cpm, WindowBudgetMillis: 7},
+	}
+	rep, err := Check(tasks, cpm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Error("130% utilisation declared schedulable")
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	bad := [][]Task{
+		{{Name: "p0", PeriodMillis: 0, WCETCycles: 1, WindowBudgetMillis: 1}},
+		{{Name: "w0", PeriodMillis: 10, WCETCycles: 1, WindowBudgetMillis: 0}},
+		{{Name: "wgtp", PeriodMillis: 10, WCETCycles: 1, WindowBudgetMillis: 20}},
+		{{Name: "c0", PeriodMillis: 10, WCETCycles: 0, WindowBudgetMillis: 5}},
+	}
+	for _, tasks := range bad {
+		if _, err := Check(tasks, cpm); err == nil {
+			t.Errorf("%s: accepted", tasks[0].Name)
+		}
+	}
+	if _, err := Check(caseStudyTasks(), 0); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+func TestMinWindow(t *testing.T) {
+	if got := MinWindow(280_279, cpm); got != 4 {
+		t.Errorf("MinWindow=%d, want 4 (3.5ms rounds up)", got)
+	}
+	if got := MinWindow(80_000, cpm); got != 1 {
+		t.Errorf("exact fit=%d, want 1", got)
+	}
+	if got := MinWindow(0, cpm); got != 0 {
+		t.Error("zero WCET")
+	}
+}
+
+// Property: MinWindow is the least w with w*cpm >= wcet.
+func TestMinWindowProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		wcet := float64(raw%10_000_000) + 1
+		w := MinWindow(wcet, cpm)
+		return float64(w)*cpm >= wcet && float64(w-1)*cpm < wcet
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHyperperiodFit(t *testing.T) {
+	hyper, packs, err := HyperperiodFit(caseStudyTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyper != 1000 {
+		t.Errorf("hyperperiod=%d, want 1000", hyper)
+	}
+	if !packs {
+		t.Error("case study windows should pack")
+	}
+}
+
+func TestHyperperiodFitRejectsOverpacked(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", PeriodMillis: 10, WCETCycles: 1, WindowBudgetMillis: 6},
+		{Name: "b", PeriodMillis: 10, WCETCycles: 1, WindowBudgetMillis: 6},
+	}
+	_, packs, err := HyperperiodFit(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packs {
+		t.Error("12ms of windows packed into a 10ms period")
+	}
+}
+
+func TestHyperperiodFitHarmonicAndEmpty(t *testing.T) {
+	if _, packs, err := HyperperiodFit(nil); err != nil || !packs {
+		t.Error("empty set")
+	}
+	tasks := []Task{
+		{Name: "fast", PeriodMillis: 25, WCETCycles: 1, WindowBudgetMillis: 10},
+		{Name: "slow", PeriodMillis: 40, WCETCycles: 1, WindowBudgetMillis: 10},
+	}
+	hyper, _, err := HyperperiodFit(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyper != 200 {
+		t.Errorf("lcm(25,40)=%d, want 200", hyper)
+	}
+}
+
+// Property: a single task always packs when its window fits its period.
+func TestHyperperiodSingleTaskProperty(t *testing.T) {
+	f := func(p, w uint8) bool {
+		period := int(p%50) + 2
+		win := int(w)%period + 1
+		_, packs, err := HyperperiodFit([]Task{
+			{Name: "t", PeriodMillis: period, WCETCycles: 1, WindowBudgetMillis: win},
+		})
+		return err == nil && packs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,703 @@
+package spaceapp
+
+import (
+	"math"
+
+	"dsr/internal/isa"
+	"dsr/internal/prog"
+)
+
+// Coefficient-table layout (word indices into the "coeffs" object).
+const (
+	cfFilterA = iota
+	cfFilterB
+	cfPosLimit
+	cfNegLimit
+	cfKp
+	cfKi
+	cfILeak
+	cfQuant
+	cfPosCmd
+	cfNegCmd
+	cfZero
+	numCoeffs
+)
+
+// Control-task symbol names. The experiments poke per-run inputs into
+// SymSensorRaw and SymMailbox after each (re)load.
+const (
+	SymSensorRaw   = "sensor_raw"
+	SymMailbox     = "mailbox"
+	SymSensorFrame = "sensor_frame"
+	SymLastGood    = "last_good"
+	SymFilterState = "filter_state"
+	SymCoeffs      = "coeffs"
+	SymInfluence   = "influence"
+	SymCmdF        = "cmd_f"
+	SymInteg       = "integ"
+	SymOutF        = "out_f"
+	SymCmdI        = "cmd_i"
+	SymPredicted   = "predicted"
+	SymHK          = "hk"
+	SymTelemetry   = "telemetry"
+	SymCRCTable    = "crc_table"
+	SymScrub       = "scrub_region"
+	SymHistory     = "history"
+	// SymReserved is a reserved DMA staging region in the baseline link
+	// map, as space on-board software commonly carries. Its presence
+	// places the scrub window's direct-mapped L2 shadow exactly over the
+	// hot control-law data — the "bad and rare cache layout for the L2"
+	// the paper observed in the COTS binary (§VI). DSR relocates
+	// everything per run and thereby escapes it.
+	SymReserved = "dma_reserved"
+)
+
+// Housekeeping-word indices (into "hk").
+const (
+	hkChecksum = 0
+	hkOpPing   = 4
+	hkOpLoad   = 5
+	hkOpXor    = 6
+	hkOpBad    = 7
+	hkScrubSig = 8
+	hkResidual = 10
+)
+
+func f32(v float32) uint32 { return math.Float32bits(v) }
+
+// coeffWords builds the coefficient table shared bit-exactly with the
+// golden model.
+func coeffWords() []uint32 {
+	w := make([]uint32, numCoeffs)
+	w[cfFilterA] = f32(coefFilterA)
+	w[cfFilterB] = f32(coefFilterB)
+	w[cfPosLimit] = f32(coefWFELimit)
+	w[cfNegLimit] = f32(-coefWFELimit)
+	w[cfKp] = f32(coefKp)
+	w[cfKi] = f32(coefKi)
+	w[cfILeak] = f32(coefILeak)
+	w[cfQuant] = f32(coefQuant)
+	w[cfPosCmd] = f32(coefCmdLimit)
+	w[cfNegCmd] = f32(-coefCmdLimit)
+	w[cfZero] = f32(0)
+	return w
+}
+
+// InfluenceValue is the deterministic influence-matrix initialiser:
+// a smooth-ish but non-trivial coupling between zone z and actuator a.
+func InfluenceValue(a, z int) float32 {
+	return float32((a*31+z*17)%89)/89 - 0.5
+}
+
+func influenceWords() []uint32 {
+	w := make([]uint32, NumActuators*NumZones)
+	for a := 0; a < NumActuators; a++ {
+		for z := 0; z < NumZones; z++ {
+			w[a*NumZones+z] = f32(InfluenceValue(a, z))
+		}
+	}
+	return w
+}
+
+// scrubWords is the EDAC scrub window's deterministic fill pattern.
+func scrubWords() []uint32 {
+	w := make([]uint32, ScrubWords)
+	for i := range w {
+		w[i] = uint32(i) * 0x9E3779B1
+	}
+	return w
+}
+
+// crcPoly is the CRC-32 generator polynomial (MSB-first form).
+const crcPoly = 0x04C11DB7
+
+// CRCTable returns the MSB-first CRC-32 table used by the telemetry
+// frame check; exported so the golden model shares it.
+func CRCTable() []uint32 {
+	t := make([]uint32, 256)
+	for i := 0; i < 256; i++ {
+		c := uint32(i) << 24
+		for b := 0; b < 8; b++ {
+			if c&0x80000000 != 0 {
+				c = c<<1 ^ crcPoly
+			} else {
+				c <<= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}
+
+// BuildControl constructs the high-criticality control task. The program
+// halts with the telemetry CRC in %o0, so every run's functional result
+// is observable and checkable against the golden model.
+func BuildControl() (*prog.Program, error) {
+	p := &prog.Program{Name: "control", Entry: "ctrl_main"}
+
+	data := []*prog.DataObject{
+		{Name: SymSensorRaw, Size: RawWords * 4, Align: 8},
+		{Name: SymMailbox, Size: MailboxWords * 4, Align: 8},
+		{Name: SymSensorFrame, Size: NumZones * 4, Align: 8},
+		{Name: SymLastGood, Size: NumZones * 4, Align: 8},
+		{Name: SymFilterState, Size: NumZones * 4, Align: 8},
+		{Name: SymCoeffs, Size: numCoeffs * 4, Align: 8, Init: coeffWords()},
+		{Name: SymInfluence, Size: NumActuators * NumZones * 4, Align: 8, Init: influenceWords()},
+		{Name: SymCmdF, Size: NumActuators * 4, Align: 8},
+		{Name: SymInteg, Size: NumActuators * 4, Align: 8},
+		{Name: SymOutF, Size: NumActuators * 4, Align: 8},
+		{Name: SymCmdI, Size: NumActuators * 4, Align: 8},
+		{Name: SymPredicted, Size: NumZones * 4, Align: 8},
+		{Name: SymHK, Size: 16 * 4, Align: 8},
+		{Name: SymTelemetry, Size: FrameWords * 4, Align: 8},
+		{Name: SymCRCTable, Size: 256 * 4, Align: 8, Init: CRCTable()},
+		{Name: SymReserved, Size: 20480, Align: 8},
+		{Name: SymScrub, Size: ScrubWords * 4, Align: 8, Init: scrubWords()},
+		{Name: SymHistory, Size: HistorySlots * FrameWords * 4, Align: 8},
+	}
+	for _, d := range data {
+		if err := p.AddData(d); err != nil {
+			return nil, err
+		}
+	}
+
+	funcs := []*prog.Function{
+		ctrlMain(),
+		dmaCopy(),
+		validateFrame(),
+		wavefrontFilter(),
+		influenceMatmul(),
+		pidUpdate(),
+		limitQuantize(),
+		parseUplink(),
+		sat24Add(),
+		edacScrub(),
+		predictWavefront(),
+		buildTelemetry(),
+		historyUpdate(),
+		crcFrame(),
+	}
+	for _, f := range funcs {
+		if err := p.AddFunction(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ctrl_main: the unit of analysis between ipoints 1 and 2 (§V).
+func ctrlMain() *prog.Function {
+	return prog.NewFunc("ctrl_main", prog.MinFrame).
+		Prologue().
+		IPoint(1).
+		Call("dma_copy").
+		Call("validate_frame").
+		Call("wavefront_filter").
+		Call("influence_matmul").
+		Call("pid_update").
+		// Mid-cycle housekeeping slot: the EDAC scrub pass runs between
+		// the predictor (influence_matmul) and the corrector
+		// (predict_wavefront). In the baseline link map the scrub
+		// window's direct-mapped L2 shadow covers the influence matrix,
+		// so the corrector re-fetches it from memory every cycle — the
+		// paper's rare bad L2 layout, which DSR escapes on most runs.
+		Call("edac_scrub").
+		Call("predict_wavefront").
+		Call("limit_quantize").
+		Call("parse_uplink").
+		Call("build_telemetry").
+		Call("history_update").
+		Call("crc_frame"). // result lands in %o0
+		IPoint(2).
+		Halt().
+		MustBuild()
+}
+
+// dma_copy: move the raw sensor DMA buffer into the working frame with a
+// rotate-xor checksum — the integer-heavy interface work of the task.
+// The running checksum is kept in a stack local so the loop also
+// exercises the (randomised) stack frame.
+func dmaCopy() *prog.Function {
+	b := prog.NewFunc("dma_copy", prog.MinFrame+16)
+	b.Prologue().
+		Set(isa.L0, SymSensorRaw).
+		Set(isa.L1, SymSensorFrame).
+		MovI(isa.L2, 0). // z
+		MovI(isa.L3, 0).
+		St(isa.L3, isa.SP, prog.LocalBase). // checksum lives on the stack
+		Label("loop").
+		SllI(isa.L4, isa.L2, 2).
+		Add(isa.L5, isa.L0, isa.L4).
+		Ld(isa.L6, isa.L5, 16*4). // raw[16+z]
+		Add(isa.L5, isa.L1, isa.L4).
+		St(isa.L6, isa.L5, 0). // frame[z]
+		Ld(isa.L3, isa.SP, prog.LocalBase).
+		SllI(isa.L7, isa.L3, 1).
+		SrlI(isa.G1, isa.L3, 31).
+		Op3(isa.Or, isa.L7, isa.L7, isa.G1). // rotl(checksum, 1)
+		Op3(isa.Xor, isa.L3, isa.L7, isa.L6).
+		St(isa.L3, isa.SP, prog.LocalBase).
+		AddI(isa.L2, isa.L2, 1).
+		CmpI(isa.L2, NumZones).
+		Bl("loop").
+		Set(isa.L0, SymHK).
+		St(isa.L3, isa.L0, hkChecksum*4).
+		Epilogue()
+	return b.MustBuild()
+}
+
+// validate_frame: clamp out-of-window wavefront errors by substituting
+// the last good value (robustness to sensor misbehaviour, §IV).
+func validateFrame() *prog.Function {
+	b := prog.NewFunc("validate_frame", prog.MinFrame)
+	b.Prologue().
+		Set(isa.L0, SymSensorFrame).
+		Set(isa.L1, SymLastGood).
+		Set(isa.L2, SymCoeffs).
+		FLd(2, isa.L2, cfPosLimit*4).
+		FLd(3, isa.L2, cfNegLimit*4).
+		MovI(isa.L3, 0). // z
+		Label("loop").
+		SllI(isa.L4, isa.L3, 2).
+		Add(isa.L5, isa.L0, isa.L4).
+		Add(isa.L6, isa.L1, isa.L4).
+		FLd(0, isa.L5, 0). // f0 = frame[z]
+		Fcmp(0, 2).
+		Fbg("bad"). // f0 > +limit
+		Fcmp(0, 3).
+		Fbl("bad").        // f0 < -limit
+		FSt(0, isa.L6, 0). // last_good[z] = f0
+		Ba("next").
+		Label("bad").
+		FLd(0, isa.L6, 0). // f0 = last_good[z]
+		FSt(0, isa.L5, 0). // frame[z] = f0
+		Label("next").
+		AddI(isa.L3, isa.L3, 1).
+		CmpI(isa.L3, NumZones).
+		Bl("loop").
+		Epilogue()
+	return b.MustBuild()
+}
+
+// wavefront_filter: first-order IIR smoothing per zone.
+func wavefrontFilter() *prog.Function {
+	b := prog.NewFunc("wavefront_filter", prog.MinFrame)
+	b.Prologue().
+		Set(isa.L0, SymFilterState).
+		Set(isa.L1, SymSensorFrame).
+		Set(isa.L2, SymCoeffs).
+		FLd(4, isa.L2, cfFilterA*4).
+		FLd(5, isa.L2, cfFilterB*4).
+		MovI(isa.L3, 0).
+		Label("loop").
+		SllI(isa.L4, isa.L3, 2).
+		Add(isa.L5, isa.L0, isa.L4).
+		Add(isa.L6, isa.L1, isa.L4).
+		FLd(0, isa.L5, 0). // state
+		FLd(1, isa.L6, 0). // frame
+		Fmul(0, 0, 4).     // A*state
+		Fmul(1, 1, 5).     // B*frame
+		Fadd(0, 0, 1).
+		FSt(0, isa.L5, 0).
+		AddI(isa.L3, isa.L3, 1).
+		CmpI(isa.L3, NumZones).
+		Bl("loop").
+		Epilogue()
+	return b.MustBuild()
+}
+
+// influence_matmul: commands = influence-matrix × filtered wavefront,
+// the FP- and memory-intensive core of the control law.
+func influenceMatmul() *prog.Function {
+	b := prog.NewFunc("influence_matmul", prog.MinFrame)
+	b.Prologue().
+		Set(isa.L0, SymInfluence).
+		Set(isa.L1, SymFilterState).
+		Set(isa.L2, SymCmdF).
+		Set(isa.L3, SymCoeffs).
+		MovI(isa.L4, 0). // a
+		Label("rows").
+		FLd(0, isa.L3, cfZero*4). // acc = 0.0
+		MovI(isa.L5, 0).          // z
+		MulI(isa.L6, isa.L4, NumZones*4).
+		Add(isa.L6, isa.L0, isa.L6). // row base
+		Label("cols").
+		SllI(isa.L7, isa.L5, 2).
+		Add(isa.G1, isa.L6, isa.L7).
+		FLd(1, isa.G1, 0). // M[a][z]
+		Add(isa.G1, isa.L1, isa.L7).
+		FLd(2, isa.G1, 0). // state[z]
+		Fmul(1, 1, 2).
+		Fadd(0, 0, 1).
+		AddI(isa.L5, isa.L5, 1).
+		CmpI(isa.L5, NumZones).
+		Bl("cols").
+		SllI(isa.L7, isa.L4, 2).
+		Add(isa.G1, isa.L2, isa.L7).
+		FSt(0, isa.G1, 0). // cmd_f[a]
+		AddI(isa.L4, isa.L4, 1).
+		CmpI(isa.L4, NumActuators).
+		Bl("rows").
+		Epilogue()
+	return b.MustBuild()
+}
+
+// pid_update: leaky-integral PI regulator per actuator.
+func pidUpdate() *prog.Function {
+	b := prog.NewFunc("pid_update", prog.MinFrame)
+	b.Prologue().
+		Set(isa.L0, SymCmdF).
+		Set(isa.L1, SymInteg).
+		Set(isa.L2, SymOutF).
+		Set(isa.L3, SymCoeffs).
+		FLd(4, isa.L3, cfKp*4).
+		FLd(5, isa.L3, cfKi*4).
+		FLd(6, isa.L3, cfILeak*4).
+		MovI(isa.L4, 0).
+		Label("loop").
+		SllI(isa.L5, isa.L4, 2).
+		Add(isa.L6, isa.L0, isa.L5).
+		FLd(0, isa.L6, 0). // e = cmd_f[a]
+		Add(isa.L6, isa.L1, isa.L5).
+		FLd(1, isa.L6, 0). // integ[a]
+		Fmul(2, 0, 6).     // ileak*e
+		Fadd(1, 1, 2).
+		FSt(1, isa.L6, 0). // integ[a] updated
+		Fmul(3, 0, 4).     // kp*e
+		Fmul(2, 1, 5).     // ki*integ
+		Fadd(3, 3, 2).
+		Add(isa.L6, isa.L2, isa.L5).
+		FSt(3, isa.L6, 0). // out_f[a]
+		AddI(isa.L4, isa.L4, 1).
+		CmpI(isa.L4, NumActuators).
+		Bl("loop").
+		Epilogue()
+	return b.MustBuild()
+}
+
+// limit_quantize: saturate commands and convert to fixed point.
+func limitQuantize() *prog.Function {
+	b := prog.NewFunc("limit_quantize", prog.MinFrame)
+	b.Prologue().
+		Set(isa.L0, SymOutF).
+		Set(isa.L1, SymCmdI).
+		Set(isa.L2, SymCoeffs).
+		FLd(4, isa.L2, cfPosCmd*4).
+		FLd(5, isa.L2, cfNegCmd*4).
+		FLd(6, isa.L2, cfQuant*4).
+		FLd(7, isa.L2, cfZero*4).
+		MovI(isa.L3, 0).
+		Label("loop").
+		SllI(isa.L4, isa.L3, 2).
+		Add(isa.L5, isa.L0, isa.L4).
+		FLd(0, isa.L5, 0).
+		Fcmp(0, 4).
+		Fbl("nothigh").
+		Fadd(0, 4, 7). // f0 = +limit
+		Label("nothigh").
+		Fcmp(0, 5).
+		Fbg("notlow").
+		Fadd(0, 5, 7). // f0 = -limit
+		Label("notlow").
+		Fmul(0, 0, 6). // scale
+		Fstoi(1, 0).
+		Add(isa.L5, isa.L1, isa.L4).
+		FSt(1, isa.L5, 0). // cmd_i[a] (integer bits)
+		AddI(isa.L3, isa.L3, 1).
+		CmpI(isa.L3, NumActuators).
+		Bl("loop").
+		Epilogue()
+	return b.MustBuild()
+}
+
+// parse_uplink: scan the spacecraft command mailbox, dispatching on the
+// opcode nibble — the branch-heavy interface work.
+func parseUplink() *prog.Function {
+	b := prog.NewFunc("parse_uplink", prog.MinFrame)
+	b.Prologue().
+		Set(isa.L0, SymMailbox).
+		Set(isa.L1, SymHK).
+		MovI(isa.L2, 0). // i
+		Label("loop").
+		SllI(isa.L3, isa.L2, 2).
+		Add(isa.L4, isa.L0, isa.L3).
+		Ld(isa.L5, isa.L4, 0). // w = mailbox[i]
+		SrlI(isa.L6, isa.L5, 28).
+		AndI(isa.L6, isa.L6, 0xF). // opcode
+		CmpI(isa.L6, 1).
+		Bne("not1").
+		Ld(isa.L7, isa.L1, hkOpPing*4).
+		AddI(isa.L7, isa.L7, 1).
+		St(isa.L7, isa.L1, hkOpPing*4).
+		Ba("next").
+		Label("not1").
+		CmpI(isa.L6, 2).
+		Bne("not2").
+		Ld(isa.O0, isa.L1, hkOpLoad*4).
+		AndI(isa.O1, isa.L5, 0xFFFF).
+		Call("sat24_add").
+		St(isa.O0, isa.L1, hkOpLoad*4).
+		Ba("next").
+		Label("not2").
+		CmpI(isa.L6, 3).
+		Bne("not3").
+		Ld(isa.L7, isa.L1, hkOpXor*4).
+		Op3(isa.Xor, isa.L7, isa.L7, isa.L5).
+		St(isa.L7, isa.L1, hkOpXor*4).
+		Ba("next").
+		Label("not3").
+		Ld(isa.L7, isa.L1, hkOpBad*4).
+		AddI(isa.L7, isa.L7, 1).
+		St(isa.L7, isa.L1, hkOpBad*4).
+		Label("next").
+		AddI(isa.L2, isa.L2, 1).
+		CmpI(isa.L2, MailboxWords).
+		Bl("loop").
+		Epilogue()
+	return b.MustBuild()
+}
+
+// sat24_add: leaf — saturating accumulate used by the load opcode.
+func sat24Add() *prog.Function {
+	b := prog.NewLeaf("sat24_add")
+	b.Add(isa.O0, isa.O0, isa.O1).
+		SetI(isa.G1, 0x00FFFFFF).
+		Cmp(isa.O0, isa.G1).
+		Ble("ok").
+		Mov(isa.O0, isa.G1).
+		Label("ok").
+		RetLeaf()
+	return b.MustBuild()
+}
+
+// edac_scrub: xor-fold signature over the scrub window — the periodic
+// memory-integrity pass of on-board software, and the control task's
+// main integer/memory load besides the interface handling.
+func edacScrub() *prog.Function {
+	b := prog.NewFunc("edac_scrub", prog.MinFrame)
+	b.Prologue().
+		Set(isa.L0, SymScrub).
+		MovI(isa.L1, 0). // i
+		MovI(isa.L2, 0). // signature
+		Label("loop").
+		SllI(isa.L3, isa.L1, 2).
+		Add(isa.L4, isa.L0, isa.L3).
+		Ld(isa.L5, isa.L4, 0).
+		Op3(isa.Xor, isa.L2, isa.L2, isa.L5).
+		SrlI(isa.L6, isa.L2, 13).
+		Op3(isa.Xor, isa.L2, isa.L2, isa.L6).
+		AddI(isa.L1, isa.L1, 1).
+		CmpI(isa.L1, ScrubWords).
+		Bl("loop").
+		Set(isa.L0, SymHK).
+		St(isa.L2, isa.L0, hkScrubSig*4).
+		Epilogue()
+	return b.MustBuild()
+}
+
+// history_update: copy the telemetry frame into the history ring (slot
+// selected by the frame checksum) and CRC the whole ring; the ring CRC
+// replaces the first fill word of the frame.
+func historyUpdate() *prog.Function {
+	b := prog.NewFunc("history_update", prog.MinFrame+16)
+	b.Prologue().
+		Set(isa.L0, SymTelemetry).
+		Set(isa.L1, SymHistory).
+		Set(isa.L2, SymHK).
+		Ld(isa.L3, isa.L2, hkChecksum*4).
+		AndI(isa.L3, isa.L3, HistorySlots-1).
+		MulI(isa.L3, isa.L3, FrameWords*4).
+		Add(isa.L3, isa.L1, isa.L3). // slot base
+		MovI(isa.L4, 0).
+		Label("copy").
+		SllI(isa.L5, isa.L4, 2).
+		Add(isa.L6, isa.L0, isa.L5).
+		Ld(isa.L7, isa.L6, 0).
+		Add(isa.L6, isa.L3, isa.L5).
+		St(isa.L7, isa.L6, 0).
+		AddI(isa.L4, isa.L4, 1).
+		CmpI(isa.L4, FrameWords).
+		Bl("copy").
+		// CRC over the full ring.
+		Set(isa.L2, SymCRCTable).
+		SetI(isa.L4, -1). // crc
+		MovI(isa.L5, 0).  // byte index
+		St(isa.L4, isa.SP, prog.LocalBase).
+		Label("crc").
+		Add(isa.L6, isa.L1, isa.L5).
+		Ldub(isa.L7, isa.L6, 0).
+		Ld(isa.L4, isa.SP, prog.LocalBase).
+		SrlI(isa.G1, isa.L4, 24).
+		Op3(isa.Xor, isa.G1, isa.G1, isa.L7).
+		AndI(isa.G1, isa.G1, 0xFF).
+		SllI(isa.G1, isa.G1, 2).
+		Add(isa.G2, isa.L2, isa.G1).
+		Ld(isa.G2, isa.G2, 0).
+		SllI(isa.L4, isa.L4, 8).
+		Op3(isa.Xor, isa.L4, isa.L4, isa.G2).
+		St(isa.L4, isa.SP, prog.LocalBase).
+		AddI(isa.L5, isa.L5, 1).
+		CmpI(isa.L5, HistorySlots*FrameWords*4).
+		Bl("crc").
+		St(isa.L4, isa.L0, 32*4). // frame[32] = ring CRC
+		Epilogue()
+	return b.MustBuild()
+}
+
+// predict_wavefront: the corrector pass — reconstruct the wavefront the
+// commanded actuators would produce (transposed influence product) and
+// accumulate the squared residual against the filtered estimate. The
+// transposed walk re-reads the whole influence matrix with a large
+// stride, so its timing depends on what survived in the L2 across the
+// scrub pass.
+func predictWavefront() *prog.Function {
+	b := prog.NewFunc("predict_wavefront", prog.MinFrame+16)
+	b.Prologue().
+		Set(isa.L0, SymInfluence).
+		Set(isa.L1, SymOutF).
+		Set(isa.L2, SymFilterState).
+		Set(isa.L3, SymCoeffs).
+		FLd(7, isa.L3, cfZero*4).
+		Fmul(6, 7, 7). // residual accumulator = 0
+		Set(isa.L4, SymPredicted).
+		MovI(isa.L5, 0). // z
+		Label("zloop").
+		Fmul(0, 7, 7).   // acc = 0
+		MovI(isa.L6, 0). // a
+		Label("aloop").
+		MulI(isa.G1, isa.L6, NumZones*4).
+		SllI(isa.G2, isa.L5, 2).
+		Add(isa.G1, isa.G1, isa.G2).
+		Add(isa.G1, isa.L0, isa.G1).
+		FLd(1, isa.G1, 0). // M[a][z]
+		SllI(isa.G2, isa.L6, 2).
+		Add(isa.G2, isa.L1, isa.G2).
+		FLd(2, isa.G2, 0). // out_f[a]
+		Fmul(1, 1, 2).
+		Fadd(0, 0, 1).
+		AddI(isa.L6, isa.L6, 1).
+		CmpI(isa.L6, NumActuators).
+		Bl("aloop").
+		SllI(isa.G2, isa.L5, 2).
+		Add(isa.G1, isa.L4, isa.G2).
+		FSt(0, isa.G1, 0). // predicted[z]
+		Add(isa.G1, isa.L2, isa.G2).
+		FLd(3, isa.G1, 0). // state[z]
+		Fsub(3, 3, 0).
+		Fmul(3, 3, 3).
+		Fadd(6, 6, 3). // residual accumulation
+		AddI(isa.L5, isa.L5, 1).
+		CmpI(isa.L5, NumZones).
+		Bl("zloop").
+		FSt(6, isa.SP, prog.LocalBase).
+		Ld(isa.L7, isa.SP, prog.LocalBase).
+		Set(isa.L0, SymHK).
+		St(isa.L7, isa.L0, hkResidual*4).
+		Epilogue()
+	return b.MustBuild()
+}
+
+// build_telemetry: pack the downlink frame (header, commands,
+// housekeeping, strided state snapshot, fill pattern).
+func buildTelemetry() *prog.Function {
+	b := prog.NewFunc("build_telemetry", prog.MinFrame)
+	b.Prologue().
+		Set(isa.L0, SymTelemetry).
+		SetI(isa.L1, TelemetryMagic).
+		St(isa.L1, isa.L0, 0).
+		// commands
+		Set(isa.L2, SymCmdI).
+		MovI(isa.L3, 0).
+		Label("cmds").
+		SllI(isa.L4, isa.L3, 2).
+		Add(isa.L5, isa.L2, isa.L4).
+		Ld(isa.L6, isa.L5, 0).
+		Add(isa.L5, isa.L0, isa.L4).
+		St(isa.L6, isa.L5, 4). // frame[1+a]
+		AddI(isa.L3, isa.L3, 1).
+		CmpI(isa.L3, NumActuators).
+		Bl("cmds").
+		// housekeeping words 0,4,5,6,7 → frame[9..13]
+		Set(isa.L2, SymHK).
+		Ld(isa.L6, isa.L2, hkChecksum*4).
+		St(isa.L6, isa.L0, 9*4).
+		Ld(isa.L6, isa.L2, hkOpPing*4).
+		St(isa.L6, isa.L0, 10*4).
+		Ld(isa.L6, isa.L2, hkOpLoad*4).
+		St(isa.L6, isa.L0, 11*4).
+		Ld(isa.L6, isa.L2, hkOpXor*4).
+		St(isa.L6, isa.L0, 12*4).
+		Ld(isa.L6, isa.L2, hkOpBad*4).
+		St(isa.L6, isa.L0, 13*4).
+		MovI(isa.L6, NumZones).
+		St(isa.L6, isa.L0, 14*4).
+		MovI(isa.L6, NumActuators).
+		St(isa.L6, isa.L0, 15*4).
+		// strided filter-state snapshot → frame[16..31]
+		Set(isa.L2, SymFilterState).
+		MovI(isa.L3, 0).
+		Label("snap").
+		MulI(isa.L4, isa.L3, 9*4). // zone j*9
+		Add(isa.L5, isa.L2, isa.L4).
+		Ld(isa.L6, isa.L5, 0).
+		AddI(isa.L4, isa.L3, 16).
+		SllI(isa.L4, isa.L4, 2).
+		Add(isa.L5, isa.L0, isa.L4).
+		St(isa.L6, isa.L5, 0).
+		AddI(isa.L3, isa.L3, 1).
+		CmpI(isa.L3, 16).
+		Bl("snap").
+		// fill pattern → frame[32..63]
+		MovI(isa.L3, 32).
+		Label("fill").
+		MulI(isa.L6, isa.L3, 40503).
+		Op3(isa.Xor, isa.L6, isa.L6, isa.L1).
+		SllI(isa.L4, isa.L3, 2).
+		Add(isa.L5, isa.L0, isa.L4).
+		St(isa.L6, isa.L5, 0).
+		AddI(isa.L3, isa.L3, 1).
+		CmpI(isa.L3, FrameWords).
+		Bl("fill").
+		// scrub signature and residual → frame[33]/frame[34] (after fill)
+		Set(isa.L2, SymHK).
+		Ld(isa.L6, isa.L2, hkScrubSig*4).
+		St(isa.L6, isa.L0, 33*4).
+		Ld(isa.L6, isa.L2, hkResidual*4).
+		St(isa.L6, isa.L0, 34*4).
+		Epilogue()
+	return b.MustBuild()
+}
+
+// crc_frame: byte-wise table-driven CRC-32 over the telemetry frame;
+// the result (returned in %i0 → caller's %o0) is the run's observable.
+func crcFrame() *prog.Function {
+	b := prog.NewFunc("crc_frame", prog.MinFrame+16)
+	b.Prologue().
+		Set(isa.L0, SymTelemetry).
+		Set(isa.L1, SymCRCTable).
+		SetI(isa.L2, -1). // crc = 0xFFFFFFFF
+		MovI(isa.L3, 0).  // byte index
+		St(isa.L2, isa.SP, prog.LocalBase).
+		Label("loop").
+		Add(isa.L4, isa.L0, isa.L3).
+		Ldub(isa.L5, isa.L4, 0).
+		Ld(isa.L2, isa.SP, prog.LocalBase).
+		SrlI(isa.L6, isa.L2, 24).
+		Op3(isa.Xor, isa.L6, isa.L6, isa.L5).
+		AndI(isa.L6, isa.L6, 0xFF).
+		SllI(isa.L6, isa.L6, 2).
+		Add(isa.L7, isa.L1, isa.L6).
+		Ld(isa.L7, isa.L7, 0).
+		SllI(isa.L2, isa.L2, 8).
+		Op3(isa.Xor, isa.L2, isa.L2, isa.L7).
+		St(isa.L2, isa.SP, prog.LocalBase).
+		AddI(isa.L3, isa.L3, 1).
+		CmpI(isa.L3, FrameWords*4).
+		Bl("loop").
+		Mov(isa.I0, isa.L2).
+		Epilogue()
+	return b.MustBuild()
+}

@@ -1,0 +1,164 @@
+package spaceapp
+
+import "math"
+
+// ControlReference is the bit-exact Go golden model of the control task:
+// given the same input it produces the same telemetry CRC the simulated
+// program leaves in %o0. Every float32 operation mirrors the IR code's
+// operation order, so IEEE single-precision rounding matches exactly.
+func ControlReference(in *ControlInput) uint32 {
+	// dma_copy.
+	frame := make([]uint32, NumZones)
+	var chk uint32
+	for z := 0; z < NumZones; z++ {
+		w := in.Raw[16+z]
+		frame[z] = w
+		chk = (chk<<1 | chk>>31) ^ w
+	}
+
+	// validate_frame.
+	last := make([]float32, NumZones)
+	for z := 0; z < NumZones; z++ {
+		f := math.Float32frombits(frame[z])
+		if f > coefWFELimit || f < -coefWFELimit {
+			f = last[z]
+			frame[z] = math.Float32bits(f)
+		} else {
+			last[z] = f
+		}
+	}
+
+	// wavefront_filter (state boots at zero: partition reboot).
+	state := make([]float32, NumZones)
+	for z := 0; z < NumZones; z++ {
+		t1 := state[z] * coefFilterA
+		t2 := math.Float32frombits(frame[z]) * coefFilterB
+		state[z] = t1 + t2
+	}
+
+	// influence_matmul.
+	cmdF := make([]float32, NumActuators)
+	for a := 0; a < NumActuators; a++ {
+		var acc float32
+		for z := 0; z < NumZones; z++ {
+			t := InfluenceValue(a, z) * state[z]
+			acc = acc + t
+		}
+		cmdF[a] = acc
+	}
+
+	// pid_update.
+	outF := make([]float32, NumActuators)
+	integ := make([]float32, NumActuators)
+	for a := 0; a < NumActuators; a++ {
+		e := cmdF[a]
+		integ[a] = integ[a] + e*coefILeak
+		t1 := e * coefKp
+		t2 := integ[a] * coefKi
+		outF[a] = t1 + t2
+	}
+
+	// limit_quantize.
+	cmdI := make([]uint32, NumActuators)
+	for a := 0; a < NumActuators; a++ {
+		v := outF[a]
+		if !(v < coefCmdLimit) {
+			v = coefCmdLimit + 0
+		}
+		if !(v > -coefCmdLimit) {
+			v = -coefCmdLimit + 0
+		}
+		q := v * coefQuant
+		cmdI[a] = uint32(int32(q))
+	}
+
+	// parse_uplink.
+	var ping, load, xor, bad uint32
+	for i := 0; i < MailboxWords; i++ {
+		w := in.Mailbox[i]
+		switch w >> 28 & 0xF {
+		case 1:
+			ping++
+		case 2:
+			s := int32(load) + int32(w&0xFFFF)
+			if s > 0x00FFFFFF {
+				s = 0x00FFFFFF
+			}
+			load = uint32(s)
+		case 3:
+			xor ^= w
+		default:
+			bad++
+		}
+	}
+
+	// edac_scrub.
+	scrub := scrubWords()
+	var sig uint32
+	for i := 0; i < ScrubWords; i++ {
+		sig ^= scrub[i]
+		sig ^= sig >> 13
+	}
+
+	// predict_wavefront (corrector): transposed influence product and
+	// squared-residual accumulation, in the IR code's operation order.
+	var resid float32
+	for z := 0; z < NumZones; z++ {
+		var acc float32
+		for a := 0; a < NumActuators; a++ {
+			t := InfluenceValue(a, z) * outF[a]
+			acc = acc + t
+		}
+		r := state[z] - acc
+		resid = resid + r*r
+	}
+
+	// build_telemetry.
+	tele := make([]uint32, FrameWords)
+	tele[0] = TelemetryMagic
+	for a := 0; a < NumActuators; a++ {
+		tele[1+a] = cmdI[a]
+	}
+	tele[9] = chk
+	tele[10] = ping
+	tele[11] = load
+	tele[12] = xor
+	tele[13] = bad
+	tele[14] = NumZones
+	tele[15] = NumActuators
+	for j := 0; j < 16; j++ {
+		tele[16+j] = math.Float32bits(state[j*9])
+	}
+	for j := 32; j < FrameWords; j++ {
+		tele[j] = uint32(int32(j)*40503) ^ TelemetryMagic
+	}
+	tele[33] = sig
+	tele[34] = math.Float32bits(resid)
+
+	// history_update: copy the frame into the (boot-zeroed) ring, then
+	// CRC the whole ring into frame[32].
+	table := CRCTable()
+	ring := make([]uint32, HistorySlots*FrameWords)
+	slot := int(chk & (HistorySlots - 1))
+	copy(ring[slot*FrameWords:], tele)
+	ringCRC := uint32(0xFFFFFFFF)
+	for _, w := range ring {
+		for shift := 24; shift >= 0; shift -= 8 {
+			b := w >> uint(shift) & 0xFF
+			idx := (ringCRC>>24 ^ b) & 0xFF
+			ringCRC = ringCRC<<8 ^ table[idx]
+		}
+	}
+	tele[32] = ringCRC
+
+	// crc_frame.
+	crc := uint32(0xFFFFFFFF)
+	for _, w := range tele {
+		for shift := 24; shift >= 0; shift -= 8 {
+			b := w >> uint(shift) & 0xFF
+			idx := (crc>>24 ^ b) & 0xFF
+			crc = crc<<8 ^ table[idx]
+		}
+	}
+	return crc
+}

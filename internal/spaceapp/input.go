@@ -1,0 +1,125 @@
+package spaceapp
+
+import (
+	"fmt"
+	"math"
+
+	"dsr/internal/cpu"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/prng"
+)
+
+// ControlInput is one activation's input vector for the control task:
+// the raw sensor DMA buffer and the spacecraft uplink mailbox.
+type ControlInput struct {
+	Raw     []uint32 // RawWords: 16 header words + NumZones wfe floats
+	Mailbox []uint32 // MailboxWords command words
+}
+
+// GenControlInput synthesises a plausible input: wavefront errors mostly
+// inside the ±50 validation window with ~2% outliers (exercising the
+// substitution path), and a mailbox with a mix of known and unknown
+// opcodes. The same seed always yields the same input.
+func GenControlInput(seed uint64) *ControlInput {
+	src := prng.NewMWC(seed ^ 0x5EA5)
+	in := &ControlInput{
+		Raw:     make([]uint32, RawWords),
+		Mailbox: make([]uint32, MailboxWords),
+	}
+	for i := 0; i < 16; i++ {
+		in.Raw[i] = src.Uint32()
+	}
+	for z := 0; z < NumZones; z++ {
+		v := float32(prng.Float64(src)*40 - 20) // nominal ±20
+		if prng.Float64(src) < 0.02 {
+			v *= 5 // occasional out-of-window outlier
+		}
+		in.Raw[16+z] = math.Float32bits(v)
+	}
+	for i := range in.Mailbox {
+		w := src.Uint32()
+		op := uint32(prng.Intn(src, 6)) // opcodes 0..5; 1-3 are known
+		in.Mailbox[i] = w&0x0FFFFFFF | op<<28
+	}
+	return in
+}
+
+// ApplyControlInput pokes the input into the loaded image's buffers
+// (the DMA delivery of fresh sensor data before an activation).
+func ApplyControlInput(m *cpu.Memory, img *loader.Image, in *ControlInput) error {
+	raw, ok := img.Symbols[SymSensorRaw]
+	if !ok {
+		return fmt.Errorf("spaceapp: image has no %s", SymSensorRaw)
+	}
+	mb, ok := img.Symbols[SymMailbox]
+	if !ok {
+		return fmt.Errorf("spaceapp: image has no %s", SymMailbox)
+	}
+	for i, w := range in.Raw {
+		m.StoreWord(raw+mem.Addr(i)*4, w)
+	}
+	for i, w := range in.Mailbox {
+		m.StoreWord(mb+mem.Addr(i)*4, w)
+	}
+	return nil
+}
+
+// Scene is one activation's input for the image-processing task: the
+// 12×12 lens array, 34×34 pixels each, row-major by lens then pixel.
+type Scene struct {
+	Pixels []byte // NumLenses * PixelsPerLens
+	// Lit is how many lenses the generator made bright (informative).
+	Lit int
+}
+
+// GenScene synthesises a lens array in which litFrac of the lenses are
+// brightly illuminated (a Gaussian-ish spot) and the rest are dim noise.
+// The paper's inputs light around 70% of the lenses.
+func GenScene(seed uint64, litFrac float64) *Scene {
+	src := prng.NewMWC(seed ^ 0xC0DE)
+	s := &Scene{Pixels: make([]byte, NumLenses*PixelsPerLens)}
+	for l := 0; l < NumLenses; l++ {
+		lit := prng.Float64(src) < litFrac
+		if lit {
+			s.Lit++
+		}
+		// Spot centre, slightly offset per lens (the wavefront slope).
+		cx := float64(LensPixels)/2 + prng.Float64(src)*6 - 3
+		cy := float64(LensPixels)/2 + prng.Float64(src)*6 - 3
+		base := l * PixelsPerLens
+		for y := 0; y < LensPixels; y++ {
+			for x := 0; x < LensPixels; x++ {
+				var v float64
+				if lit {
+					dx := float64(x) - cx
+					dy := float64(y) - cy
+					v = 230 * math.Exp(-(dx*dx+dy*dy)/60)
+					v += prng.Float64(src) * 25
+				} else {
+					v = prng.Float64(src) * 30
+				}
+				if v > 255 {
+					v = 255
+				}
+				s.Pixels[base+y*LensPixels+x] = byte(v)
+			}
+		}
+	}
+	return s
+}
+
+// ApplyScene pokes the lens images into the processing task's buffer.
+func ApplyScene(m *cpu.Memory, img *loader.Image, s *Scene) error {
+	base, ok := img.Symbols[SymScene]
+	if !ok {
+		return fmt.Errorf("spaceapp: image has no %s", SymScene)
+	}
+	// Pack bytes big-endian into words, as the target stores them.
+	for i := 0; i+3 < len(s.Pixels); i += 4 {
+		w := uint32(s.Pixels[i])<<24 | uint32(s.Pixels[i+1])<<16 |
+			uint32(s.Pixels[i+2])<<8 | uint32(s.Pixels[i+3])
+		m.StoreWord(base+mem.Addr(i), w)
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+package spaceapp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsr/internal/core"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/platform"
+	"dsr/internal/prng"
+)
+
+func loadControl(t testing.TB) (*platform.Platform, *loader.Image) {
+	t.Helper()
+	p, err := BuildControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	plat.LoadImage(img)
+	return plat, img
+}
+
+func TestControlMatchesGoldenModel(t *testing.T) {
+	plat, img := loadControl(t)
+	for seed := uint64(1); seed <= 10; seed++ {
+		in := GenControlInput(seed)
+		plat.Reload()
+		if err := ApplyControlInput(plat.Mem, img, in); err != nil {
+			t.Fatal(err)
+		}
+		res, err := plat.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ControlReference(in)
+		if res.ExitValue != want {
+			t.Fatalf("seed %d: CRC=%#x, golden=%#x", seed, res.ExitValue, want)
+		}
+	}
+}
+
+func TestControlCharacteristics(t *testing.T) {
+	plat, img := loadControl(t)
+	in := GenControlInput(1)
+	plat.Reload()
+	if err := ApplyControlInput(plat.Mem, img, in); err != nil {
+		t.Fatal(err)
+	}
+	res, err := plat.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("control task: instr=%d fpu=%d (%.1f%%) icmiss=%d dcmiss=%d l2miss=%d cycles=%d",
+		res.PMCs.Instr, res.PMCs.FPU, 100*float64(res.PMCs.FPU)/float64(res.PMCs.Instr),
+		res.PMCs.ICMiss, res.PMCs.DCMiss, res.PMCs.L2Miss, res.Cycles)
+	// Shape guards, mirroring Table I's qualitative profile: a task of
+	// tens of thousands of instructions with a small FP share.
+	if res.PMCs.Instr < 10_000 || res.PMCs.Instr > 500_000 {
+		t.Errorf("instr=%d out of expected band", res.PMCs.Instr)
+	}
+	frac := float64(res.PMCs.FPU) / float64(res.PMCs.Instr)
+	if frac <= 0 || frac > 0.25 {
+		t.Errorf("FPU fraction=%.2f out of band", frac)
+	}
+	if res.PMCs.DCMiss == 0 || res.PMCs.ICMiss == 0 || res.PMCs.L2Miss == 0 {
+		t.Error("cache counters silent")
+	}
+	// Two instrumentation points delimit the UoA.
+	if len(res.Trace) != 2 || res.Trace[0].ID != 1 || res.Trace[1].ID != 2 {
+		t.Errorf("trace=%v", res.Trace)
+	}
+}
+
+func TestControlInputVariationChangesTiming(t *testing.T) {
+	plat, img := loadControl(t)
+	distinct := map[mem.Cycles]bool{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		in := GenControlInput(seed)
+		plat.Reload()
+		if err := ApplyControlInput(plat.Mem, img, in); err != nil {
+			t.Fatal(err)
+		}
+		res, err := plat.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct[res.Cycles] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("input variation produced no timing variation (hlsoj missing)")
+	}
+}
+
+func TestControlUnderDSRMatchesGolden(t *testing.T) {
+	p, err := BuildControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	rt, err := core.NewRuntime(p, plat, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		if _, err := rt.Reboot(seed); err != nil {
+			t.Fatal(err)
+		}
+		in := GenControlInput(seed * 77)
+		if err := ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitValue != ControlReference(in) {
+			t.Fatalf("seed %d: DSR broke the control law: %#x vs %#x",
+				seed, res.ExitValue, ControlReference(in))
+		}
+	}
+}
+
+func TestControlUnderStaticRandMatchesGolden(t *testing.T) {
+	p, err := BuildControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := GenControlInput(3)
+	want := ControlReference(in)
+	for seed := uint64(1); seed <= 4; seed++ {
+		img, err := core.StaticBuild(p, loader.DefaultSequentialConfig(), 32*1024, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat := platform.New(platform.ProximaLEON3())
+		plat.LoadImage(img)
+		if err := ApplyControlInput(plat.Mem, img, in); err != nil {
+			t.Fatal(err)
+		}
+		res, err := plat.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitValue != want {
+			t.Fatalf("static seed %d: %#x vs %#x", seed, res.ExitValue, want)
+		}
+	}
+}
+
+func TestGenControlInputShape(t *testing.T) {
+	in := GenControlInput(5)
+	if len(in.Raw) != RawWords || len(in.Mailbox) != MailboxWords {
+		t.Fatal("input sizes")
+	}
+	outliers := 0
+	for z := 0; z < NumZones; z++ {
+		v := math.Float32frombits(in.Raw[16+z])
+		if v > coefWFELimit || v < -coefWFELimit {
+			outliers++
+		}
+		if math.IsNaN(float64(v)) || v > 500 || v < -500 {
+			t.Fatalf("wfe[%d]=%f implausible", z, v)
+		}
+	}
+	if outliers == 0 {
+		t.Error("no validation outliers in the input (substitution path dead)")
+	}
+	// Determinism.
+	in2 := GenControlInput(5)
+	for i := range in.Raw {
+		if in.Raw[i] != in2.Raw[i] {
+			t.Fatal("input generation not deterministic")
+		}
+	}
+}
+
+func TestCRCTableSpotValues(t *testing.T) {
+	tab := CRCTable()
+	if tab[0] != 0 {
+		t.Errorf("table[0]=%#x", tab[0])
+	}
+	if tab[1] != crcPoly {
+		t.Errorf("table[1]=%#x, want %#x", tab[1], uint32(crcPoly))
+	}
+	if len(tab) != 256 {
+		t.Error("table size")
+	}
+}
+
+func TestGenSceneLitFraction(t *testing.T) {
+	s := GenScene(1, LitFraction)
+	if len(s.Pixels) != NumLenses*PixelsPerLens {
+		t.Fatal("scene size")
+	}
+	if s.Lit < NumLenses/2 || s.Lit > NumLenses {
+		t.Errorf("lit lenses=%d, want around %.0f", s.Lit, LitFraction*NumLenses)
+	}
+	// Golden model should agree closely with the generator's intent.
+	ref := ProcessingReference(s)
+	diff := ref.Lit - s.Lit
+	if diff < -NumLenses/10 || diff > NumLenses/10 {
+		t.Errorf("threshold classifies %d lit, generator made %d", ref.Lit, s.Lit)
+	}
+}
+
+func TestProcessingMatchesGoldenModel(t *testing.T) {
+	p, err := BuildProcessing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	plat.LoadImage(img)
+	s := GenScene(7, LitFraction)
+	if err := ApplyScene(plat.Mem, img, s); err != nil {
+		t.Fatal(err)
+	}
+	res, err := plat.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ProcessingReference(s)
+	if res.ExitValue != ref.RMSBits {
+		t.Fatalf("RMS bits=%#x (%f), golden=%#x (%f)",
+			res.ExitValue, math.Float32frombits(res.ExitValue),
+			ref.RMSBits, math.Float32frombits(ref.RMSBits))
+	}
+	// Cross-check the per-lens flags in memory.
+	flagBase := img.Symbols[SymLensFlags]
+	for l := 0; l < NumLenses; l++ {
+		got := plat.Mem.LoadWord(flagBase+mem.Addr(l)*4) != 0
+		if got != ref.Flags[l] {
+			t.Fatalf("lens %d flag=%v, golden=%v", l, got, ref.Flags[l])
+		}
+	}
+	rms := math.Float32frombits(res.ExitValue)
+	if rms <= 0 || rms > float32(FineWindow) {
+		t.Errorf("RMS=%f implausible", rms)
+	}
+	t.Logf("processing: instr=%d fpu=%d lit=%d rms=%f cycles=%d",
+		res.PMCs.Instr, res.PMCs.FPU, ref.Lit, rms, res.Cycles)
+}
+
+func TestProcessingInputDependence(t *testing.T) {
+	// The lit-lens count varies with the input, so execution time must
+	// vary too — the paper's high-level source of jitter.
+	p, err := BuildProcessing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	plat.LoadImage(img)
+	var c1, c2 mem.Cycles
+	for i, litFrac := range []float64{0.4, 0.9} {
+		s := GenScene(uint64(i)+10, litFrac)
+		plat.Reload()
+		if err := ApplyScene(plat.Mem, img, s); err != nil {
+			t.Fatal(err)
+		}
+		res, err := plat.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitValue != ProcessingReference(s).RMSBits {
+			t.Fatal("golden mismatch")
+		}
+		if i == 0 {
+			c1 = res.Cycles
+		} else {
+			c2 = res.Cycles
+		}
+	}
+	if c2 <= c1 {
+		t.Errorf("more lit lenses not slower: %d vs %d", c1, c2)
+	}
+}
+
+func TestProcessingUnderDSRMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("processing under DSR is slow")
+	}
+	p, err := BuildProcessing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	rt, err := core.NewRuntime(p, plat, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := GenScene(3, LitFraction)
+	ref := ProcessingReference(s)
+	for seed := uint64(1); seed <= 2; seed++ {
+		if _, err := rt.Reboot(seed); err != nil {
+			t.Fatal(err)
+		}
+		if err := ApplyScene(plat.Mem, rt.Image(), s); err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitValue != ref.RMSBits {
+			t.Fatalf("seed %d: DSR broke processing: %#x vs %#x", seed, res.ExitValue, ref.RMSBits)
+		}
+	}
+}
+
+// Property: the simulated control task matches the golden model for
+// ARBITRARY input words — including bit patterns that decode to NaN,
+// infinities or denormals in the sensor frame and hostile opcodes in
+// the mailbox. This pins the simulator's FP and integer semantics to
+// the reference on the whole input space, not just plausible inputs.
+func TestControlMatchesGoldenOnArbitraryInputs(t *testing.T) {
+	plat, img := loadControl(t)
+	f := func(seed uint64) bool {
+		src := prng.NewMWC(seed)
+		in := &ControlInput{
+			Raw:     make([]uint32, RawWords),
+			Mailbox: make([]uint32, MailboxWords),
+		}
+		for i := range in.Raw {
+			in.Raw[i] = src.Uint32()
+		}
+		for i := range in.Mailbox {
+			in.Mailbox[i] = src.Uint32()
+		}
+		plat.Reload()
+		if err := ApplyControlInput(plat.Mem, img, in); err != nil {
+			t.Fatal(err)
+		}
+		res, err := plat.Run()
+		if err != nil {
+			t.Logf("seed %d: run error: %v", seed, err)
+			return false
+		}
+		if want := ControlReference(in); res.ExitValue != want {
+			t.Logf("seed %d: CRC %#x vs golden %#x", seed, res.ExitValue, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package stats
+
+import "math"
+
+// ChiSquareSurvival returns P(X > x) for a chi-square distribution with
+// k degrees of freedom: the p-value source for the Ljung-Box statistic.
+func ChiSquareSurvival(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - RegularizedGammaP(k/2, x/2)
+}
+
+// RegularizedGammaP computes P(a,x), the regularised lower incomplete
+// gamma function, via the series expansion for x < a+1 and the continued
+// fraction for x >= a+1 (the classic Numerical-Recipes split, which
+// converges quickly on both sides).
+func RegularizedGammaP(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaPSeries(a, x)
+	default:
+		return 1 - gammaQContinued(a, x)
+	}
+}
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 500
+)
+
+// gammaPSeries evaluates P(a,x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinued evaluates Q(a,x) = 1-P(a,x) by the Lentz continued
+// fraction.
+func gammaQContinued(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// KolmogorovSurvival returns Q_KS(lambda) = 2 Σ_{j≥1} (-1)^{j-1}
+// exp(-2 j² λ²), the asymptotic survival function of the Kolmogorov
+// statistic used for two-sample KS p-values.
+func KolmogorovSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const maxTerms = 100
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= maxTerms; j++ {
+		term := sign * math.Exp(-2*float64(j)*float64(j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum)+1e-300 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

@@ -1,0 +1,169 @@
+// Package tlb models the LEON3 MMU translation lookaside buffers: 64
+// entries each for instructions and data (§III.A of the paper). The DSR
+// pool allocator randomises TLB contents indirectly by drawing memory
+// from a diverse set of pages (§III.B.5); a TLB miss costs a page-table
+// walk through the memory hierarchy, modelled here as a fixed number of
+// memory-class accesses issued to a backend.
+package tlb
+
+import (
+	"fmt"
+
+	"dsr/internal/mem"
+)
+
+// Config describes a TLB instance.
+type Config struct {
+	Name    string
+	Entries int
+	// WalkReads is the number of page-table reads performed on a miss
+	// (the SRMMU does a 3-level walk; contexts make it up to 4).
+	WalkReads int
+	// HitLatency is charged on every translation (pipelined to 0 on the
+	// real chip; kept configurable).
+	HitLatency mem.Cycles
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("tlb %q: non-positive entry count", c.Name)
+	}
+	if c.WalkReads < 0 {
+		return fmt.Errorf("tlb %q: negative walk reads", c.Name)
+	}
+	return nil
+}
+
+// Counters are the TLB performance events.
+type Counters struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// MissRatio returns misses/accesses, or 0 for an untouched TLB.
+func (c Counters) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+type entry struct {
+	valid bool
+	page  mem.Addr
+	age   uint64
+}
+
+// TLB is a fully associative, LRU-replaced translation buffer. The SRMMU
+// TLB is fully associative, which is why software randomisation affects
+// it only through the *number* of distinct pages touched, not their
+// layout — the model reflects that.
+type TLB struct {
+	cfg     Config
+	walkMem mem.Backend
+	entries []entry
+	clock   uint64
+	ctr     Counters
+	// walkBase is a fixed region where the page tables live; walks read
+	// from it so that walk traffic perturbs the data cache hierarchy the
+	// way real walks do.
+	walkBase mem.Addr
+}
+
+// New builds a TLB whose page-table walks are serviced by walkMem.
+func New(cfg Config, walkMem mem.Backend, walkBase mem.Addr) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if walkMem == nil {
+		panic(fmt.Sprintf("tlb %q: nil walk backend", cfg.Name))
+	}
+	return &TLB{
+		cfg:      cfg,
+		walkMem:  walkMem,
+		entries:  make([]entry, cfg.Entries),
+		walkBase: walkBase,
+	}
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Counters returns a snapshot of the event counters.
+func (t *TLB) Counters() Counters { return t.ctr }
+
+// ResetCounters zeroes the event counters without touching contents.
+func (t *TLB) ResetCounters() { t.ctr = Counters{} }
+
+// Translate looks up the page containing addr, charging a walk on a miss,
+// and returns the total latency.
+func (t *TLB) Translate(addr mem.Addr) mem.Cycles {
+	t.ctr.Accesses++
+	page := mem.Page(addr)
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].page == page {
+			t.ctr.Hits++
+			t.clock++
+			t.entries[i].age = t.clock
+			return t.cfg.HitLatency
+		}
+	}
+	t.ctr.Misses++
+	lat := t.cfg.HitLatency
+	// Page-table walk, modelled after the SRMMU's multi-level tables:
+	// the upper-level entries are shared by large page groups (a level-1
+	// entry covers 16 MB, a level-2 entry 256 KB), so walks for nearby
+	// pages re-read the same table lines and hit in the L2 — only the
+	// per-page level-3 entry is unique. This is what keeps TLB-miss cost
+	// low even when the DSR pools spread objects over many pages.
+	levels := [3]mem.Addr{
+		t.walkBase + (page>>12)*mem.WordSize,         // level 1
+		t.walkBase + 0x1000 + (page>>6)*mem.WordSize, // level 2
+		t.walkBase + 0x100000 + page*mem.WordSize,    // level 3
+	}
+	n := t.cfg.WalkReads
+	if n > len(levels) {
+		n = len(levels)
+	}
+	for i := 0; i < n; i++ {
+		lat += t.walkMem.Read(levels[i], mem.WordSize)
+	}
+	t.insert(page)
+	return lat
+}
+
+func (t *TLB) insert(page mem.Addr) {
+	victim := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			victim = i
+			goto place
+		}
+		if t.entries[i].age < t.entries[victim].age {
+			victim = i
+		}
+	}
+place:
+	t.clock++
+	t.entries[victim] = entry{valid: true, page: page, age: t.clock}
+}
+
+// Flush invalidates all entries (partition start, as with the caches).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+}
+
+// ValidEntries returns the number of valid entries (test convenience).
+func (t *TLB) ValidEntries() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
