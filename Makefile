@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench evaluate examples fuzz clean
+.PHONY: all build test vet lint race bench evaluate examples dsrlint fuzz clean
 
-all: build test
+all: build lint test race dsrlint
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: go vet always; staticcheck when installed (not a
+# module dependency — install with: go install honnef.co/go/tools/cmd/staticcheck@latest).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet ran)"; \
+	fi
+
 test: vet
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the repo's own lint/verification toolchain over the shipped
+# programs; non-zero exit on any Error-level diagnostic.
+dsrlint: build
+	$(GO) run ./cmd/dsrlint -q internal/asm/testdata/uoa.s
+	$(GO) run ./cmd/dsrlint -q -builtin control
+	$(GO) run ./cmd/dsrlint -q -builtin processing
 
 # Regenerate every table and figure of the paper at full scale.
 evaluate: build
@@ -28,10 +47,13 @@ examples: build
 	$(GO) run ./examples/incremental
 	$(GO) run ./examples/spacestudy
 
-# Short fuzzing pass over the parsers (assembler, trace codec).
+# Short fuzzing pass over the parsers (assembler, trace codec) and the
+# DSR transform verifier.
 fuzz:
-	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=20s ./internal/asm
-	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=20s ./internal/rvs
+	$(GO) test -run=^$$ -fuzz=FuzzAssemble -fuzztime=20s -fuzzminimizetime=5s ./internal/asm
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=20s -fuzzminimizetime=5s ./internal/rvs
+	$(GO) test -run=^$$ -fuzz=FuzzDurations -fuzztime=20s -fuzzminimizetime=5s ./internal/rvs
+	$(GO) test -run=^$$ -fuzz=FuzzVerifyTransform -fuzztime=20s -fuzzminimizetime=5s ./internal/core
 
 clean:
 	$(GO) clean ./...

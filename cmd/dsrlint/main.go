@@ -1,0 +1,131 @@
+// Command dsrlint runs the static-analysis and lint framework
+// (internal/analysis) over a program: the standard lint passes
+// (reserved registers, return shapes, alignment, frame conventions,
+// unreachable code, dead stores), the static stack/window bound, the
+// L2 layout conflict lint, and — with -dsr — the differential DSR
+// transform verifier over the core.Transform output.
+//
+//	dsrlint prog.s                 lint an assembly source
+//	dsrlint -builtin control       lint a built-in program (control,
+//	                               processing)
+//	dsrlint -dsr prog.s            also verify the DSR transformation
+//	dsrlint -stack prog.s          print the static stack bounds
+//
+// Exit status: 0 when no Error-level diagnostic was produced, 1
+// otherwise, 2 on usage or input errors — so it can gate a build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsr/internal/analysis"
+	"dsr/internal/asm"
+	"dsr/internal/core"
+	"dsr/internal/loader"
+	"dsr/internal/platform"
+	"dsr/internal/prog"
+	"dsr/internal/spaceapp"
+)
+
+func main() {
+	var (
+		builtin     = flag.String("builtin", "", "lint a built-in program instead of a source file: control | processing")
+		dsr         = flag.Bool("dsr", true, "run the DSR transform verifier over the core.Transform output")
+		maxOverhead = flag.Float64("max-overhead", 0, "reject DSR static instruction overhead above this fraction (0 disables; the paper's budget is 0.02)")
+		l2          = flag.Bool("l2", true, "run the static L2 layout conflict lint on the sequential placement")
+		l2MinFrac   = flag.Float64("l2-minfrac", 0.5, "report L2 conflicts above this overlap fraction")
+		stack       = flag.Bool("stack", false, "print the static call-depth/stack/window bounds")
+		quiet       = flag.Bool("q", false, "suppress info-level diagnostics")
+	)
+	flag.Parse()
+
+	p, lines, err := loadProgram(*builtin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsrlint:", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(p, analysis.DefaultPasses(), lines)
+
+	if *l2 {
+		if seq, err := loader.LayoutSequential(p, loader.DefaultSequentialConfig()); err == nil {
+			diags = append(diags, analysis.LintL2Layout(p, seq.Placement,
+				platform.ProximaLEON3().L2, analysis.L2LintOptions{MinFrac: *l2MinFrac})...)
+		}
+	}
+
+	if *dsr {
+		tp, meta, _, err := core.Transform(p)
+		if err != nil {
+			// An untransformable program is a lint finding, not a crash.
+			diags = append(diags, analysis.Diagnostic{
+				Pass: analysis.PassVerifyDSR, Sev: analysis.Error, Index: -1,
+				Msg: "core.Transform failed: " + err.Error(),
+			})
+		} else {
+			diags = append(diags, analysis.VerifyTransform(p, tp, analysis.TransformInfo{
+				FTableSym: core.FTableSym, OffsetsSym: core.OffsetsSym,
+				Funcs: meta.Funcs, MaxOverheadFrac: *maxOverhead,
+			})...)
+		}
+	}
+
+	if *stack {
+		sb, err := analysis.AnalyzeStack(p, analysis.StackOptions{
+			NumWindows: platform.ProximaLEON3().CPU.NumWindows,
+		})
+		if err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Pass: "stack", Sev: analysis.Error, Index: -1, Msg: err.Error(),
+			})
+		} else {
+			fmt.Printf("%s: call depth ≤ %d, window depth ≤ %d, stack ≤ %d bytes, spilled windows ≤ %d\n",
+				p.Name, sb.MaxCallDepth, sb.MaxWindowDepth, sb.MaxStackBytes, sb.WindowSpillBound)
+			fmt.Printf("  worst chain: %v\n", sb.WorstChain)
+		}
+	}
+
+	errs := 0
+	for _, d := range diags {
+		if d.Sev == analysis.Info && *quiet {
+			continue
+		}
+		if d.Sev == analysis.Error {
+			errs++
+		}
+		fmt.Println(d)
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "dsrlint: %d error(s) in %s\n", errs, p.Name)
+		os.Exit(1)
+	}
+	fmt.Printf("dsrlint: %s clean (%d diagnostics)\n", p.Name, len(diags))
+}
+
+func loadProgram(builtin string) (*prog.Program, analysis.LineResolver, error) {
+	switch builtin {
+	case "control":
+		p, err := spaceapp.BuildControl()
+		return p, nil, err
+	case "processing":
+		p, err := spaceapp.BuildProcessing()
+		return p, nil, err
+	case "":
+		if flag.NArg() != 1 {
+			return nil, nil, fmt.Errorf("usage: dsrlint [flags] prog.s | dsrlint -builtin control|processing")
+		}
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return nil, nil, err
+		}
+		p, info, err := asm.AssembleWithInfo(string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, info.InstrLine, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown builtin %q (want control or processing)", builtin)
+	}
+}

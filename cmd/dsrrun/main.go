@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"dsr/internal/analysis"
 	"dsr/internal/asm"
 	"dsr/internal/core"
 	"dsr/internal/loader"
@@ -60,6 +61,21 @@ func main() {
 	plat := platform.New(platform.ProximaLEON3())
 	rt, err := core.NewRuntime(p, plat, core.Options{})
 	die(err)
+
+	// Verify the DSR transformation before measuring anything: a
+	// malformed rewrite would corrupt the campaign silently.
+	verify := analysis.VerifyTransform(p, rt.Program(), analysis.TransformInfo{
+		FTableSym: core.FTableSym, OffsetsSym: core.OffsetsSym,
+		Funcs: rt.Metadata().Funcs,
+	})
+	if analysis.HasErrors(verify) {
+		for _, d := range analysis.Errors(verify) {
+			fmt.Fprintln(os.Stderr, "dsrrun:", d)
+		}
+		fmt.Fprintln(os.Stderr, "dsrrun: DSR transform verification failed; refusing to run the campaign")
+		os.Exit(1)
+	}
+
 	var times []float64
 	for i := 0; i < *runs; i++ {
 		_, err := rt.Reboot(*seed + uint64(i))

@@ -22,6 +22,7 @@
 package dsr
 
 import (
+	"dsr/internal/analysis"
 	"dsr/internal/core"
 	"dsr/internal/isa"
 	"dsr/internal/loader"
@@ -154,6 +155,45 @@ func CompareWithMargin(rep *Report, moetRef, margin float64) MarginComparison {
 func RenderCurve(rep *Report, times []float64) string {
 	return rvs.RenderCurve(rep, times, 72, 18)
 }
+
+// Static analysis and verification (internal/analysis).
+type (
+	// Diagnostic is one static-analysis finding.
+	Diagnostic = analysis.Diagnostic
+	// Severity ranks a diagnostic (Info, Warning, Error).
+	Severity = analysis.Severity
+)
+
+// Diagnostic severities.
+const (
+	Info    = analysis.Info
+	Warning = analysis.Warning
+	Error   = analysis.Error
+)
+
+// Lint runs the standard static-analysis passes (reserved registers,
+// return shapes, alignment, frame conventions, unreachable code, dead
+// stores) over a program.
+func Lint(p *Program) []Diagnostic {
+	return analysis.Run(p, analysis.DefaultPasses(), nil)
+}
+
+// Verify checks every invariant of the DSR transformation a runtime is
+// about to execute: all direct calls indirected through the function
+// table, all prologues carrying the stack-offset load, tables complete
+// and index-consistent, branch displacements remapped. Run it before a
+// measurement campaign — a malformed rewrite breaks the i.i.d. premise
+// without breaking the program visibly.
+func Verify(orig *Program, rt *Runtime) []Diagnostic {
+	return analysis.VerifyTransform(orig, rt.Program(), analysis.TransformInfo{
+		FTableSym:  core.FTableSym,
+		OffsetsSym: core.OffsetsSym,
+		Funcs:      rt.Metadata().Funcs,
+	})
+}
+
+// HasErrors reports whether any diagnostic is Error-level.
+func HasErrors(ds []Diagnostic) bool { return analysis.HasErrors(ds) }
 
 // The space case study (§IV).
 

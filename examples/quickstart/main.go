@@ -39,10 +39,18 @@ func main() {
 	check(p.AddFunction(main_))
 	check(p.AddFunction(helper))
 
-	// 2. Bind the DSR runtime to the PROXIMA LEON3 platform.
+	// 2. Bind the DSR runtime to the PROXIMA LEON3 platform, then verify
+	// the transformation before trusting any measurement: MBPTA's i.i.d.
+	// argument only holds if the rewrite is well-formed.
 	plat := dsr.NewPlatform()
 	rt, err := dsr.NewRuntime(p, plat, dsr.Options{})
 	check(err)
+	if diags := dsr.Verify(p, rt); dsr.HasErrors(diags) {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		log.Fatal("DSR transform verification failed")
+	}
 
 	// 3. Measurement protocol: reboot (fresh random layout) before every
 	// run, collect the execution times.

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+
+	"dsr/internal/isa"
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+)
+
+// CallResolver maps an indirect-call instruction (function f, index i)
+// to its statically known callee, when the call site has a recognisable
+// shape. Direct calls are resolved without it; a nil resolver leaves
+// indirect calls unresolved (reported, not followed).
+type CallResolver func(f *prog.Function, i int) (callee string, ok bool)
+
+// ResolveDispatch returns a CallResolver for DSR-transformed programs:
+// a CallR preceded by the canonical two-instruction table load
+// (set __dsr_ftable, %g6; ld [%g6+4k], %g6) resolves to info.Funcs[k].
+func ResolveDispatch(info TransformInfo) CallResolver {
+	return func(f *prog.Function, i int) (string, bool) {
+		if i < 2 || f.Code[i].Op != isa.CallR {
+			return "", false
+		}
+		set, ld := &f.Code[i-2], &f.Code[i-1]
+		if set.Op != isa.Set || set.Sym != info.FTableSym || ld.Op != isa.Ld {
+			return "", false
+		}
+		if ld.Imm%4 != 0 {
+			return "", false
+		}
+		k := int(ld.Imm / 4)
+		if k < 0 || k >= len(info.Funcs) {
+			return "", false
+		}
+		return info.Funcs[k], true
+	}
+}
+
+// CallGraph is the static caller→callee relation of a program.
+type CallGraph struct {
+	// Callees[f] lists the distinct resolved callees of f, in first-use
+	// order.
+	Callees map[string][]string
+	// UnresolvedIndirect[f] counts CallR sites the resolver could not
+	// attribute to a callee.
+	UnresolvedIndirect map[string]int
+}
+
+// BuildCallGraph scans every function for direct calls (and, through
+// resolve, recognisable indirect calls).
+func BuildCallGraph(p *prog.Program, resolve CallResolver) *CallGraph {
+	cg := &CallGraph{
+		Callees:            map[string][]string{},
+		UnresolvedIndirect: map[string]int{},
+	}
+	for _, f := range p.Functions {
+		seen := map[string]bool{}
+		for i := range f.Code {
+			var callee string
+			switch f.Code[i].Op {
+			case isa.Call:
+				callee = f.Code[i].Sym
+			case isa.CallR:
+				if resolve != nil {
+					if c, ok := resolve(f, i); ok {
+						callee = c
+					}
+				}
+				if callee == "" {
+					cg.UnresolvedIndirect[f.Name]++
+					continue
+				}
+			default:
+				continue
+			}
+			if !seen[callee] {
+				seen[callee] = true
+				cg.Callees[f.Name] = append(cg.Callees[f.Name], callee)
+			}
+		}
+	}
+	return cg
+}
+
+// StackOptions configures the interprocedural stack analysis.
+type StackOptions struct {
+	// NumWindows is the register-window count of the target core
+	// (LEON3: 8). Zero selects 8.
+	NumWindows int
+	// StackOffsetBound, when analysing a DSR-transformed program, is an
+	// inclusive per-frame upper bound on the random stack offset each
+	// non-leaf prologue adds (core.Options.StackOffsetBound). Zero for
+	// deterministic builds.
+	StackOffsetBound int
+	// Resolve attributes indirect calls; nil follows direct calls only.
+	Resolve CallResolver
+}
+
+// StackBound is the result of the interprocedural stack analysis: safe
+// static upper bounds on the run-time stack behaviour, the numbers a
+// partition integrator feeds into internal/sched stack budgets.
+type StackBound struct {
+	// MaxWindowDepth is the maximum number of register windows in use
+	// at once: nested non-leaf (SAVE-executing) frames on the worst
+	// call chain, counting the entry frame.
+	MaxWindowDepth int
+	// MaxCallDepth is the maximum call-chain length including leaves.
+	MaxCallDepth int
+	// MaxStackBytes bounds the total stack excursion below the initial
+	// stack pointer: the sum of frame sizes (plus the per-frame random
+	// offset bound under DSR) along the worst chain.
+	MaxStackBytes mem.Addr
+	// WindowSpillBound is the maximum number of frames spilled to the
+	// save areas at any instant: with N windows, N-1 frames are
+	// resident, so max(0, MaxWindowDepth-(N-1)).
+	WindowSpillBound int
+	// WorstChain is one chain achieving MaxStackBytes, entry first.
+	WorstChain []string
+	// Unresolved counts indirect call sites not attributed to a callee;
+	// when non-zero the bounds cover only the resolved graph.
+	Unresolved int
+}
+
+// AnalyzeStack computes static stack bounds from p's entry point. It
+// fails on recursion (direct or mutual), which has no static bound and
+// which the flight-software coding standards the paper's domain uses
+// forbid anyway.
+func AnalyzeStack(p *prog.Program, opts StackOptions) (*StackBound, error) {
+	if opts.NumWindows == 0 {
+		opts.NumWindows = 8
+	}
+	entry := p.Function(p.Entry)
+	if entry == nil {
+		return nil, fmt.Errorf("analysis: entry %q not defined", p.Entry)
+	}
+	cg := BuildCallGraph(p, opts.Resolve)
+
+	type result struct {
+		windows int
+		depth   int
+		bytes   mem.Addr
+		chain   []string
+	}
+	memo := map[string]*result{}
+	onPath := map[string]bool{}
+
+	frameBytes := func(f *prog.Function) mem.Addr {
+		if f.Leaf {
+			return 0
+		}
+		return mem.Addr(f.FrameSize) + mem.Addr(opts.StackOffsetBound)
+	}
+
+	var walk func(name string) (*result, error)
+	walk = func(name string) (*result, error) {
+		if r, ok := memo[name]; ok {
+			return r, nil
+		}
+		if onPath[name] {
+			return nil, fmt.Errorf("analysis: recursion through %q — stack depth is unbounded", name)
+		}
+		f := p.Function(name)
+		if f == nil {
+			// Calls to undefined symbols are prog.Validate's problem;
+			// treat as a zero-cost sink so the analysis stays total.
+			r := &result{chain: []string{name}}
+			memo[name] = r
+			return r, nil
+		}
+		onPath[name] = true
+		defer delete(onPath, name)
+
+		selfWindows := 0
+		if !f.Leaf {
+			selfWindows = 1
+		}
+		// Per-metric maxima over the callees; the chain follows the
+		// byte-heaviest subtree.
+		var maxWindows, maxDepth int
+		var maxBytes mem.Addr
+		var bytesChain []string
+		for _, callee := range cg.Callees[name] {
+			sub, err := walk(callee)
+			if err != nil {
+				return nil, err
+			}
+			if sub.windows > maxWindows {
+				maxWindows = sub.windows
+			}
+			if sub.depth > maxDepth {
+				maxDepth = sub.depth
+			}
+			if sub.bytes > maxBytes || bytesChain == nil {
+				maxBytes = sub.bytes
+				bytesChain = sub.chain
+			}
+		}
+		r := &result{
+			windows: selfWindows + maxWindows,
+			depth:   1 + maxDepth,
+			bytes:   frameBytes(f) + maxBytes,
+			chain:   append([]string{name}, bytesChain...),
+		}
+		memo[name] = r
+		return r, nil
+	}
+
+	r, err := walk(p.Entry)
+	if err != nil {
+		return nil, err
+	}
+	sb := &StackBound{
+		MaxWindowDepth: r.windows,
+		MaxCallDepth:   r.depth,
+		MaxStackBytes:  r.bytes,
+		WorstChain:     r.chain,
+	}
+	for _, n := range cg.UnresolvedIndirect {
+		sb.Unresolved += n
+	}
+	if resident := opts.NumWindows - 1; sb.MaxWindowDepth > resident {
+		sb.WindowSpillBound = sb.MaxWindowDepth - resident
+	}
+	return sb, nil
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"testing"
+
+	"dsr/internal/isa"
+	"dsr/internal/prog"
+)
+
+// chainProgram builds main → a → b (leaf), with frame sizes chosen so
+// the worst chain is unambiguous.
+func chainProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	p := &prog.Program{Name: "chain", Entry: "main"}
+	b := prog.NewLeaf("b").RetLeaf().MustBuild()
+	a := prog.NewFunc("a", prog.MinFrame+32).
+		Prologue().
+		Call("b").
+		Epilogue().
+		MustBuild()
+	short := prog.NewLeaf("short").RetLeaf().MustBuild()
+	main := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		Call("a").
+		Call("short").
+		Halt().
+		MustBuild()
+	for _, f := range []*prog.Function{main, a, b, short} {
+		if err := p.AddFunction(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildCallGraph(t *testing.T) {
+	cg := BuildCallGraph(chainProgram(t), nil)
+	if got := cg.Callees["main"]; len(got) != 2 || got[0] != "a" || got[1] != "short" {
+		t.Errorf("main callees=%v, want [a short]", got)
+	}
+	if got := cg.Callees["a"]; len(got) != 1 || got[0] != "b" {
+		t.Errorf("a callees=%v, want [b]", got)
+	}
+	if len(cg.UnresolvedIndirect) != 0 {
+		t.Errorf("unresolved=%v, want none", cg.UnresolvedIndirect)
+	}
+}
+
+func TestAnalyzeStackBounds(t *testing.T) {
+	p := chainProgram(t)
+	sb, err := AnalyzeStack(p, StackOptions{NumWindows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main and a save (2 windows); the chain main→a→b has 3 calls deep.
+	if sb.MaxWindowDepth != 2 {
+		t.Errorf("window depth=%d, want 2", sb.MaxWindowDepth)
+	}
+	if sb.MaxCallDepth != 3 {
+		t.Errorf("call depth=%d, want 3", sb.MaxCallDepth)
+	}
+	want := prog.MinFrame + prog.MinFrame + 32
+	if int(sb.MaxStackBytes) != want {
+		t.Errorf("stack bytes=%d, want %d", sb.MaxStackBytes, want)
+	}
+	if sb.WindowSpillBound != 0 {
+		t.Errorf("spill bound=%d, want 0 (2 windows fit in 7 resident)", sb.WindowSpillBound)
+	}
+	if len(sb.WorstChain) != 3 || sb.WorstChain[0] != "main" || sb.WorstChain[1] != "a" || sb.WorstChain[2] != "b" {
+		t.Errorf("worst chain=%v, want [main a b]", sb.WorstChain)
+	}
+}
+
+func TestAnalyzeStackOffsetBound(t *testing.T) {
+	p := chainProgram(t)
+	base, err := AnalyzeStack(p, StackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsr, err := AnalyzeStack(p, StackOptions{StackOffsetBound: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two non-leaf frames on the worst chain → +2×1024 under DSR.
+	if got := dsr.MaxStackBytes - base.MaxStackBytes; got != 2048 {
+		t.Errorf("DSR stack growth=%d, want 2048", got)
+	}
+}
+
+func TestAnalyzeStackRejectsRecursion(t *testing.T) {
+	p := &prog.Program{Name: "rec", Entry: "main"}
+	f := &prog.Function{Name: "main", FrameSize: prog.MinFrame, Code: []isa.Instr{
+		{Op: isa.Save, Imm: prog.MinFrame},
+		{Op: isa.Call, Sym: "main"},
+		{Op: isa.Ret},
+	}}
+	p.Functions = append(p.Functions, f)
+	if _, err := AnalyzeStack(p, StackOptions{}); err == nil {
+		t.Fatal("recursion accepted; the bound would be meaningless")
+	}
+}
+
+func TestAnalyzeStackDeepChainSpills(t *testing.T) {
+	// 10 nested non-leaf frames on an 8-window machine: 7 resident, 3
+	// spilled at the deepest point.
+	p := &prog.Program{Name: "deep", Entry: fnName(0)}
+	const depth = 10
+	for i := 0; i < depth; i++ {
+		code := []isa.Instr{{Op: isa.Save, Imm: prog.MinFrame}}
+		if i < depth-1 {
+			code = append(code, isa.Instr{Op: isa.Call, Sym: fnName(i + 1)})
+		}
+		code = append(code, isa.Instr{Op: isa.Ret})
+		p.Functions = append(p.Functions, &prog.Function{
+			Name: fnName(i), FrameSize: prog.MinFrame, Code: code,
+		})
+	}
+	sb, err := AnalyzeStack(p, StackOptions{NumWindows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.MaxWindowDepth != depth {
+		t.Errorf("window depth=%d, want %d", sb.MaxWindowDepth, depth)
+	}
+	if sb.WindowSpillBound != depth-7 {
+		t.Errorf("spill bound=%d, want %d", sb.WindowSpillBound, depth-7)
+	}
+}
+
+func fnName(i int) string { return "f" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestResolveDispatchFollowsIndirectCalls(t *testing.T) {
+	info := TransformInfo{FTableSym: "__dsr_ftable", OffsetsSym: "__dsr_offsets",
+		Funcs: []string{"main", "callee"}}
+	f := &prog.Function{Name: "main", FrameSize: prog.MinFrame, Code: []isa.Instr{
+		{Op: isa.Save, Imm: prog.MinFrame},
+		{Op: isa.Set, Rd: isa.G6, Sym: "__dsr_ftable"},
+		{Op: isa.Ld, Rd: isa.G6, Rs1: isa.G6, Imm: 4},
+		{Op: isa.CallR, Rs1: isa.G6},
+		{Op: isa.Ret},
+	}}
+	callee := &prog.Function{Name: "callee", Leaf: true, Code: []isa.Instr{{Op: isa.RetL}}}
+	p := &prog.Program{Name: "t", Entry: "main"}
+	p.Functions = append(p.Functions, f, callee)
+
+	cg := BuildCallGraph(p, ResolveDispatch(info))
+	if got := cg.Callees["main"]; len(got) != 1 || got[0] != "callee" {
+		t.Errorf("resolved callees=%v, want [callee]", got)
+	}
+	if cg.UnresolvedIndirect["main"] != 0 {
+		t.Error("canonical dispatch left unresolved")
+	}
+
+	// Without the resolver the site is counted, not followed.
+	cg = BuildCallGraph(p, nil)
+	if cg.UnresolvedIndirect["main"] != 1 {
+		t.Errorf("unresolved=%d, want 1", cg.UnresolvedIndirect["main"])
+	}
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+
+	"dsr/internal/cache"
+	"dsr/internal/layout"
+	"dsr/internal/loader"
+	"dsr/internal/prog"
+)
+
+// L2LintOptions configures the static layout lint.
+type L2LintOptions struct {
+	// MinFrac is the overlap fraction (of the smaller object's sets)
+	// above which a conflicting pair is reported. Zero selects 0.5.
+	MinFrac float64
+	// MinSets is the minimum number of shared sets worth reporting —
+	// tiny objects alias 100% of their one or two sets in any layout.
+	// Zero selects 4.
+	MinSets int
+	// Weights biases reporting towards pairs known to interact; nil
+	// selects layout.StaticCallWeights (caller/callee pairs). Weighted
+	// pairs are reported at Warning severity, unweighted ones at Info.
+	Weights layout.Weights
+}
+
+// LintL2Layout is the compile-time "bad layout" diagnostic: for a
+// concrete deterministic placement it reuses layout.Conflicts to find
+// object pairs whose cache-set footprints alias pathologically in cfg
+// (the paper's direct-mapped L2), the situation that produced the
+// rare-but-catastrophic execution times DSR exists to randomise away.
+//
+// Pairs that both alias heavily *and* interact (static call weight > 0)
+// are warnings; heavy aliasing between unrelated objects is
+// informational, since whether it costs cycles depends on access
+// interleaving the static analysis cannot see.
+func LintL2Layout(p *prog.Program, pl loader.Placement, cfg cache.Config, opts L2LintOptions) []Diagnostic {
+	if err := cfg.Validate(); err != nil {
+		return []Diagnostic{{Pass: PassL2Layout, Sev: Error, Msg: "invalid cache config: " + err.Error()}}
+	}
+	if opts.MinFrac == 0 {
+		opts.MinFrac = 0.5
+	}
+	if opts.MinSets == 0 {
+		opts.MinSets = 4
+	}
+	w := opts.Weights
+	if w == nil {
+		w = layout.StaticCallWeights(p)
+	}
+
+	objs := layout.FromPlacement(p, pl)
+	var diags []Diagnostic
+	for _, c := range layout.Conflicts(objs, cfg, opts.MinSets) {
+		frac := c.FracA
+		if c.FracB > frac {
+			frac = c.FracB
+		}
+		if frac < opts.MinFrac {
+			continue
+		}
+		sev := Info
+		note := ""
+		if weight := w.Get(c.A, c.B); weight > 0 {
+			sev = Warning
+			note = " (the pair interacts: static call weight > 0)"
+		}
+		if cfg.Ways == 1 && sev == Warning {
+			note += "; in a direct-mapped cache these lines evict each other on every alternation"
+		}
+		diags = append(diags, Diagnostic{
+			Pass: PassL2Layout, Sev: sev, Fn: c.A, Index: -1,
+			Msg: formatConflict(c, cfg, note),
+		})
+	}
+	return diags
+}
+
+func formatConflict(c layout.Conflict, cfg cache.Config, note string) string {
+	return fmt.Sprintf("deterministic layout aliases %s and %s in %d of %d %s sets (%.0f%% / %.0f%%)%s",
+		c.A, c.B, c.SharedSets, cfg.Sets(), cfg.Name, c.FracA*100, c.FracB*100, note)
+}

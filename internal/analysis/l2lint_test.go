@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dsr/internal/cache"
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/prog"
+)
+
+// aliasedProgram places caller and callee exactly one way apart in a
+// tiny direct-mapped cache, the paper's pathological layout: every line
+// of one evicts the corresponding line of the other.
+func aliasedProgram(t *testing.T) (*prog.Program, loader.Placement, cache.Config) {
+	t.Helper()
+	p := &prog.Program{Name: "alias", Entry: "caller"}
+	callee := &prog.Function{Name: "callee", Leaf: true}
+	for i := 0; i < 63; i++ {
+		callee.Code = append(callee.Code, isa.Instr{Op: isa.Nop})
+	}
+	callee.Code = append(callee.Code, isa.Instr{Op: isa.RetL})
+	caller := &prog.Function{Name: "caller", FrameSize: prog.MinFrame, Code: []isa.Instr{
+		{Op: isa.Save, Imm: prog.MinFrame},
+		{Op: isa.Call, Sym: "callee"},
+		{Op: isa.Halt},
+	}}
+	for i := 0; i < 61; i++ {
+		caller.Code = append(caller.Code, isa.Instr{Op: isa.Nop})
+	}
+	p.Functions = append(p.Functions, caller, callee)
+	p.Data = append(p.Data, &prog.DataObject{Name: "lonely", Size: 256})
+
+	cfg := cache.Config{Name: "L2", Size: 4096, LineSize: 32, Ways: 1}
+	pl := loader.Placement{
+		"caller": 0,
+		"callee": 4096, // one full cache size apart → identical sets
+		"lonely": 8192, // also aliases both, but interacts with neither
+	}
+	return p, pl, cfg
+}
+
+func TestLintL2LayoutFlagsAliasedPair(t *testing.T) {
+	p, pl, cfg := aliasedProgram(t)
+	diags := LintL2Layout(p, pl, cfg, L2LintOptions{})
+	var warn, info int
+	for _, d := range diags {
+		if d.Pass != PassL2Layout {
+			t.Fatalf("unexpected pass %q", d.Pass)
+		}
+		switch d.Sev {
+		case Warning:
+			warn++
+			if !strings.Contains(d.Msg, "caller") || !strings.Contains(d.Msg, "callee") {
+				t.Errorf("warning not about the interacting pair: %s", d)
+			}
+			if !strings.Contains(d.Msg, "direct-mapped") {
+				t.Errorf("direct-mapped eviction note missing: %s", d)
+			}
+		case Info:
+			info++
+		}
+	}
+	if warn != 1 {
+		t.Errorf("warnings=%d, want exactly 1 (caller/callee interact)", warn)
+	}
+	if info != 2 {
+		t.Errorf("info=%d, want 2 (lonely vs each function)", info)
+	}
+}
+
+func TestLintL2LayoutCleanWhenSeparated(t *testing.T) {
+	p, pl, cfg := aliasedProgram(t)
+	// Move callee and lonely into disjoint set ranges.
+	pl["callee"] = 1024
+	pl["lonely"] = 2048
+	if diags := LintL2Layout(p, pl, cfg, L2LintOptions{}); len(diags) != 0 {
+		t.Errorf("disjoint layout flagged: %v", diags)
+	}
+}
+
+func TestLintL2LayoutMinSetsSuppressesTinyObjects(t *testing.T) {
+	p, pl, cfg := aliasedProgram(t)
+	// A 2-line object aliases 100% of its sets with nearly anything;
+	// MinSets keeps it out of the report.
+	p.Data = append(p.Data, &prog.DataObject{Name: "tiny", Size: 64})
+	pl["tiny"] = 4096 + 8192
+	for _, d := range LintL2Layout(p, pl, cfg, L2LintOptions{}) {
+		if strings.Contains(d.Msg, "tiny") {
+			t.Errorf("tiny object reported despite MinSets: %s", d)
+		}
+	}
+}
+
+func TestLintL2LayoutInvalidConfig(t *testing.T) {
+	p, pl, _ := aliasedProgram(t)
+	diags := LintL2Layout(p, pl, cache.Config{Name: "bad"}, L2LintOptions{})
+	if len(diags) != 1 || diags[0].Sev != Error {
+		t.Fatalf("invalid config diags=%v, want one error", diags)
+	}
+	if !strings.Contains(diags[0].Msg, "invalid cache config") {
+		t.Errorf("unexpected message: %s", diags[0].Msg)
+	}
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"dsr/internal/isa"
+)
+
+// The liveness lattice tracks the 32 windowed integer registers plus
+// the 16 FP registers as one bitset. Window rotation (save/restore/ret)
+// and calls are modelled conservatively: they use every register, so
+// liveness never crosses them optimistically and the dead-store report
+// stays sound.
+const (
+	numIntRegs = int(isa.NumRegs)
+	numLive    = numIntRegs + isa.NumFRegs
+)
+
+type liveSet [1]uint64 // 48 bits used
+
+func (s *liveSet) set(r int)      { s[0] |= 1 << uint(r) }
+func (s *liveSet) clear(r int)    { s[0] &^= 1 << uint(r) }
+func (s *liveSet) has(r int) bool { return s[0]&(1<<uint(r)) != 0 }
+func (s *liveSet) union(t liveSet) bool {
+	old := s[0]
+	s[0] |= t[0]
+	return s[0] != old
+}
+
+func fbit(f isa.FReg) int { return numIntRegs + int(f) }
+
+// instrEffect describes one instruction's register reads and writes.
+type instrEffect struct {
+	uses    []int
+	defs    []int
+	usesAll bool // conservative barrier: treats every register as used
+	// pure means the instruction's only effect is writing its defs —
+	// removing it would be semantics-preserving if the defs are dead.
+	// Loads are impure here because they fault on bad addresses and
+	// perturb cache state (a timing effect this simulator measures).
+	pure bool
+}
+
+func effect(in *isa.Instr) instrEffect {
+	var e instrEffect
+	useReg := func(r isa.Reg) {
+		if r != isa.G0 {
+			e.uses = append(e.uses, int(r))
+		}
+	}
+	useSrc2 := func() {
+		if !in.UseImm {
+			useReg(in.Rs2)
+		}
+	}
+	defReg := func(r isa.Reg) {
+		if r != isa.G0 {
+			e.defs = append(e.defs, int(r))
+		}
+	}
+
+	switch in.Op {
+	case isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor,
+		isa.Sll, isa.Srl, isa.Sra, isa.Mul, isa.Div:
+		useReg(in.Rs1)
+		useSrc2()
+		defReg(in.Rd)
+		e.pure = in.Op != isa.Div // div can trap on zero
+	case isa.Cmp:
+		useReg(in.Rs1)
+		useSrc2()
+		// defines the condition codes, which we treat as always live.
+	case isa.Set:
+		defReg(in.Rd)
+		e.pure = true
+	case isa.Mov:
+		useSrc2()
+		defReg(in.Rd)
+		e.pure = true
+	case isa.Ld, isa.Ldub:
+		useReg(in.Rs1)
+		defReg(in.Rd)
+	case isa.St, isa.Stb:
+		useReg(in.Rd)
+		useReg(in.Rs1)
+	case isa.FLd:
+		useReg(in.Rs1)
+		e.defs = append(e.defs, fbit(in.FRd))
+	case isa.FSt:
+		useReg(in.Rs1)
+		e.uses = append(e.uses, fbit(in.FRs2))
+	case isa.Fadd, isa.Fsub, isa.Fmul, isa.Fdiv:
+		e.uses = append(e.uses, fbit(in.FRs1), fbit(in.FRs2))
+		e.defs = append(e.defs, fbit(in.FRd))
+		e.pure = in.Op != isa.Fdiv // value-dependent latency, keep
+	case isa.Fsqrt, isa.Fitos, isa.Fstoi:
+		e.uses = append(e.uses, fbit(in.FRs2))
+		e.defs = append(e.defs, fbit(in.FRd))
+	case isa.Fcmp:
+		e.uses = append(e.uses, fbit(in.FRs1), fbit(in.FRs2))
+	case isa.Ba, isa.Be, isa.Bne, isa.Bl, isa.Ble, isa.Bg, isa.Bge,
+		isa.Fbe, isa.Fbne, isa.Fbl, isa.Fbg:
+		// reads condition codes only
+	case isa.Nop, isa.IPoint:
+		// IPoint writes the out-of-band trace, not registers.
+	default:
+		// Call, CallR, Ret, RetL, Save, SaveX, Restore, Halt and anything
+		// unknown: barrier. Calls pass arguments in %o registers, window
+		// ops rotate the whole file, Halt exposes %o0 as the exit value.
+		e.usesAll = true
+	}
+	return e
+}
+
+// Liveness holds per-instruction live-after sets for one function.
+type Liveness struct {
+	g *CFG
+	// liveOut[i] is the set live immediately after instruction i.
+	liveOut []liveSet
+}
+
+// ComputeLiveness runs a backward may-liveness dataflow over g.
+func ComputeLiveness(g *CFG) *Liveness {
+	n := len(g.Fn.Code)
+	lv := &Liveness{g: g, liveOut: make([]liveSet, n)}
+	if n == 0 {
+		return lv
+	}
+
+	// Per-block entry sets.
+	liveIn := make([]liveSet, len(g.Blocks))
+	blockIn := func(b *Block) liveSet {
+		// Transfer the block backwards from its out set.
+		var s liveSet
+		for _, succ := range b.Succs {
+			s.union(liveIn[succ])
+		}
+		for i := b.End - 1; i >= b.Start; i-- {
+			e := effect(&g.Fn.Code[i])
+			for _, d := range e.defs {
+				s.clear(d)
+			}
+			if e.usesAll {
+				for r := 0; r < numLive; r++ {
+					s.set(r)
+				}
+			}
+			for _, u := range e.uses {
+				s.set(u)
+			}
+		}
+		return s
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for bi := len(g.Blocks) - 1; bi >= 0; bi-- {
+			b := g.Blocks[bi]
+			if in := blockIn(b); liveIn[b.ID].union(in) {
+				changed = true
+			}
+		}
+	}
+
+	// Final pass: record live-after per instruction.
+	for _, b := range g.Blocks {
+		var s liveSet
+		for _, succ := range b.Succs {
+			s.union(liveIn[succ])
+		}
+		for i := b.End - 1; i >= b.Start; i-- {
+			lv.liveOut[i] = s
+			e := effect(&g.Fn.Code[i])
+			for _, d := range e.defs {
+				s.clear(d)
+			}
+			if e.usesAll {
+				for r := 0; r < numLive; r++ {
+					s.set(r)
+				}
+			}
+			for _, u := range e.uses {
+				s.set(u)
+			}
+		}
+	}
+	return lv
+}
+
+// DeadStores returns the indices of pure instructions whose every
+// destination register is dead afterwards — the classic dead-store
+// report, restricted to removable instructions.
+func (lv *Liveness) DeadStores() []int {
+	var out []int
+	for _, b := range lv.g.Blocks {
+		if !lv.g.Reachable[b.ID] {
+			continue // reported by the unreachable pass instead
+		}
+		for i := b.Start; i < b.End; i++ {
+			e := effect(&lv.g.Fn.Code[i])
+			if !e.pure || len(e.defs) == 0 {
+				continue
+			}
+			dead := true
+			for _, d := range e.defs {
+				if lv.liveOut[i].has(d) {
+					dead = false
+					break
+				}
+			}
+			if dead {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}

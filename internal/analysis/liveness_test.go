@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"testing"
+
+	"dsr/internal/isa"
+	"dsr/internal/prog"
+)
+
+func TestDeadStoreDetected(t *testing.T) {
+	// l0 is written twice; the first write is never observed.
+	f := prog.NewLeaf("f").
+		MovI(isa.L0, 1). // dead
+		MovI(isa.L0, 2).
+		Mov(isa.O0, isa.L0).
+		RetLeaf().
+		MustBuild()
+	lv := ComputeLiveness(BuildCFG(f))
+	ds := lv.DeadStores()
+	if len(ds) != 1 || ds[0] != 0 {
+		t.Errorf("dead stores=%v, want [0]", ds)
+	}
+}
+
+func TestDeadStoreAcrossBranchIsLive(t *testing.T) {
+	// A value read on only one arm of a branch is still live.
+	f := prog.NewLeaf("f").
+		MovI(isa.L0, 7). // live: read on the else arm
+		CmpI(isa.O0, 0).
+		Be("use").
+		MovI(isa.O0, 0).
+		Ba("done").
+		Label("use").
+		Mov(isa.O0, isa.L0).
+		Label("done").
+		RetLeaf().
+		MustBuild()
+	lv := ComputeLiveness(BuildCFG(f))
+	if ds := lv.DeadStores(); len(ds) != 0 {
+		t.Errorf("dead stores=%v, want none — l0 is read on the taken arm", ds)
+	}
+}
+
+func TestLoadsAreNotRemovable(t *testing.T) {
+	// A load into an unread register is not a "dead store": it faults on
+	// bad addresses and perturbs the caches this simulator measures.
+	f := prog.NewLeaf("f").
+		Ld(isa.L0, isa.O0, 0).
+		RetLeaf().
+		MustBuild()
+	lv := ComputeLiveness(BuildCFG(f))
+	if ds := lv.DeadStores(); len(ds) != 0 {
+		t.Errorf("dead stores=%v; loads are impure and must not be reported", ds)
+	}
+}
+
+func TestCallIsLivenessBarrier(t *testing.T) {
+	// %o0 written before a call is consumed by the call (argument), so
+	// the write is live even though no instruction reads it explicitly.
+	f := prog.NewFunc("f", prog.MinFrame).
+		Prologue().
+		MovI(isa.O0, 42).
+		Call("g").
+		Epilogue().
+		MustBuild()
+	lv := ComputeLiveness(BuildCFG(f))
+	if ds := lv.DeadStores(); len(ds) != 0 {
+		t.Errorf("dead stores=%v; calls must act as use-all barriers", ds)
+	}
+}
+
+func TestLoopCarriedLiveness(t *testing.T) {
+	// The increment inside the loop body is live across the back edge.
+	f := prog.NewLeaf("f").
+		MovI(isa.L0, 0).
+		Label("head").
+		AddI(isa.L0, isa.L0, 1).
+		CmpI(isa.L0, 10).
+		Bl("head").
+		Mov(isa.O0, isa.L0).
+		RetLeaf().
+		MustBuild()
+	lv := ComputeLiveness(BuildCFG(f))
+	if ds := lv.DeadStores(); len(ds) != 0 {
+		t.Errorf("dead stores=%v, want none in a loop-carried chain", ds)
+	}
+}

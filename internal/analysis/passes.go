@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"dsr/internal/isa"
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+)
+
+// Pass names, exported so tools can filter diagnostics.
+const (
+	PassReservedReg = "reserved-reg"
+	PassRetShape    = "ret-shape"
+	PassAlignment   = "alignment"
+	PassFrame       = "frame"
+	PassSymbols     = "symbols"
+	PassUnreachable = "unreachable"
+	PassDeadStore   = "dead-store"
+	PassL2Layout    = "l2-layout"
+	PassVerifyDSR   = "dsr-verify"
+)
+
+// reads/writes of %g6/%g7 by an instruction.
+func touchesReserved(in *isa.Instr) (isa.Reg, bool) {
+	check := func(r isa.Reg) bool { return r == isa.G6 || r == isa.G7 }
+	e := effect(in)
+	for _, d := range e.defs {
+		if check(isa.Reg(d)) {
+			return isa.Reg(d), true
+		}
+	}
+	for _, u := range e.uses {
+		if u < numIntRegs && check(isa.Reg(u)) {
+			return isa.Reg(u), true
+		}
+	}
+	// Barrier instructions "use all" in the liveness model; for the
+	// reserved-register lint only explicit operands count.
+	if e.usesAll {
+		switch in.Op {
+		case isa.CallR:
+			if check(in.Rs1) {
+				return in.Rs1, true
+			}
+		case isa.SaveX:
+			if check(in.Rs2) {
+				return in.Rs2, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// isDSRShape reports whether the instruction at index i of f is part of
+// one of the two canonical sequences the DSR pass emits, which are the
+// only sanctioned uses of %g6/%g7.
+func isDSRShape(f *prog.Function, i int) bool {
+	at := func(j int) *isa.Instr {
+		if j < 0 || j >= len(f.Code) {
+			return nil
+		}
+		return &f.Code[j]
+	}
+	in := at(i)
+	switch in.Op {
+	case isa.Set:
+		// set <table>, %g6/%g7 followed by the table load.
+		next := at(i + 1)
+		return (in.Rd == isa.G6 || in.Rd == isa.G7) && in.Sym != "" &&
+			next != nil && next.Op == isa.Ld && next.Rd == in.Rd && next.Rs1 == in.Rd
+	case isa.Ld:
+		prev := at(i - 1)
+		if prev == nil || prev.Op != isa.Set || prev.Rd != in.Rd || in.Rs1 != in.Rd {
+			return false
+		}
+		next := at(i + 1)
+		if next == nil {
+			return false
+		}
+		return (next.Op == isa.CallR && next.Rs1 == in.Rd) ||
+			(next.Op == isa.SaveX && next.Rs2 == in.Rd)
+	case isa.CallR:
+		prev := at(i - 1)
+		return prev != nil && prev.Op == isa.Ld && prev.Rd == in.Rs1
+	case isa.SaveX:
+		prev := at(i - 1)
+		return prev != nil && prev.Op == isa.Ld && prev.Rd == in.Rs2
+	}
+	return false
+}
+
+// ReservedRegPass flags application code touching %g6/%g7, the scratch
+// registers the DSR dispatch sequences clobber at every rewritten call
+// and prologue (SPARC reserves them for the system). Recognised DSR
+// dispatch shapes are exempt, so the pass is clean on transformed
+// output too.
+func ReservedRegPass() *Pass {
+	return &Pass{
+		Name: PassReservedReg,
+		Doc:  "flags %g6/%g7 uses outside the DSR dispatch sequences",
+		Run: func(ctx *Context) {
+			for _, f := range ctx.Prog.Functions {
+				for i := range f.Code {
+					r, hit := touchesReserved(&f.Code[i])
+					if !hit || isDSRShape(f, i) {
+						continue
+					}
+					ctx.Diagf(Error, f.Name, i,
+						"%s is reserved for the DSR dispatch (clobbered at every rewritten call); found %q",
+						r, f.Code[i].String())
+				}
+			}
+		},
+	}
+}
+
+// RetShapePass checks the control-transfer conventions the simulator's
+// ABI (and the DSR pass) rely on: a single prologue SAVE as the first
+// instruction of each non-leaf, matching return forms, and no path
+// that falls off the end of the function.
+func RetShapePass() *Pass {
+	return &Pass{
+		Name: PassRetShape,
+		Doc:  "prologue/return shape and fall-through-end checks",
+		Run: func(ctx *Context) {
+			for _, f := range ctx.Prog.Functions {
+				if len(f.Code) == 0 {
+					ctx.Diagf(Error, f.Name, -1, "function is empty")
+					continue
+				}
+				g := BuildCFG(f)
+				for i := range f.Code {
+					op := f.Code[i].Op
+					switch op {
+					case isa.Save, isa.SaveX:
+						if f.Leaf {
+							ctx.Diagf(Error, f.Name, i, "leaf function executes %s", op)
+						} else if i != 0 {
+							ctx.Diagf(Error, f.Name, i, "%s is not the first instruction; the DSR pass requires the prologue save at index 0", op)
+						}
+					case isa.Ret:
+						if f.Leaf {
+							ctx.Diagf(Error, f.Name, i, "leaf uses ret (want retl)")
+						}
+					case isa.RetL:
+						if !f.Leaf {
+							ctx.Diagf(Error, f.Name, i, "non-leaf uses retl (want ret)")
+						}
+					case isa.Call, isa.CallR:
+						if f.Leaf {
+							ctx.Diagf(Error, f.Name, i, "leaf function makes a call")
+						}
+					}
+				}
+				if !f.Leaf && f.Code[0].Op != isa.Save && f.Code[0].Op != isa.SaveX {
+					ctx.Diagf(Error, f.Name, 0, "non-leaf function does not start with its prologue save")
+				}
+				// Every reachable block must either branch away or end in
+				// a terminator; the last block must not fall through.
+				for _, b := range g.Blocks {
+					if !g.Reachable[b.ID] || b.End != len(f.Code) {
+						continue
+					}
+					last := f.Code[b.End-1].Op
+					if !isTerminator(last) && !last.IsBranch() {
+						ctx.Diagf(Error, f.Name, b.End-1,
+							"control falls off the end of the function after %q", f.Code[b.End-1].String())
+					} else if last.IsBranch() && last != isa.Ba {
+						ctx.Diagf(Error, f.Name, b.End-1,
+							"conditional branch %q can fall off the end of the function", f.Code[b.End-1].String())
+					}
+				}
+			}
+		},
+	}
+}
+
+// AlignmentPass flags memory operands that are misaligned by
+// construction: word-sized accesses whose immediate offset is not
+// word-aligned (every base pointer in this ABI — %sp, %fp, symbol
+// addresses — is at least word-aligned) and save immediates that break
+// the SPARC double-word stack rule.
+func AlignmentPass() *Pass {
+	return &Pass{
+		Name: PassAlignment,
+		Doc:  "misaligned memory operands and stack adjustments",
+		Run: func(ctx *Context) {
+			for _, f := range ctx.Prog.Functions {
+				for i := range f.Code {
+					in := &f.Code[i]
+					switch in.Op {
+					case isa.Ld, isa.St, isa.FLd, isa.FSt:
+						if in.Imm%mem.WordSize != 0 {
+							ctx.Diagf(Error, f.Name, i,
+								"word access with offset %d not a multiple of %d: %q",
+								in.Imm, mem.WordSize, in.String())
+						}
+					case isa.Save, isa.SaveX:
+						if in.Imm%mem.DoubleWord != 0 {
+							ctx.Diagf(Error, f.Name, i,
+								"%s adjusts the stack by %d, not a multiple of %d (SPARC v8 requires a double-word aligned %%sp)",
+								in.Op, in.Imm, mem.DoubleWord)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// FramePass checks the stack-frame conventions of prog's ABI: frame
+// sizes legal, the prologue save reserving exactly FrameSize bytes, and
+// %sp-relative accesses staying inside the frame — in particular out of
+// the 64-byte register-window save area, which window overflow traps
+// overwrite asynchronously.
+func FramePass() *Pass {
+	return &Pass{
+		Name: PassFrame,
+		Doc:  "frame-size conventions and %sp-relative access bounds",
+		Run: func(ctx *Context) {
+			for _, f := range ctx.Prog.Functions {
+				if f.Leaf {
+					if f.FrameSize != 0 {
+						ctx.Diagf(Error, f.Name, -1, "leaf function declares a %d-byte frame", f.FrameSize)
+					}
+					continue
+				}
+				if f.FrameSize < prog.MinFrame {
+					ctx.Diagf(Error, f.Name, -1,
+						"frame %d below the %d-byte minimum (window save area + argument area)",
+						f.FrameSize, prog.MinFrame)
+				}
+				if f.FrameSize%mem.DoubleWord != 0 {
+					ctx.Diagf(Error, f.Name, -1, "frame %d not double-word aligned", f.FrameSize)
+				}
+				for i := range f.Code {
+					in := &f.Code[i]
+					switch in.Op {
+					case isa.Save, isa.SaveX:
+						if in.Imm != f.FrameSize {
+							ctx.Diagf(Error, f.Name, i,
+								"prologue reserves %d bytes but the declared frame is %d", in.Imm, f.FrameSize)
+						}
+					case isa.Ld, isa.St, isa.Ldub, isa.Stb, isa.FLd, isa.FSt:
+						if in.Rs1 != isa.SP {
+							continue
+						}
+						switch {
+						case in.Imm < 0:
+							ctx.Diagf(Error, f.Name, i,
+								"%q accesses below %%sp (offset %d)", in.String(), in.Imm)
+						case in.Imm < prog.SaveAreaBytes:
+							ctx.Diagf(Error, f.Name, i,
+								"%q touches the register-window save area [%%sp+0,%%sp+%d), which overflow traps overwrite",
+								in.String(), prog.SaveAreaBytes)
+						case in.Imm >= int32(f.FrameSize):
+							ctx.Diagf(Warning, f.Name, i,
+								"%q reaches offset %d, beyond the %d-byte frame", in.String(), in.Imm, f.FrameSize)
+						}
+					}
+				}
+			}
+		},
+	}
+}
+
+// SymbolsPass reports every unresolved Call/Set symbol and every
+// out-of-function branch displacement, with positions. prog.Validate
+// covers the same ground but stops at the first violation; the lint
+// form reports them all, which is what an editor integration wants.
+func SymbolsPass() *Pass {
+	return &Pass{
+		Name: PassSymbols,
+		Doc:  "unresolved symbol references and out-of-range branches",
+		Run: func(ctx *Context) {
+			p := ctx.Prog
+			for _, f := range p.Functions {
+				for i := range f.Code {
+					in := &f.Code[i]
+					switch in.Op {
+					case isa.Call:
+						if p.Function(in.Sym) == nil {
+							ctx.Diagf(Error, f.Name, i, "call to undefined function %q", in.Sym)
+						}
+					case isa.Set:
+						if in.Sym != "" && !p.SymbolDefined(in.Sym) {
+							ctx.Diagf(Error, f.Name, i, "reference to undefined symbol %q", in.Sym)
+						}
+					}
+					if in.Op.IsBranch() {
+						if tgt := i + int(in.Disp); tgt < 0 || tgt >= len(f.Code) {
+							ctx.Diagf(Error, f.Name, i,
+								"branch displacement %+d leaves the function [0,%d)", in.Disp, len(f.Code))
+						}
+					}
+				}
+			}
+			if p.Entry != "" && p.Function(p.Entry) == nil {
+				ctx.Diagf(Error, p.Entry, -1, "entry point %q is not a defined function", p.Entry)
+			}
+		},
+	}
+}
+
+// UnreachablePass reports instructions no path from the function entry
+// reaches. Dead code is a WCET-analysis smell: it inflates the static
+// image (and the randomisation relocation cost) for no behaviour.
+func UnreachablePass() *Pass {
+	return &Pass{
+		Name: PassUnreachable,
+		Doc:  "instructions unreachable from the function entry",
+		Run: func(ctx *Context) {
+			for _, f := range ctx.Prog.Functions {
+				if len(f.Code) == 0 {
+					continue
+				}
+				g := BuildCFG(f)
+				for _, i := range g.UnreachableInstrs() {
+					ctx.Diagf(Warning, f.Name, i, "unreachable instruction %q", f.Code[i].String())
+				}
+			}
+		},
+	}
+}
+
+// DeadStorePass reports pure instructions whose results are never read.
+func DeadStorePass() *Pass {
+	return &Pass{
+		Name: PassDeadStore,
+		Doc:  "register writes never observed by any later instruction",
+		Run: func(ctx *Context) {
+			for _, f := range ctx.Prog.Functions {
+				if len(f.Code) == 0 {
+					continue
+				}
+				lv := ComputeLiveness(BuildCFG(f))
+				for _, i := range lv.DeadStores() {
+					ctx.Diagf(Warning, f.Name, i, "dead store: %q is never read", f.Code[i].String())
+				}
+			}
+		},
+	}
+}

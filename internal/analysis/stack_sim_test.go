@@ -1,0 +1,111 @@
+package analysis_test
+
+// Soundness of the static stack analysis against the simulator: for the
+// space case study's control task, the statically computed stack-byte,
+// window-depth and window-spill bounds must dominate everything the
+// simulator actually observes. A static bound below an observed value
+// would mean a partition stack budget derived from it can overflow in
+// flight — exactly the class of failure the paper's V&V process exists
+// to exclude.
+
+import (
+	"testing"
+
+	"dsr/internal/analysis"
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/mem"
+	"dsr/internal/platform"
+	"dsr/internal/spaceapp"
+)
+
+func TestStaticStackBoundCoversSimulatedControlTask(t *testing.T) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := platform.ProximaLEON3()
+	sb, err := analysis.AnalyzeStack(p, analysis.StackOptions{
+		NumWindows: cfg.CPU.NumWindows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Unresolved != 0 {
+		t.Fatalf("%d unresolved indirect calls in the untransformed control task", sb.Unresolved)
+	}
+
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(cfg)
+	plat.LoadImage(img)
+
+	for seed := uint64(1); seed <= 3; seed++ {
+		if err := spaceapp.ApplyControlInput(plat.Mem, img, spaceapp.GenControlInput(seed)); err != nil {
+			t.Fatal(err)
+		}
+		// Step the CPU manually, watching the stack pointer and the net
+		// save/restore depth before each instruction.
+		plat.FlushCaches()
+		plat.ResetCounters()
+		plat.CPU.Reset(cfg.StackTop)
+		minSP := cfg.StackTop
+		depth, maxDepth := 0, 0
+		for steps := 0; !plat.CPU.Halted(); steps++ {
+			if steps > 50_000_000 {
+				t.Fatal("control task did not halt")
+			}
+			if in := img.InstrAt(plat.CPU.PC()); in != nil {
+				switch in.Op {
+				case isa.Save, isa.SaveX:
+					if depth++; depth > maxDepth {
+						maxDepth = depth
+					}
+				case isa.Restore, isa.Ret:
+					depth--
+				}
+			}
+			if err := plat.CPU.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if sp := plat.CPU.Reg(isa.SP); sp < minSP {
+				minSP = sp
+			}
+		}
+
+		observedBytes := mem.Addr(cfg.StackTop - minSP)
+		if sb.MaxStackBytes < observedBytes {
+			t.Errorf("seed %d: static stack bound %d < observed excursion %d",
+				seed, sb.MaxStackBytes, observedBytes)
+		}
+		if sb.MaxWindowDepth < maxDepth {
+			t.Errorf("seed %d: static window depth %d < observed %d",
+				seed, sb.MaxWindowDepth, maxDepth)
+		}
+		observedSpill := maxDepth - (cfg.CPU.NumWindows - 1)
+		if observedSpill < 0 {
+			observedSpill = 0
+		}
+		if sb.WindowSpillBound < observedSpill {
+			t.Errorf("seed %d: static spill bound %d < observed %d",
+				seed, sb.WindowSpillBound, observedSpill)
+		}
+
+		// The bound must also be non-vacuous: a sound but absurdly loose
+		// bound (say 10× the observation) would make partition budgets
+		// useless. The control task has no data-dependent call depth, so
+		// the static chain should be exercised exactly.
+		if sb.MaxWindowDepth != maxDepth {
+			t.Errorf("seed %d: static window depth %d does not match the exercised depth %d",
+				seed, sb.MaxWindowDepth, maxDepth)
+		}
+		if observedBytes == 0 {
+			t.Error("simulator observed no stack use — instrumentation broken")
+		}
+		t.Logf("seed %d: stack %d/%d bytes, windows %d/%d, spill ≤ %d (chain %v)",
+			seed, observedBytes, sb.MaxStackBytes, maxDepth, sb.MaxWindowDepth,
+			sb.WindowSpillBound, sb.WorstChain)
+	}
+}

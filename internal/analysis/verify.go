@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"fmt"
+
+	"dsr/internal/isa"
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+)
+
+// TransformInfo describes the shape of a DSR transformation: the names
+// of the metadata tables and the function-index order the runtime will
+// write them in. It mirrors core.Metadata without importing
+// internal/core, so the verifier can be used from core's own tests.
+type TransformInfo struct {
+	// FTableSym / OffsetsSym are the metadata table symbols
+	// (core.FTableSym / core.OffsetsSym).
+	FTableSym  string
+	OffsetsSym string
+	// Funcs lists function names in table-index order.
+	Funcs []string
+	// MaxOverheadFrac, when positive, bounds the static instruction
+	// overhead of the transformation (extra/original); the paper
+	// reports <2% for the case study, so 0.02 is the natural budget
+	// for production-sized programs. Zero disables the check.
+	MaxOverheadFrac float64
+}
+
+// DispatchReg / OffsetReg are the scratch registers the DSR pass
+// reserves for its call-dispatch and stack-offset sequences.
+const (
+	DispatchReg = isa.G6
+	OffsetReg   = isa.G7
+)
+
+// VerifyTransform is the differential DSR verifier: given the original
+// program and the output of core.Transform, it machine-checks every
+// invariant the MBPTA argument rests on:
+//
+//  1. every direct call of the original is rewritten to the canonical
+//     table-indirect dispatch (set ftable, %g6; ld [%g6+4k], %g6;
+//     callr %g6) with k the callee's table index — and no direct call
+//     survives anywhere;
+//  2. every non-leaf prologue carries the paired offset load + SAVEX
+//     (set offsets, %g7; ld [%g7+4self], %g7; savex frame, %g7) with
+//     the frame immediate preserved — so the stack pointer stays valid
+//     and double-word aligned through every random offset;
+//  3. the __dsr_ftable/__dsr_offsets data objects exist, are complete
+//     (≥ one word per function) and word-index consistent with the
+//     metadata order in info.Funcs;
+//  4. all other instructions are preserved verbatim and every branch
+//     lands on the instruction that replaces its original target
+//     (displacement remap correctness);
+//  5. %g6/%g7 appear only inside the sanctioned sequences; and
+//  6. the static instruction overhead stays within MaxOverheadFrac.
+//
+// A clean transformation returns no diagnostics; any Error-level
+// diagnostic means the output must not be used for measurement.
+// The verifier never panics on malformed input — it is fuzzed with
+// mutated programs.
+func VerifyTransform(orig, xform *prog.Program, info TransformInfo) []Diagnostic {
+	v := &verifier{info: info}
+	if orig == nil || xform == nil {
+		v.errf("", -1, "nil program")
+		return v.diags
+	}
+	idx := map[string]int{}
+	for i, name := range info.Funcs {
+		idx[name] = i
+	}
+	v.idx = idx
+
+	// Function sets must correspond 1:1, same order, same shape.
+	if len(orig.Functions) != len(xform.Functions) {
+		v.errf("", -1, "function count changed: %d → %d", len(orig.Functions), len(xform.Functions))
+	}
+	for _, f := range orig.Functions {
+		if _, ok := idx[f.Name]; !ok {
+			v.errf(f.Name, -1, "function missing from metadata index")
+		}
+	}
+
+	v.checkTables(orig, xform)
+
+	var origInstrs, xformInstrs int
+	for _, of := range orig.Functions {
+		origInstrs += len(of.Code)
+		tf := xform.Function(of.Name)
+		if tf == nil {
+			v.errf(of.Name, -1, "function dropped by the transformation")
+			continue
+		}
+		if tf.Leaf != of.Leaf || tf.FrameSize != of.FrameSize {
+			v.errf(of.Name, -1, "function shape changed (leaf %v→%v, frame %d→%d)",
+				of.Leaf, tf.Leaf, of.FrameSize, tf.FrameSize)
+			continue
+		}
+		v.checkFunction(of, tf)
+	}
+	for _, tf := range xform.Functions {
+		xformInstrs += len(tf.Code)
+		if orig.Function(tf.Name) == nil {
+			v.errf(tf.Name, -1, "function invented by the transformation")
+		}
+	}
+
+	// Global reserved-register sweep: nothing outside the sanctioned
+	// shapes may touch %g6/%g7 (the lockstep walk catches in-sequence
+	// deviations; this catches stray uses in invented code paths).
+	for _, tf := range xform.Functions {
+		for i := range tf.Code {
+			if r, hit := touchesReserved(&tf.Code[i]); hit && !isDSRShape(tf, i) {
+				v.errf(tf.Name, i, "%s used outside a DSR dispatch sequence: %q", r, tf.Code[i].String())
+			}
+		}
+	}
+
+	if info.MaxOverheadFrac > 0 && origInstrs > 0 {
+		frac := float64(xformInstrs-origInstrs) / float64(origInstrs)
+		if frac > info.MaxOverheadFrac {
+			v.errf("", -1, "static instruction overhead %.2f%% exceeds the %.2f%% budget (%d → %d instructions)",
+				frac*100, info.MaxOverheadFrac*100, origInstrs, xformInstrs)
+		}
+	}
+	return v.diags
+}
+
+type verifier struct {
+	info  TransformInfo
+	idx   map[string]int
+	diags []Diagnostic
+}
+
+func (v *verifier) errf(fn string, i int, format string, args ...interface{}) {
+	v.diags = append(v.diags, Diagnostic{
+		Pass: PassVerifyDSR, Sev: Error, Fn: fn, Index: i,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (v *verifier) checkTables(orig, xform *prog.Program) {
+	want := mem.Addr(4 * len(v.info.Funcs))
+	if want == 0 {
+		want = 4
+	}
+	for _, sym := range []string{v.info.FTableSym, v.info.OffsetsSym} {
+		if orig.DataObject(sym) != nil {
+			v.errf(sym, -1, "metadata table already present in the input program")
+		}
+		d := xform.DataObject(sym)
+		if d == nil {
+			v.errf(sym, -1, "metadata table missing from the transformed program")
+			continue
+		}
+		if d.Size < want {
+			v.errf(sym, -1, "metadata table truncated: %d bytes for %d functions (want ≥ %d)",
+				d.Size, len(v.info.Funcs), want)
+		}
+		if d.Align != 0 && d.Align%mem.WordSize != 0 {
+			v.errf(sym, -1, "metadata table alignment %d not word-aligned", d.Align)
+		}
+	}
+}
+
+// checkFunction walks orig and xform code in lockstep, requiring each
+// original instruction to map to either itself or its canonical
+// expansion, then re-checks every branch displacement against the
+// computed position map.
+func (v *verifier) checkFunction(of, tf *prog.Function) {
+	selfIdx, selfKnown := v.idx[of.Name]
+	newPos := make([]int, len(of.Code)+1)
+	j := 0 // cursor into tf.Code
+
+	at := func(k int) *isa.Instr {
+		if k < 0 || k >= len(tf.Code) {
+			return nil
+		}
+		return &tf.Code[k]
+	}
+
+	bad := false
+	for i := range of.Code {
+		in := &of.Code[i]
+		newPos[i] = j
+		switch {
+		case i == 0 && in.Op == isa.Save && !of.Leaf:
+			// Expect: set offsets, %g7 ; ld [%g7+4*self], %g7 ; savex imm, %g7.
+			set, ld, sx := at(j), at(j+1), at(j+2)
+			switch {
+			case set == nil || set.Op != isa.Set || set.Rd != OffsetReg || set.Sym != v.info.OffsetsSym:
+				v.errf(tf.Name, j, "prologue does not load the stack-offset table (want set %s, %s)",
+					v.info.OffsetsSym, OffsetReg)
+				bad = true
+			case ld == nil || ld.Op != isa.Ld || ld.Rd != OffsetReg || ld.Rs1 != OffsetReg:
+				v.errf(tf.Name, j+1, "prologue offset load malformed (want ld [%s+4i], %s)", OffsetReg, OffsetReg)
+				bad = true
+			case selfKnown && ld.Imm != int32(selfIdx)*4:
+				v.errf(tf.Name, j+1, "prologue loads offset word %d but %s has table index %d",
+					ld.Imm/4, tf.Name, selfIdx)
+				bad = true
+			case sx == nil || sx.Op != isa.SaveX || sx.Rs2 != OffsetReg:
+				v.errf(tf.Name, j+2, "prologue save not paired with its offset (want savex %d, %s)",
+					in.Imm, OffsetReg)
+				bad = true
+			case sx.Imm != in.Imm:
+				v.errf(tf.Name, j+2, "savex frame immediate %d differs from the original save %d", sx.Imm, in.Imm)
+				bad = true
+			}
+			j += 3
+		case in.Op == isa.Call:
+			callee, ok := v.idx[in.Sym]
+			set, ld, cr := at(j), at(j+1), at(j+2)
+			switch {
+			case set == nil || set.Op != isa.Set || set.Rd != DispatchReg || set.Sym != v.info.FTableSym:
+				v.errf(tf.Name, j, "call to %q not rewritten to table-indirect dispatch (want set %s, %s)",
+					in.Sym, v.info.FTableSym, DispatchReg)
+				bad = true
+			case ld == nil || ld.Op != isa.Ld || ld.Rd != DispatchReg || ld.Rs1 != DispatchReg:
+				v.errf(tf.Name, j+1, "dispatch table load malformed for call to %q", in.Sym)
+				bad = true
+			case ok && ld.Imm != int32(callee)*4:
+				v.errf(tf.Name, j+1, "dispatch loads table word %d but callee %q has index %d — the call would land in the wrong function",
+					ld.Imm/4, in.Sym, callee)
+				bad = true
+			case !ok:
+				v.errf(tf.Name, j+1, "callee %q absent from the metadata index", in.Sym)
+				bad = true
+			case cr == nil || cr.Op != isa.CallR || cr.Rs1 != DispatchReg:
+				v.errf(tf.Name, j+2, "dispatch sequence for %q does not end in callr %s", in.Sym, DispatchReg)
+				bad = true
+			}
+			j += 3
+		default:
+			got := at(j)
+			if got == nil {
+				v.errf(tf.Name, j, "transformed code ends early: original instruction %d (%q) has no counterpart",
+					i, in.String())
+				bad = true
+			} else if !sameInstrModuloDisp(in, got) {
+				v.errf(tf.Name, j, "instruction altered: %q became %q", in.String(), got.String())
+				bad = true
+			}
+			j++
+		}
+	}
+	newPos[len(of.Code)] = j
+	if j < len(tf.Code) {
+		v.errf(tf.Name, j, "transformation appended %d unexpected instruction(s)", len(tf.Code)-j)
+		bad = true
+	}
+	if bad {
+		return // position map unreliable; skip the displacement check
+	}
+
+	// Displacement remap: every original branch must land on the start
+	// of the sequence replacing its original target.
+	for i := range of.Code {
+		if !of.Code[i].Op.IsBranch() {
+			continue
+		}
+		tgt := i + int(of.Code[i].Disp)
+		if tgt < 0 || tgt >= len(of.Code) {
+			continue // invalid in the original; prog.Validate reports it
+		}
+		pos := newPos[i]
+		got := at(pos)
+		if got == nil {
+			continue
+		}
+		if want := int32(newPos[tgt] - pos); got.Disp != want {
+			v.errf(tf.Name, pos, "branch displacement remapped to %+d, want %+d (original target %d)",
+				got.Disp, want, tgt)
+		}
+	}
+}
+
+// sameInstrModuloDisp compares two instructions ignoring the branch
+// displacement (remapped by the pass and checked separately).
+func sameInstrModuloDisp(a, b *isa.Instr) bool {
+	if a.Op.IsBranch() && b.Op == a.Op {
+		ac, bc := *a, *b
+		ac.Disp, bc.Disp = 0, 0
+		return ac == bc
+	}
+	return *a == *b
+}

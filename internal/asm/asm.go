@@ -48,24 +48,60 @@ func errf(line int, format string, args ...interface{}) *Error {
 	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
 }
 
+// SourceInfo maps assembled code back to source positions, so static-
+// analysis diagnostics (internal/analysis, cmd/dsrlint) can point at
+// the offending source line rather than an instruction index.
+type SourceInfo struct {
+	// FuncLines[f][i] is the 1-based source line of instruction i of
+	// function f.
+	FuncLines map[string][]int
+	// FuncDef[f] is the line of f's .func/.leaf directive.
+	FuncDef map[string]int
+	// DataDef[d] is the line of d's .data directive.
+	DataDef map[string]int
+}
+
+// InstrLine returns the source line of instruction index i of function
+// fn. It satisfies analysis.LineResolver.
+func (si *SourceInfo) InstrLine(fn string, i int) (int, bool) {
+	lines, ok := si.FuncLines[fn]
+	if !ok || i < 0 || i >= len(lines) {
+		return 0, false
+	}
+	return lines[i], true
+}
+
 // Assemble parses source into a validated program.
 func Assemble(src string) (*prog.Program, error) {
-	a := &assembler{p: &prog.Program{Name: "a.out"}}
+	p, _, err := AssembleWithInfo(src)
+	return p, err
+}
+
+// AssembleWithInfo is Assemble plus the source-position mapping.
+func AssembleWithInfo(src string) (*prog.Program, *SourceInfo, error) {
+	a := &assembler{
+		p: &prog.Program{Name: "a.out"},
+		info: &SourceInfo{
+			FuncLines: map[string][]int{},
+			FuncDef:   map[string]int{},
+			DataDef:   map[string]int{},
+		},
+	}
 	for i, raw := range strings.Split(src, "\n") {
 		if err := a.line(i+1, raw); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := a.endFunc(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if a.p.Entry == "" && len(a.p.Functions) > 0 {
 		a.p.Entry = a.p.Functions[0].Name
 	}
 	if err := a.p.Validate(); err != nil {
-		return nil, fmt.Errorf("asm: %w", err)
+		return nil, nil, fmt.Errorf("asm: %w", err)
 	}
-	return a.p, nil
+	return a.p, a.info, nil
 }
 
 type fixup struct {
@@ -75,13 +111,15 @@ type fixup struct {
 }
 
 type assembler struct {
-	p *prog.Program
+	p    *prog.Program
+	info *SourceInfo
 
 	// current function state
-	fn     *prog.Function
-	labels map[string]int
-	fixups []fixup
-	fnLine int
+	fn      *prog.Function
+	fnLines []int // source line of each emitted instruction
+	labels  map[string]int
+	fixups  []fixup
+	fnLine  int
 
 	// current data object (for .word accumulation)
 	data *prog.DataObject
@@ -123,6 +161,7 @@ func (a *assembler) line(n int, raw string) error {
 		return err
 	}
 	a.fn.Code = append(a.fn.Code, in)
+	a.fnLines = append(a.fnLines, n)
 	return nil
 }
 
@@ -210,6 +249,7 @@ func (a *assembler) directive(n int, text string) error {
 			fn.FrameSize = prog.MinFrame
 		}
 		a.fn = fn
+		a.fnLines = nil
 		a.labels = map[string]int{}
 		a.fixups = nil
 		a.fnLine = n
@@ -248,6 +288,7 @@ func (a *assembler) dataDirective(n int, fields []string) error {
 	if err := a.p.AddData(d); err != nil {
 		return errf(n, "%v", err)
 	}
+	a.info.DataDef[d.Name] = n
 	a.data = d
 	return nil
 }
@@ -267,7 +308,10 @@ func (a *assembler) endFunc() error {
 	if err := a.p.AddFunction(a.fn); err != nil {
 		return errf(a.fnLine, "%v", err)
 	}
+	a.info.FuncLines[a.fn.Name] = a.fnLines
+	a.info.FuncDef[a.fn.Name] = a.fnLine
 	a.fn = nil
+	a.fnLines = nil
 	a.labels = nil
 	a.fixups = nil
 	return nil

@@ -1,0 +1,153 @@
+package asm
+
+// Source-position mapping: AssembleWithInfo must attribute every
+// emitted instruction to its source line, so the lint layer
+// (internal/analysis, cmd/dsrlint) reports findings against the file
+// the author edits rather than an instruction index.
+
+import (
+	"strings"
+	"testing"
+
+	"dsr/internal/analysis"
+)
+
+// lineSource has deliberately irregular spacing (comments, blank lines,
+// labels) so instruction indices and line numbers diverge.
+const lineSource = `.program lines
+.entry main
+
+.data buf size=8 align=8
+
+; a comment line
+
+.func main frame=96
+    save 96
+    mov 0, %l0
+
+loop:
+    add %l0, 1, %l0      ; line 13
+    cmp %l0, 3
+    bl loop
+
+    mov %g6, %o0         ; line 17: reserved-register violation
+    halt
+`
+
+func TestSourceInfoInstrLines(t *testing.T) {
+	p, info, err := AssembleWithInfo(lineSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Function("main") == nil {
+		t.Fatal("main lost")
+	}
+	wantLines := []int{9, 10, 13, 14, 15, 17, 18} // save, mov, add, cmp, bl, mov, halt
+	got := info.FuncLines["main"]
+	if len(got) != len(wantLines) {
+		t.Fatalf("FuncLines=%v, want %d entries", got, len(wantLines))
+	}
+	for i, want := range wantLines {
+		if line, ok := info.InstrLine("main", i); !ok || line != want {
+			t.Errorf("InstrLine(main, %d)=%d,%v, want %d", i, line, ok, want)
+		}
+	}
+	if info.FuncDef["main"] != 8 {
+		t.Errorf("FuncDef=%d, want 8", info.FuncDef["main"])
+	}
+	if info.DataDef["buf"] != 4 {
+		t.Errorf("DataDef=%d, want 4", info.DataDef["buf"])
+	}
+	// Out-of-range queries fail cleanly.
+	if _, ok := info.InstrLine("main", 99); ok {
+		t.Error("out-of-range index resolved")
+	}
+	if _, ok := info.InstrLine("nosuch", 0); ok {
+		t.Error("unknown function resolved")
+	}
+}
+
+func TestLintDiagnosticsCarrySourceLines(t *testing.T) {
+	// End-to-end: the reserved-register violation on line 17 of the
+	// source must surface with that line attached, the dsrlint pipeline.
+	p, info, err := AssembleWithInfo(lineSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(p, analysis.DefaultPasses(), info.InstrLine)
+	found := false
+	for _, d := range diags {
+		if d.Pass == analysis.PassReservedReg {
+			found = true
+			if d.Line != 17 {
+				t.Errorf("reserved-reg diagnostic at line %d, want 17: %s", d.Line, d)
+			}
+			if !strings.Contains(d.String(), "line 17") {
+				t.Errorf("rendered diagnostic lacks the line: %s", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("reserved-register violation not reported")
+	}
+}
+
+func TestAssembleWithInfoMatchesAssemble(t *testing.T) {
+	// The info-carrying entry point must produce the identical program.
+	p1, err := Assemble(sampleSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, info, err := AssembleWithInfo(sampleSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Name != p2.Name || len(p1.Functions) != len(p2.Functions) || len(p1.Data) != len(p2.Data) {
+		t.Fatal("programs diverge between Assemble and AssembleWithInfo")
+	}
+	for i, f := range p1.Functions {
+		g := p2.Functions[i]
+		if f.Name != g.Name || len(f.Code) != len(g.Code) {
+			t.Fatalf("function %q diverges", f.Name)
+		}
+		for j := range f.Code {
+			if f.Code[j] != g.Code[j] {
+				t.Fatalf("%s+%d: %q vs %q", f.Name, j, f.Code[j].String(), g.Code[j].String())
+			}
+		}
+		if len(info.FuncLines[f.Name]) != len(f.Code) {
+			t.Errorf("%s: %d line entries for %d instructions",
+				f.Name, len(info.FuncLines[f.Name]), len(f.Code))
+		}
+	}
+}
+
+func TestSourceInfoErrorPathsKeepLineNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+	}{
+		{"instruction outside function", ".program p\n\nadd %o0, %o1, %o2\n", 3},
+		{"undefined label", ".program p\n.func f frame=96\nsave 96\nba nowhere\nret\n", 4},
+		{"bad operand", ".program p\n.func f frame=96\nsave 96\nadd %o0, %qz, %o1\nret\n", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, info, err := AssembleWithInfo(tc.src)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if info != nil {
+				t.Error("info returned alongside an error")
+			}
+			ae, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("error %T does not carry a position: %v", err, err)
+			}
+			if ae.Line != tc.line {
+				t.Errorf("error at line %d, want %d: %v", ae.Line, tc.line, err)
+			}
+		})
+	}
+}

@@ -223,6 +223,12 @@ func (p *Program) symbolDefined(name string) bool {
 	return p.Function(name) != nil || p.DataObject(name) != nil
 }
 
+// SymbolDefined reports whether name is a defined function or data
+// object — the resolution check the lint layer (internal/analysis)
+// reuses to report *all* unresolved references with positions, where
+// Validate stops at the first.
+func (p *Program) SymbolDefined(name string) bool { return p.symbolDefined(name) }
+
 // Clone deep-copies the program so a transformation pass (the DSR
 // compiler) can rewrite it without mutating the original.
 func (p *Program) Clone() *Program {

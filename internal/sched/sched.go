@@ -26,6 +26,14 @@ type Task struct {
 	WCETCycles float64
 	// WindowBudgetMillis is the partition window reserved per activation.
 	WindowBudgetMillis int
+	// StackBoundBytes is the static worst-case stack excursion of the
+	// task (analysis.StackBound.MaxStackBytes — under DSR, computed with
+	// the runtime's StackOffsetBound so random offsets are covered).
+	// Zero means "not analysed"; the stack check is skipped.
+	StackBoundBytes int
+	// StackBudgetBytes is the partition stack allocation the integrator
+	// reserved for the task. Zero disables the check.
+	StackBudgetBytes int
 }
 
 // Result is the verdict for one task.
@@ -39,6 +47,12 @@ type Result struct {
 	Fits bool
 	// Utilisation is WCET / period, the long-run core share.
 	Utilisation float64
+	// StackSlackBytes is StackBudgetBytes - StackBoundBytes when both
+	// are set (negative when the static bound exceeds the allocation).
+	StackSlackBytes int
+	// StackFits reports whether the static stack bound fits the budget
+	// (vacuously true when either side is zero/unchecked).
+	StackFits bool
 }
 
 // Report is the system-level outcome.
@@ -72,6 +86,9 @@ func Check(tasks []Task, cyclesPerMilli mem.Cycles) (*Report, error) {
 		if t.WCETCycles <= 0 {
 			return nil, fmt.Errorf("sched: task %q has non-positive WCET bound", t.Name)
 		}
+		if t.StackBoundBytes < 0 || t.StackBudgetBytes < 0 {
+			return nil, fmt.Errorf("sched: task %q has a negative stack bound or budget", t.Name)
+		}
 		budget := float64(t.WindowBudgetMillis) * float64(cyclesPerMilli)
 		period := float64(t.PeriodMillis) * float64(cyclesPerMilli)
 		r := Result{
@@ -80,10 +97,15 @@ func Check(tasks []Task, cyclesPerMilli mem.Cycles) (*Report, error) {
 			SlackCycles:  budget - t.WCETCycles,
 			Fits:         t.WCETCycles <= budget,
 			Utilisation:  t.WCETCycles / period,
+			StackFits:    true,
+		}
+		if t.StackBudgetBytes > 0 && t.StackBoundBytes > 0 {
+			r.StackSlackBytes = t.StackBudgetBytes - t.StackBoundBytes
+			r.StackFits = t.StackBoundBytes <= t.StackBudgetBytes
 		}
 		rep.Results = append(rep.Results, r)
 		rep.TotalUtilisation += r.Utilisation
-		if !r.Fits {
+		if !r.Fits || !r.StackFits {
 			rep.Schedulable = false
 		}
 	}

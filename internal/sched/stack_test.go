@@ -1,0 +1,101 @@
+package sched
+
+// Partition stack budgets: the static bounds from internal/analysis
+// feed the same schedulability verdict as the WCET bounds — an IMA
+// partition descriptor reserves both a time window and a stack
+// allocation, and exceeding either is a V&V failure.
+
+import (
+	"testing"
+
+	"dsr/internal/analysis"
+	"dsr/internal/spaceapp"
+)
+
+func stackTask(bound, budget int) Task {
+	return Task{
+		Name: "t", PeriodMillis: 100, WindowBudgetMillis: 10, WCETCycles: 1000,
+		StackBoundBytes: bound, StackBudgetBytes: budget,
+	}
+}
+
+func TestStackBudgetEnforced(t *testing.T) {
+	rep, err := Check([]Task{stackTask(4096, 8192)}, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable || !rep.Results[0].StackFits {
+		t.Error("fitting stack budget reported as violation")
+	}
+	if got := rep.Results[0].StackSlackBytes; got != 4096 {
+		t.Errorf("stack slack=%d, want 4096", got)
+	}
+
+	rep, err = Check([]Task{stackTask(8192, 4096)}, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable || rep.Results[0].StackFits {
+		t.Error("stack overrun not flagged")
+	}
+	if got := rep.Results[0].StackSlackBytes; got != -4096 {
+		t.Errorf("stack slack=%d, want -4096", got)
+	}
+}
+
+func TestStackBudgetUncheckedWhenUnset(t *testing.T) {
+	// Zero on either side skips the check — tasks without a static
+	// analysis keep the previous behaviour.
+	for _, tk := range []Task{stackTask(0, 4096), stackTask(4096, 0), stackTask(0, 0)} {
+		rep, err := Check([]Task{tk}, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Schedulable || !rep.Results[0].StackFits {
+			t.Errorf("unset stack budget (bound=%d budget=%d) failed the check",
+				tk.StackBoundBytes, tk.StackBudgetBytes)
+		}
+	}
+}
+
+func TestStackBudgetRejectsNegative(t *testing.T) {
+	if _, err := Check([]Task{stackTask(-1, 0)}, 50_000); err == nil {
+		t.Error("negative stack bound accepted")
+	}
+}
+
+// TestControlTaskStackBudgetFromAnalysis wires the real static analysis
+// into a partition descriptor for the control task, the end-to-end path
+// an integrator follows: AnalyzeStack → StackBoundBytes → Check.
+func TestControlTaskStackBudgetFromAnalysis(t *testing.T) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := analysis.AnalyzeStack(p, analysis.StackOptions{NumWindows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := Task{
+		Name: "control", PeriodMillis: 100, WindowBudgetMillis: 20,
+		WCETCycles:       1_000_000,
+		StackBoundBytes:  int(sb.MaxStackBytes),
+		StackBudgetBytes: 4096, // one page, generous for the control task
+	}
+	rep, err := Check([]Task{task}, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable {
+		t.Errorf("control task (stack bound %d) does not fit a 4KB budget", sb.MaxStackBytes)
+	}
+	// And a budget below the bound must fail.
+	task.StackBudgetBytes = int(sb.MaxStackBytes) - 8
+	rep, err = Check([]Task{task}, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedulable {
+		t.Error("budget below the static bound accepted")
+	}
+}

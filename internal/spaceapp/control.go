@@ -265,6 +265,8 @@ func validateFrame() *prog.Function {
 		Add(isa.L5, isa.L0, isa.L4).
 		Add(isa.L6, isa.L1, isa.L4).
 		FLd(0, isa.L5, 0). // f0 = frame[z]
+		Fcmp(0, 0).
+		Fbne("bad"). // f0 != f0: NaN (fbne is taken on unordered)
 		Fcmp(0, 2).
 		Fbg("bad"). // f0 > +limit
 		Fcmp(0, 3).

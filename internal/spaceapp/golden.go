@@ -16,11 +16,16 @@ func ControlReference(in *ControlInput) uint32 {
 		chk = (chk<<1 | chk>>31) ^ w
 	}
 
-	// validate_frame.
+	// validate_frame. NaN is rejected like an out-of-window value: a
+	// sensor word with a NaN bit pattern must not enter the arithmetic
+	// pipeline, both for robustness and because NaN payload propagation
+	// through float ops is not bit-stable across compilers/build modes
+	// (the simulated ISA and this model could then disagree on
+	// telemetry bit patterns).
 	last := make([]float32, NumZones)
 	for z := 0; z < NumZones; z++ {
 		f := math.Float32frombits(frame[z])
-		if f > coefWFELimit || f < -coefWFELimit {
+		if f != f || f > coefWFELimit || f < -coefWFELimit {
 			f = last[z]
 			frame[z] = math.Float32bits(f)
 		} else {

@@ -160,7 +160,9 @@ func finePhase() *prog.Function {
 // FineWindow² pixels, converted to float with fitos, divided (the
 // jittery FPU ops), and turned into a wavefront error via fsqrt.
 func lensCentroid() *prog.Function {
-	b := prog.NewFunc("lens_centroid", prog.MinFrame)
+	// MinFrame plus one double-word-aligned local slot: the int→float
+	// conversions bounce sx/sy/sw through [%sp+LocalBase].
+	b := prog.NewFunc("lens_centroid", prog.MinFrame+8)
 	b.Prologue().
 		Set(isa.L0, SymScene).
 		MulI(isa.L1, isa.I0, PixelsPerLens).
