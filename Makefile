@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench evaluate examples dsrlint fuzz clean
+.PHONY: all build test vet lint race bench evaluate examples dsrlint telemetry-smoke fuzz clean
 
-all: build lint test race dsrlint
+all: build lint test race dsrlint telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,21 @@ dsrlint: build
 	$(GO) run ./cmd/dsrlint -q -builtin control
 	$(GO) run ./cmd/dsrlint -q -builtin processing
 
+# Telemetry end-to-end smoke: run a reduced campaign with the recorder
+# on, then exercise every dsrstat path over the produced artefacts —
+# summary, all three conversions, the Chrome trace, and the validator
+# (exporter round-trips + trace schema). Artefacts land in
+# telemetry-out/ (CI uploads trace.json as a workflow artifact).
+telemetry-smoke: build
+	rm -rf telemetry-out
+	$(GO) run ./cmd/dsrsim -iid -runs 600 -telemetry telemetry-out
+	$(GO) run ./cmd/dsrstat summary telemetry-out/telemetry.jsonl
+	$(GO) run ./cmd/dsrstat convert -to csv telemetry-out/telemetry.jsonl > /dev/null
+	$(GO) run ./cmd/dsrstat convert -to prom telemetry-out/telemetry.csv > /dev/null
+	$(GO) run ./cmd/dsrstat convert -to jsonl telemetry-out/telemetry.prom > /dev/null
+	$(GO) run ./cmd/dsrstat trace telemetry-out/telemetry.jsonl > /dev/null
+	$(GO) run ./cmd/dsrstat validate telemetry-out/telemetry.jsonl
+
 # Regenerate every table and figure of the paper at full scale.
 evaluate: build
 	$(GO) run ./cmd/dsrsim -all -runs 1000
@@ -57,3 +72,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
+	rm -rf telemetry-out

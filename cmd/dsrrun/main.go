@@ -6,6 +6,9 @@
 //	dsrrun prog.s                  run once, print cycles and counters
 //	dsrrun -disasm prog.s          dump the assembled program
 //	dsrrun -dsr -runs 500 prog.s   DSR campaign + pWCET analysis
+//	dsrrun -telemetry prog.s       also print the per-component cycle
+//	                               attribution (single run or campaign)
+//	dsrrun -progress -dsr prog.s   per-run campaign progress on stderr
 package main
 
 import (
@@ -21,14 +24,17 @@ import (
 	"dsr/internal/platform"
 	"dsr/internal/prog"
 	"dsr/internal/rvs"
+	"dsr/internal/telemetry"
 )
 
 func main() {
 	var (
-		useDSR = flag.Bool("dsr", false, "run a DSR measurement campaign instead of a single run")
-		runs   = flag.Int("runs", 500, "campaign size with -dsr")
-		seed   = flag.Uint64("seed", 1, "base layout seed with -dsr")
-		disasm = flag.Bool("disasm", false, "print the assembled program and exit")
+		useDSR   = flag.Bool("dsr", false, "run a DSR measurement campaign instead of a single run")
+		runs     = flag.Int("runs", 500, "campaign size with -dsr")
+		seed     = flag.Uint64("seed", 1, "base layout seed with -dsr")
+		disasm   = flag.Bool("disasm", false, "print the assembled program and exit")
+		telem    = flag.Bool("telemetry", false, "enable cycle attribution and print the per-component split")
+		progress = flag.Bool("progress", false, "print per-run campaign progress to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -49,16 +55,26 @@ func main() {
 		img, err := loader.Load(p, loader.DefaultSequentialConfig())
 		die(err)
 		plat := platform.New(platform.ProximaLEON3())
+		if *telem {
+			plat.EnableAttribution()
+		}
 		plat.LoadImage(img)
 		res, err := plat.Run()
 		die(err)
 		fmt.Printf("%s: %d cycles, %%o0=%d (0x%x)\n", p.Name, res.Cycles, res.ExitValue, res.ExitValue)
-		fmt.Printf("  instr=%d fpu=%d icmiss=%d dcmiss=%d l2miss=%d\n",
-			res.PMCs.Instr, res.PMCs.FPU, res.PMCs.ICMiss, res.PMCs.DCMiss, res.PMCs.L2Miss)
+		if *telem {
+			die(rvs.WriteCounterSummary(os.Stdout, p.Name, res.PMCs, res.Attribution))
+		} else {
+			fmt.Printf("  instr=%d fpu=%d icmiss=%d dcmiss=%d l2miss=%d\n",
+				res.PMCs.Instr, res.PMCs.FPU, res.PMCs.ICMiss, res.PMCs.DCMiss, res.PMCs.L2Miss)
+		}
 		return
 	}
 
 	plat := platform.New(platform.ProximaLEON3())
+	if *telem {
+		plat.EnableAttribution()
+	}
 	rt, err := core.NewRuntime(p, plat, core.Options{})
 	die(err)
 
@@ -77,12 +93,24 @@ func main() {
 	}
 
 	var times []float64
+	var agg telemetry.AttributionSnapshot
 	for i := 0; i < *runs; i++ {
 		_, err := rt.Reboot(*seed + uint64(i))
 		die(err)
 		res, err := rt.Run()
 		die(err)
 		times = append(times, float64(res.Cycles))
+		agg.Add(res.Attribution)
+		if *progress && ((i+1)%50 == 0 || i+1 == *runs) {
+			fmt.Fprintf(os.Stderr, "  %s: %d/%d runs\r", p.Name, i+1, *runs)
+			if i+1 == *runs {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	if agg.Valid {
+		fmt.Print(agg.Render())
+		fmt.Println()
 	}
 	opts := mbpta.DefaultOptions()
 	if len(times)/opts.BlockSize < 10 {

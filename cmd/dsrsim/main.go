@@ -11,12 +11,21 @@
 //	dsrsim -all         everything above
 //
 // -runs N sets the campaign size (default 1000, as in the paper).
+//
+// Observability:
+//
+//	-telemetry DIR  record the campaign (metrics, events, per-run cycle
+//	                attribution) and export it to DIR as telemetry.jsonl,
+//	                telemetry.csv, telemetry.prom and trace.json (Chrome
+//	                trace_event, for chrome://tracing / Perfetto)
+//	-progress       print per-run campaign progress to stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"dsr/internal/bus"
 	"dsr/internal/experiments"
@@ -25,6 +34,7 @@ import (
 	"dsr/internal/prng"
 	"dsr/internal/spaceapp"
 	"dsr/internal/stats"
+	"dsr/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +51,8 @@ func main() {
 		ablations = flag.Bool("ablations", false, "A1-A5 ablation campaigns")
 		multicore = flag.Bool("multicore", false, "future-work study: DSR under bus contention (§VII)")
 		paths     = flag.Bool("paths", false, "future-work study: worst-path coverage of the processing task (§VII)")
+		telemDir  = flag.String("telemetry", "", "record the campaign and export telemetry files to this directory")
+		progress  = flag.Bool("progress", false, "print per-run campaign progress to stderr")
 	)
 	flag.Parse()
 	if *all {
@@ -55,6 +67,29 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = *runs
 	cfg.SeedBase = *seed
+
+	var campaign *telemetry.Campaign
+	if *telemDir != "" {
+		campaign = telemetry.NewCampaign(0)
+		cfg.Telemetry = campaign
+		cfg.Attribution = true
+		cfg.MBPTA.Events = campaign.Events
+	}
+	if *progress {
+		cfg.Progress = func(series string, done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "  %s: %d/%d runs\r", series, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	defer func() {
+		if campaign != nil {
+			die(writeTelemetry(*telemDir, campaign))
+		}
+	}()
 
 	if *platFlag {
 		fmt.Print(platform.New(platform.ProximaLEON3()).Describe())
@@ -255,6 +290,41 @@ func runAblations(cfg experiments.Config) {
 	fmt.Println("   no representativeness argument, re-derive at every integration):")
 	fmt.Println("  " + summarise(base))
 	fmt.Println("  " + summarise(pos))
+}
+
+// writeTelemetry exports the campaign in all four formats: JSONL and CSV
+// records, Prometheus text exposition, and a Chrome trace_event JSON
+// timeline of the whole campaign.
+func writeTelemetry(dir string, campaign *telemetry.Campaign) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dump := campaign.Dump()
+	writers := []struct {
+		name  string
+		write func(f *os.File) error
+	}{
+		{"telemetry.jsonl", func(f *os.File) error { return dump.WriteJSONL(f) }},
+		{"telemetry.csv", func(f *os.File) error { return dump.WriteCSV(f) }},
+		{"telemetry.prom", func(f *os.File) error { return dump.WritePrometheus(f) }},
+		{"trace.json", func(f *os.File) error { return dump.WriteChromeTrace(f, 0) }},
+	}
+	for _, w := range writers {
+		f, err := os.Create(filepath.Join(dir, w.name))
+		if err != nil {
+			return err
+		}
+		if err := w.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: %d metrics, %d events -> %s\n",
+		len(dump.Metrics), len(dump.Events), dir)
+	return nil
 }
 
 func die(err error) {

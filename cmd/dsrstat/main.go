@@ -1,0 +1,282 @@
+// Command dsrstat summarises and converts the telemetry dumps written
+// by `dsrsim -telemetry DIR` (and by anything else that uses
+// internal/telemetry's exporters).
+//
+//	dsrstat summary  FILE            print metric/event/track summary
+//	dsrstat convert  -to FMT FILE    re-encode as jsonl, csv or prom
+//	dsrstat trace    FILE            render a Chrome trace_event JSON
+//	dsrstat validate FILE            round-trip + trace schema checks
+//
+// The input format is inferred from the file extension (.jsonl, .csv,
+// .prom / .txt) or forced with -from. CSV and Prometheus inputs carry
+// metrics only; summaries and traces over them have no events.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dsr/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summary":
+		err = cmdSummary(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "dsrstat: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsrstat:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  dsrstat summary  [-from FMT] FILE
+  dsrstat convert  [-from FMT] -to jsonl|csv|prom FILE
+  dsrstat trace    [-from FMT] [-cycles-per-us N] FILE
+  dsrstat validate [-from FMT] FILE
+formats: jsonl (metrics+events), csv, prom (metrics only)
+`)
+}
+
+// detectFormat maps a file extension to an input format name.
+func detectFormat(path string) (string, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl", ".ndjson", ".json":
+		return "jsonl", nil
+	case ".csv":
+		return "csv", nil
+	case ".prom", ".txt", ".metrics":
+		return "prom", nil
+	}
+	return "", fmt.Errorf("cannot infer format of %q; use -from jsonl|csv|prom", path)
+}
+
+// load reads a dump in the given (or inferred) format.
+func load(path, from string) (*telemetry.Dump, string, error) {
+	if from == "" {
+		var err error
+		if from, err = detectFormat(path); err != nil {
+			return nil, "", err
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	var d *telemetry.Dump
+	switch from {
+	case "jsonl":
+		d, err = telemetry.ReadJSONL(f)
+	case "csv":
+		d, err = telemetry.ReadCSV(f)
+	case "prom":
+		d, err = telemetry.ReadPrometheus(f)
+	default:
+		return nil, "", fmt.Errorf("unknown input format %q (want jsonl, csv or prom)", from)
+	}
+	return d, from, err
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	from := fs.String("from", "", "input format (jsonl, csv, prom); default: by extension")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("summary: want exactly one FILE")
+	}
+	d, format, err := load(fs.Arg(0), *from)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s): %d metrics, %d events\n", fs.Arg(0), format, len(d.Metrics), len(d.Events))
+
+	// Metrics, grouped by kind then name.
+	byKind := map[telemetry.MetricKind]int{}
+	for _, m := range d.Metrics {
+		byKind[m.Kind]++
+	}
+	if len(d.Metrics) > 0 {
+		fmt.Printf("\nmetrics: %d counters, %d gauges, %d histograms\n",
+			byKind[telemetry.KindCounter], byKind[telemetry.KindGauge], byKind[telemetry.KindHistogram])
+		ms := append([]telemetry.Metric(nil), d.Metrics...)
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].Name != ms[j].Name {
+				return ms[i].Name < ms[j].Name
+			}
+			return ms[i].Labels.String() < ms[j].Labels.String()
+		})
+		for _, m := range ms {
+			label := m.Name
+			if ls := m.Labels.String(); ls != "" {
+				label += "{" + ls + "}"
+			}
+			switch m.Kind {
+			case telemetry.KindHistogram:
+				mean := 0.0
+				if m.Count > 0 {
+					mean = m.Sum / float64(m.Count)
+				}
+				fmt.Printf("  %-52s histogram n=%d sum=%.0f mean=%.1f\n", label, m.Count, m.Sum, mean)
+			default:
+				fmt.Printf("  %-52s %s %.6g\n", label, m.Kind, m.Value)
+			}
+		}
+	}
+
+	// Events, grouped by track and kind.
+	if len(d.Events) > 0 {
+		type tk struct{ track, kind string }
+		counts := map[tk]int{}
+		var order []tk
+		for _, e := range d.Events {
+			k := tk{e.Track, e.Kind}
+			if counts[k] == 0 {
+				order = append(order, k)
+			}
+			counts[k]++
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].track != order[j].track {
+				return order[i].track < order[j].track
+			}
+			return order[i].kind < order[j].kind
+		})
+		fmt.Printf("\nevents by track/kind:\n")
+		for _, k := range order {
+			fmt.Printf("  %-16s %-24s %d\n", k.track, k.kind, counts[k])
+		}
+		first, last := d.Events[0].TS, d.Events[0].TS
+		for _, e := range d.Events {
+			if e.TS < first {
+				first = e.TS
+			}
+			if e.TS > last {
+				last = e.TS
+			}
+		}
+		fmt.Printf("time span: %d .. %d cycles (%.3f ms at %g cycles/us)\n",
+			first, last, float64(last-first)/telemetry.DefaultCyclesPerMicro/1000,
+			telemetry.DefaultCyclesPerMicro)
+	}
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	from := fs.String("from", "", "input format (jsonl, csv, prom); default: by extension")
+	to := fs.String("to", "", "output format: jsonl, csv or prom")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("convert: want exactly one FILE")
+	}
+	d, _, err := load(fs.Arg(0), *from)
+	if err != nil {
+		return err
+	}
+	switch *to {
+	case "jsonl":
+		return d.WriteJSONL(os.Stdout)
+	case "csv":
+		return d.WriteCSV(os.Stdout)
+	case "prom":
+		return d.WritePrometheus(os.Stdout)
+	}
+	return fmt.Errorf("convert: -to must be jsonl, csv or prom (got %q)", *to)
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	from := fs.String("from", "", "input format (jsonl, csv, prom); default: by extension")
+	cpu := fs.Float64("cycles-per-us", 0, "cycles per microsecond (0: the 80 MHz default)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace: want exactly one FILE")
+	}
+	d, _, err := load(fs.Arg(0), *from)
+	if err != nil {
+		return err
+	}
+	if len(d.Events) == 0 {
+		return fmt.Errorf("trace: %s has no events (metrics-only format?)", fs.Arg(0))
+	}
+	return d.WriteChromeTrace(os.Stdout, *cpu)
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	from := fs.String("from", "", "input format (jsonl, csv, prom); default: by extension")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate: want exactly one FILE")
+	}
+	d, format, err := load(fs.Arg(0), *from)
+	if err != nil {
+		return err
+	}
+
+	// Round-trip every metric through each exporter and require
+	// order-insensitive equality.
+	checks := []struct {
+		name  string
+		write func(*telemetry.Dump, io.Writer) error
+		read  func(io.Reader) (*telemetry.Dump, error)
+	}{
+		{"jsonl", (*telemetry.Dump).WriteJSONL, telemetry.ReadJSONL},
+		{"csv", (*telemetry.Dump).WriteCSV, telemetry.ReadCSV},
+		{"prom", (*telemetry.Dump).WritePrometheus, telemetry.ReadPrometheus},
+	}
+	for _, c := range checks {
+		var buf bytes.Buffer
+		if err := c.write(d, &buf); err != nil {
+			return fmt.Errorf("validate: %s encode: %w", c.name, err)
+		}
+		back, err := c.read(&buf)
+		if err != nil {
+			return fmt.Errorf("validate: %s decode: %w", c.name, err)
+		}
+		if !telemetry.MetricsEqual(d.Metrics, back.Metrics) {
+			return fmt.Errorf("validate: %s round-trip changed the metrics", c.name)
+		}
+		fmt.Printf("%-5s round-trip ok (%d metrics)\n", c.name, len(back.Metrics))
+	}
+
+	// Chrome trace schema check over the events.
+	var buf bytes.Buffer
+	if err := d.WriteChromeTrace(&buf, 0); err != nil {
+		return fmt.Errorf("validate: trace encode: %w", err)
+	}
+	spans, err := telemetry.ValidateChromeTrace(&buf)
+	if err != nil {
+		return fmt.Errorf("validate: %w", err)
+	}
+	fmt.Printf("trace schema ok (%d events, %d span pairs)\n", len(d.Events), spans)
+	fmt.Printf("%s (%s): valid\n", fs.Arg(0), format)
+	return nil
+}

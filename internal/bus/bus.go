@@ -93,6 +93,15 @@ func New(cfg Config, next mem.Backend) *Bus {
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
 
+// SetNext rebinds the downstream device; used to interpose telemetry
+// probes after construction. Panics on nil.
+func (b *Bus) SetNext(next mem.Backend) {
+	if next == nil {
+		panic(fmt.Sprintf("bus %q: nil downstream device", b.cfg.Name))
+	}
+	b.next = next
+}
+
 // Counters returns a snapshot of the transaction counters.
 func (b *Bus) Counters() Counters { return b.ctr }
 

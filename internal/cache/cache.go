@@ -194,6 +194,15 @@ func New(cfg Config, next mem.Backend) *Cache {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// SetNext rebinds the downstream level; used to interpose telemetry
+// probes after construction. Panics on nil.
+func (c *Cache) SetNext(next mem.Backend) {
+	if next == nil {
+		panic(fmt.Sprintf("cache %q: nil next level", c.cfg.Name))
+	}
+	c.next = next
+}
+
 // Counters returns a snapshot of the event counters.
 func (c *Cache) Counters() Counters { return c.ctr }
 

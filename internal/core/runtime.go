@@ -10,6 +10,7 @@ import (
 	"dsr/internal/platform"
 	"dsr/internal/prng"
 	"dsr/internal/prog"
+	"dsr/internal/telemetry"
 )
 
 // RelocationMode selects when functions are moved to their random
@@ -122,7 +123,18 @@ type Runtime struct {
 	// lazy state
 	pending map[mem.Addr]relocInfo
 	boot    *BootStats
+
+	// events, when non-nil, receives structured runtime events (reboots,
+	// relocations, pool choices); a nil log no-ops.
+	events *telemetry.EventLog
 }
+
+// SetEventLog installs (or clears, with nil) the structured event log
+// the runtime emits reboot and relocation events into.
+func (r *Runtime) SetEventLog(l *telemetry.EventLog) { r.events = l }
+
+// dsrTrack is the event-log track of DSR runtime events.
+const dsrTrack = "dsr"
 
 // NewRuntime runs the compiler pass on p and prepares a runtime bound to
 // plat. Call Reboot before every measured run.
@@ -234,7 +246,15 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 	switch r.opts.Mode {
 	case Eager:
 		for _, ri := range reloc {
-			stats.BootCycles += r.relocationCost(ri, pl[ri.name])
+			cost := r.relocationCost(ri, pl[ri.name])
+			stats.BootCycles += cost
+			r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
+				telemetry.String("func", ri.name),
+				telemetry.Hex("old", ri.oldBase),
+				telemetry.Hex("new", pl[ri.name]),
+				telemetry.Uint64("bytes", uint64(ri.size)),
+				telemetry.Cycles("cost", cost),
+				telemetry.String("when", "boot"))
 		}
 		r.pending = nil
 		r.plat.CPU.SetCallHook(nil)
@@ -247,10 +267,27 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 		// is relocated at boot even in lazy mode.
 		if ri, ok := r.pending[pl[r.tp.Entry]]; ok {
 			delete(r.pending, pl[r.tp.Entry])
-			stats.BootCycles += r.relocationCost(ri, pl[r.tp.Entry])
+			cost := r.relocationCost(ri, pl[r.tp.Entry])
+			stats.BootCycles += cost
+			r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
+				telemetry.String("func", ri.name),
+				telemetry.Hex("old", ri.oldBase),
+				telemetry.Hex("new", pl[r.tp.Entry]),
+				telemetry.Uint64("bytes", uint64(ri.size)),
+				telemetry.Cycles("cost", cost),
+				telemetry.String("when", "boot"))
 		}
 		r.plat.CPU.SetCallHook(r.lazyHook)
 	}
+	r.events.Emit(dsrTrack, "dsr.reboot", telemetry.PhaseInstant,
+		telemetry.Uint64("seed", seed),
+		telemetry.String("mode", r.opts.Mode.String()),
+		telemetry.Int("funcs", len(reloc)),
+		telemetry.Uint64("bytes", uint64(bytes)),
+		telemetry.Int("code_pages", stats.CodePages),
+		telemetry.Int("data_pages", stats.DataPages),
+		telemetry.Cycles("boot_cycles", stats.BootCycles),
+		telemetry.Hex("entry", pl[r.tp.Entry]))
 	r.boot = &stats
 	return stats, nil
 }
@@ -285,6 +322,13 @@ func (r *Runtime) lazyHook(target mem.Addr) {
 	if r.boot != nil {
 		r.boot.RelocatedFuncs--
 	}
+	r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
+		telemetry.String("func", ri.name),
+		telemetry.Hex("old", ri.oldBase),
+		telemetry.Hex("new", target),
+		telemetry.Uint64("bytes", uint64(ri.size)),
+		telemetry.Cycles("cost", cost),
+		telemetry.String("when", "lazy"))
 }
 
 // Run performs one measured run on the current layout. Reboot must have

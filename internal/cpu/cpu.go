@@ -21,6 +21,7 @@ import (
 	"dsr/internal/isa"
 	"dsr/internal/loader"
 	"dsr/internal/mem"
+	"dsr/internal/telemetry"
 	"dsr/internal/tlb"
 )
 
@@ -137,6 +138,14 @@ type CPU struct {
 	// to model lazy relocation (§III.B.1): the hook may charge cycles
 	// via AddCycles and issue cache traffic of its own.
 	callHook func(target mem.Addr)
+
+	// att, when set, receives a cycle-attribution booking for every
+	// cycle this core charges, partitioning the cycle counter into the
+	// components of telemetry.Component under a hard conservation
+	// invariant. When attribution is enabled the icache/dcache fronts
+	// must be telemetry.Probe chains (platform.EnableAttribution wires
+	// both together) so that memory stall cycles are booked per level.
+	att *telemetry.Attribution
 }
 
 // New builds a CPU. icache and dcache are the L1 fronts of the memory
@@ -193,10 +202,58 @@ func (c *CPU) SetImage(img *loader.Image) {
 func (c *CPU) Cycles() mem.Cycles { return c.cycles }
 
 // AddCycles charges external latency (e.g. a modelled runtime routine).
+// Cycles added from inside the call hook are attributed to the DSR
+// runtime component automatically; external callers outside a hook must
+// not use AddCycles while attribution is enabled, or the conservation
+// invariant breaks.
 func (c *CPU) AddCycles(n mem.Cycles) { c.cycles += n }
 
 // Counters returns a snapshot of the performance counters.
 func (c *CPU) Counters() Counters { return c.ctr }
+
+// ResetCounters zeroes the performance counters without touching the
+// architectural state, the cycle counter or the trace — the PMC-reset
+// half of the measurement protocol.
+func (c *CPU) ResetCounters() { c.ctr = Counters{} }
+
+// SetAttribution installs (or clears, with nil) the cycle-attribution
+// profiler. Use platform.EnableAttribution rather than calling this
+// directly: attribution is only conservative when the memory fronts are
+// probe chains booking into the same profiler.
+func (c *CPU) SetAttribution(a *telemetry.Attribution) { c.att = a }
+
+// SetMemoryFronts rebinds the L1 cache fronts (used when telemetry
+// probes are interposed after construction).
+func (c *CPU) SetMemoryFronts(icache, dcache mem.Backend) {
+	c.icache, c.dcache = icache, dcache
+}
+
+// charge adds n cycles and books them to comp (or the active override).
+func (c *CPU) charge(comp telemetry.Component, n mem.Cycles) {
+	c.cycles += n
+	if c.att != nil {
+		c.att.Charge(comp, n)
+	}
+}
+
+// translate charges a TLB translation, booking the entire cost — hit
+// latency plus any page-table walk traffic — to comp.
+func (c *CPU) translate(t *tlb.TLB, addr mem.Addr, comp telemetry.Component) {
+	if t == nil {
+		return
+	}
+	if c.att == nil {
+		c.cycles += t.Translate(addr)
+		return
+	}
+	prev, eff := c.att.SetOverride(comp)
+	start := c.att.Total()
+	lat := t.Translate(addr)
+	// The walk traffic booked lat-(hit latency); book the remainder.
+	c.att.Charge(eff, lat-(c.att.Total()-start))
+	c.att.ClearOverride(prev)
+	c.cycles += lat
+}
 
 // Trace returns the instrumentation points recorded so far.
 func (c *CPU) Trace() []TracePoint { return c.trace }
@@ -263,9 +320,7 @@ func (c *CPU) src2(in *isa.Instr) uint32 {
 // fetch translates and reads the instruction at pc, returning the decoded
 // instruction and charging fetch latency.
 func (c *CPU) fetch() (*isa.Instr, error) {
-	if c.itlb != nil {
-		c.cycles += c.itlb.Translate(c.pc)
-	}
+	c.translate(c.itlb, c.pc, telemetry.CompITLBWalk)
 	c.cycles += c.icache.Read(c.pc, isa.InstrBytes)
 	if c.curFn == nil || c.pc < c.curFn.Base || c.pc >= c.curFn.End() {
 		c.curFn = c.img.FuncAt(c.pc)
@@ -292,16 +347,32 @@ func (c *CPU) dataAddr(in *isa.Instr, align mem.Addr) (mem.Addr, error) {
 // loadWord performs a timed word load.
 func (c *CPU) loadWord(ea mem.Addr) uint32 {
 	c.ctr.Loads++
-	if c.dtlb != nil {
-		c.cycles += c.dtlb.Translate(ea)
-	}
-	c.cycles += c.cfg.LoadUse + c.dcache.Read(ea, mem.WordSize)
+	c.translate(c.dtlb, ea, telemetry.CompDTLBWalk)
+	c.charge(telemetry.CompLoadStore, c.cfg.LoadUse)
+	c.cycles += c.dcache.Read(ea, mem.WordSize)
 	return c.data.LoadWord(ea)
 }
 
-// storeCost charges the store-buffer-adjusted write-through cost.
-func (c *CPU) storeCost(lat mem.Cycles) {
-	c.cycles += c.cfg.StoreBase
+// storeAccess charges the store-buffer-adjusted write-through cost of a
+// store of the given size at ea. With attribution enabled the hierarchy
+// traffic is booked under the store-path override and the store-buffer-
+// hidden portion is rebated, so the booked cycles match the charged
+// cycles exactly.
+func (c *CPU) storeAccess(ea mem.Addr, size int) {
+	c.charge(telemetry.CompLoadStore, c.cfg.StoreBase)
+	var lat mem.Cycles
+	if c.att != nil {
+		prev, eff := c.att.SetOverride(telemetry.CompStorePath)
+		lat = c.dcache.Write(ea, size)
+		hidden := lat
+		if hidden > c.cfg.StoreHidden {
+			hidden = c.cfg.StoreHidden
+		}
+		c.att.Rebate(eff, hidden)
+		c.att.ClearOverride(prev)
+	} else {
+		lat = c.dcache.Write(ea, size)
+	}
 	if lat > c.cfg.StoreHidden {
 		c.cycles += lat - c.cfg.StoreHidden
 	}
@@ -310,17 +381,20 @@ func (c *CPU) storeCost(lat mem.Cycles) {
 // storeWord performs a timed word store.
 func (c *CPU) storeWord(ea mem.Addr, v uint32) {
 	c.ctr.Stores++
-	if c.dtlb != nil {
-		c.cycles += c.dtlb.Translate(ea)
-	}
-	c.storeCost(c.dcache.Write(ea, mem.WordSize))
+	c.translate(c.dtlb, ea, telemetry.CompDTLBWalk)
+	c.storeAccess(ea, mem.WordSize)
 	c.data.StoreWord(ea, v)
 }
 
 // spillWindow stores 16 registers (locals then ins) of window w at sp.
+// With attribution enabled the whole trap — entry/exit overhead plus the
+// 16-word store traffic through the data cache — is booked to the
+// window-trap component, which is how stack placement randomisation
+// shows up in the attribution profile.
 func (c *CPU) spillWindow(w int, sp uint32) {
 	c.ctr.WindowOverflows++
-	c.cycles += c.cfg.TrapOverhead
+	prev, _ := c.att.SetOverride(telemetry.CompWindowTrap)
+	c.charge(telemetry.CompWindowTrap, c.cfg.TrapOverhead)
 	base := mem.Addr(sp)
 	for i := 0; i < 8; i++ {
 		c.storeWord(base+mem.Addr(i)*4, c.locals[w][i])
@@ -329,12 +403,14 @@ func (c *CPU) spillWindow(w int, sp uint32) {
 	for i := 0; i < 8; i++ {
 		c.storeWord(base+mem.Addr(32+i*4), c.outs[ins][i])
 	}
+	c.att.ClearOverride(prev)
 }
 
 // fillWindow loads 16 registers of window w from sp.
 func (c *CPU) fillWindow(w int, sp uint32) {
 	c.ctr.WindowUnderflows++
-	c.cycles += c.cfg.TrapOverhead
+	prev, _ := c.att.SetOverride(telemetry.CompWindowTrap)
+	c.charge(telemetry.CompWindowTrap, c.cfg.TrapOverhead)
 	base := mem.Addr(sp)
 	for i := 0; i < 8; i++ {
 		c.locals[w][i] = c.loadWord(base + mem.Addr(i)*4)
@@ -343,6 +419,7 @@ func (c *CPU) fillWindow(w int, sp uint32) {
 	for i := 0; i < 8; i++ {
 		c.outs[ins][i] = c.loadWord(base + mem.Addr(32+i*4))
 	}
+	c.att.ClearOverride(prev)
 }
 
 // save rotates the window down, handling overflow, and sets the new SP.
@@ -391,6 +468,26 @@ func (c *CPU) fpJitter(v float32) mem.Cycles {
 	return mem.Cycles(bits.OnesCount32(m)) % (c.cfg.FPJitterMax + 1)
 }
 
+// runCallHook fires the DSR call hook. With attribution enabled, probe
+// bookings are suspended for the duration (the hook's own cache traffic
+// is part of the modelled runtime routine, not application stalls) and
+// the hook's entire cycle delta — AddCycles charges plus direct cache
+// traffic — is booked to the DSR runtime component.
+func (c *CPU) runCallHook(target mem.Addr) {
+	if c.callHook == nil {
+		return
+	}
+	if c.att == nil {
+		c.callHook(target)
+		return
+	}
+	c.att.Suspend()
+	base := c.cycles
+	c.callHook(target)
+	c.att.Resume()
+	c.att.Charge(telemetry.CompDSR, c.cycles-base)
+}
+
 // Step executes one instruction. It returns an error on architectural
 // traps the simulator treats as fatal (unmapped fetch, misalignment,
 // division by zero) — a correct program never triggers them.
@@ -403,7 +500,7 @@ func (c *CPU) Step() error {
 		return err
 	}
 	c.ctr.Instrs++
-	c.cycles++ // base cycle
+	c.charge(telemetry.CompBaseIssue, 1) // base cycle
 	if in.Op.IsFPU() {
 		c.ctr.FPUOps++
 	}
@@ -431,14 +528,14 @@ func (c *CPU) Step() error {
 	case isa.Sra:
 		c.setReg(in.Rd, uint32(int32(c.reg(in.Rs1))>>(c.src2(in)&31)))
 	case isa.Mul:
-		c.cycles += c.cfg.MulLatency
+		c.charge(telemetry.CompIntOp, c.cfg.MulLatency)
 		c.setReg(in.Rd, uint32(int32(c.reg(in.Rs1))*int32(c.src2(in))))
 	case isa.Div:
 		d := int32(c.src2(in))
 		if d == 0 {
 			return fmt.Errorf("cpu: division by zero at pc %#x", c.pc)
 		}
-		c.cycles += c.cfg.DivLatency
+		c.charge(telemetry.CompIntOp, c.cfg.DivLatency)
 		c.setReg(in.Rd, uint32(int32(c.reg(in.Rs1))/d))
 
 	case isa.Cmp:
@@ -460,10 +557,9 @@ func (c *CPU) Step() error {
 	case isa.Ldub:
 		ea, _ := c.dataAddr(in, 1)
 		c.ctr.Loads++
-		if c.dtlb != nil {
-			c.cycles += c.dtlb.Translate(ea)
-		}
-		c.cycles += c.cfg.LoadUse + c.dcache.Read(ea, 1)
+		c.translate(c.dtlb, ea, telemetry.CompDTLBWalk)
+		c.charge(telemetry.CompLoadStore, c.cfg.LoadUse)
+		c.cycles += c.dcache.Read(ea, 1)
 		c.setReg(in.Rd, c.data.LoadByte(ea))
 	case isa.St:
 		ea, err := c.dataAddr(in, mem.WordSize)
@@ -474,10 +570,8 @@ func (c *CPU) Step() error {
 	case isa.Stb:
 		ea, _ := c.dataAddr(in, 1)
 		c.ctr.Stores++
-		if c.dtlb != nil {
-			c.cycles += c.dtlb.Translate(ea)
-		}
-		c.storeCost(c.dcache.Write(ea, 1))
+		c.translate(c.dtlb, ea, telemetry.CompDTLBWalk)
+		c.storeAccess(ea, 1)
 		c.data.StoreByte(ea, c.reg(in.Rd))
 
 	case isa.FLd:
@@ -494,22 +588,24 @@ func (c *CPU) Step() error {
 		c.storeWord(ea, math.Float32bits(c.fregs[in.FRs2]))
 
 	case isa.Fadd:
-		c.cycles += c.cfg.FAddLatency
+		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		c.fregs[in.FRd] = c.fregs[in.FRs1] + c.fregs[in.FRs2]
 	case isa.Fsub:
-		c.cycles += c.cfg.FAddLatency
+		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		c.fregs[in.FRd] = c.fregs[in.FRs1] - c.fregs[in.FRs2]
 	case isa.Fmul:
-		c.cycles += c.cfg.FMulLatency
+		c.charge(telemetry.CompFPUBase, c.cfg.FMulLatency)
 		c.fregs[in.FRd] = c.fregs[in.FRs1] * c.fregs[in.FRs2]
 	case isa.Fdiv:
-		c.cycles += c.cfg.FDivLatency + c.fpJitter(c.fregs[in.FRs2])
+		c.charge(telemetry.CompFPUBase, c.cfg.FDivLatency)
+		c.charge(telemetry.CompFPUJitter, c.fpJitter(c.fregs[in.FRs2]))
 		c.fregs[in.FRd] = c.fregs[in.FRs1] / c.fregs[in.FRs2]
 	case isa.Fsqrt:
-		c.cycles += c.cfg.FSqrtLatency + c.fpJitter(c.fregs[in.FRs2])
+		c.charge(telemetry.CompFPUBase, c.cfg.FSqrtLatency)
+		c.charge(telemetry.CompFPUJitter, c.fpJitter(c.fregs[in.FRs2]))
 		c.fregs[in.FRd] = float32(math.Sqrt(float64(c.fregs[in.FRs2])))
 	case isa.Fcmp:
-		c.cycles += c.cfg.FAddLatency
+		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		a, b := c.fregs[in.FRs1], c.fregs[in.FRs2]
 		switch {
 		case a != a || b != b:
@@ -524,10 +620,10 @@ func (c *CPU) Step() error {
 			c.fcc = 1
 		}
 	case isa.Fitos:
-		c.cycles += c.cfg.FAddLatency
+		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		c.fregs[in.FRd] = float32(int32(math.Float32bits(c.fregs[in.FRs2])))
 	case isa.Fstoi:
-		c.cycles += c.cfg.FAddLatency
+		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		c.fregs[in.FRd] = math.Float32frombits(uint32(int32(c.fregs[in.FRs2])))
 
 	case isa.Ba, isa.Be, isa.Bne, isa.Bl, isa.Ble, isa.Bg, isa.Bge,
@@ -535,7 +631,7 @@ func (c *CPU) Step() error {
 		c.ctr.Branches++
 		if c.branchTaken(in.Op) {
 			c.ctr.TakenBranches++
-			c.cycles += c.cfg.BranchTaken
+			c.charge(telemetry.CompBranch, c.cfg.BranchTaken)
 			next = c.pc + mem.Addr(int64(in.Disp)*isa.InstrBytes)
 		}
 
@@ -543,17 +639,13 @@ func (c *CPU) Step() error {
 		c.ctr.Calls++
 		c.setReg(isa.O7, uint32(c.pc))
 		next = mem.Addr(uint32(in.Imm))
-		if c.callHook != nil {
-			c.callHook(next)
-		}
+		c.runCallHook(next)
 	case isa.CallR:
 		c.ctr.Calls++
 		tgt := c.reg(in.Rs1)
 		c.setReg(isa.O7, uint32(c.pc))
 		next = mem.Addr(tgt)
-		if c.callHook != nil {
-			c.callHook(next)
-		}
+		c.runCallHook(next)
 	case isa.Ret:
 		ret := c.reg(isa.I7)
 		c.restore()
@@ -573,7 +665,7 @@ func (c *CPU) Step() error {
 		c.restore()
 
 	case isa.IPoint:
-		c.cycles += c.cfg.IPointCost
+		c.charge(telemetry.CompIPoint, c.cfg.IPointCost)
 		c.trace = append(c.trace, TracePoint{ID: in.Imm, Cycles: c.cycles})
 
 	default:

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"testing"
+
+	"dsr/internal/platform"
+	"dsr/internal/telemetry"
+)
+
+// checkConservation asserts the tentpole invariant: with attribution
+// enabled, the per-component buckets of every run sum to the run's
+// cycle counter exactly — not approximately.
+func checkConservation(t *testing.T, s *Series) {
+	t.Helper()
+	if len(s.Results) == 0 {
+		t.Fatal("empty series")
+	}
+	for i, res := range s.Results {
+		if !res.Attribution.Valid {
+			t.Fatalf("%s run %d: attribution snapshot not valid", s.Name, i)
+		}
+		if got, want := res.Attribution.Total(), res.Cycles; got != want {
+			t.Fatalf("%s run %d: attributed %d cycles, counter says %d (off by %d)\n%s",
+				s.Name, i, got, want, int64(got)-int64(want), res.Attribution.Render())
+		}
+	}
+	if !s.Attribution.Valid {
+		t.Fatalf("%s: aggregate attribution not valid", s.Name)
+	}
+	var total float64
+	for _, res := range s.Results {
+		total += float64(res.Cycles)
+	}
+	if got := float64(s.Attribution.Total()); got != total {
+		t.Fatalf("%s: aggregate attribution %f != cycle sum %f", s.Name, got, total)
+	}
+}
+
+func attribConfig(runs int) Config {
+	cfg := smallConfig()
+	cfg.Runs = runs
+	cfg.Attribution = true
+	return cfg
+}
+
+func TestConservationBaselineControl(t *testing.T) {
+	s, err := RunBaseline(attribConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+	// A deterministic run spends cycles somewhere concrete: the base
+	// issue component is one cycle per instruction.
+	r := s.Results[0]
+	if got, want := uint64(r.Attribution.Component(telemetry.CompBaseIssue)), r.PMCs.Instr; got != want {
+		t.Errorf("base issue %d != instruction count %d", got, want)
+	}
+	if r.Attribution.Component(telemetry.CompDSR) != 0 {
+		t.Errorf("baseline booked DSR runtime cycles")
+	}
+}
+
+func TestConservationDSREagerControl(t *testing.T) {
+	s, err := RunDSR(attribConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+	// Eager relocation happens at boot, outside the measured window.
+	for i, r := range s.Results {
+		if r.Attribution.Component(telemetry.CompDSR) != 0 {
+			t.Errorf("run %d: eager DSR booked in-window runtime cycles", i)
+		}
+	}
+}
+
+func TestConservationDSRLazyControl(t *testing.T) {
+	s, err := RunDSRLazy(attribConfig(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+	// Lazy relocation runs inside the measured window and must be
+	// visible as DSR runtime cycles.
+	var dsr uint64
+	for _, r := range s.Results {
+		dsr += uint64(r.Attribution.Component(telemetry.CompDSR))
+	}
+	if dsr == 0 {
+		t.Errorf("lazy DSR booked no in-window runtime cycles")
+	}
+}
+
+func TestConservationDSRProcessing(t *testing.T) {
+	s, err := RunProcessing(attribConfig(10), 0.5, "proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+}
+
+func TestConservationHWRand(t *testing.T) {
+	s, err := RunHWRand(attribConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+}
+
+// TestAttributionDisabledSnapshotInvalid pins the zero-cost default:
+// without Config.Attribution the snapshots must be invalid (no probes,
+// no profiler), not silently zero-but-valid.
+func TestAttributionDisabledSnapshotInvalid(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Runs = 3
+	s, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range s.Results {
+		if r.Attribution.Valid {
+			t.Fatalf("run %d: attribution valid without EnableAttribution", i)
+		}
+	}
+	if s.Attribution.Valid {
+		t.Fatal("aggregate attribution valid without EnableAttribution")
+	}
+}
+
+// TestTelemetryCampaignRecording checks the experiments → telemetry
+// wiring: runs are booked as metrics and span events on the campaign
+// timeline, and the trace renders and validates.
+func TestTelemetryCampaignRecording(t *testing.T) {
+	cfg := attribConfig(8)
+	cfg.Telemetry = telemetry.NewCampaign(0)
+	var progress int
+	cfg.Progress = func(series string, done, total int) { progress++ }
+	s, err := RunDSR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress != cfg.Runs {
+		t.Errorf("progress fired %d times, want %d", progress, cfg.Runs)
+	}
+	reg := cfg.Telemetry.Registry
+	if got := reg.Counter("dsr_runs_total", telemetry.Labels{"series": s.Name}).Value(); got != uint64(cfg.Runs) {
+		t.Errorf("dsr_runs_total=%d, want %d", got, cfg.Runs)
+	}
+	var cycleSum uint64
+	for _, r := range s.Results {
+		cycleSum += uint64(r.Cycles)
+	}
+	if got := reg.Counter("dsr_run_cycles_total", telemetry.Labels{"series": s.Name}).Value(); got != cycleSum {
+		t.Errorf("dsr_run_cycles_total=%d, want %d", got, cycleSum)
+	}
+	if got := cfg.Telemetry.Events.Len(); got == 0 {
+		t.Fatal("no events recorded")
+	}
+	if got, want := uint64(cfg.Telemetry.Now()), cycleSum; got != want {
+		t.Errorf("campaign clock %d, want %d", got, want)
+	}
+}
+
+// TestAttributionRebootIsolated pins that boot-time traffic (eager
+// relocation, metadata writes, cache flushes) never leaks into the
+// measured run's attribution: ResetCounters clears the profiler.
+func TestAttributionRebootIsolated(t *testing.T) {
+	plat := platform.New(platform.ProximaLEON3())
+	att := plat.EnableAttribution()
+	if plat.Attribution() != att {
+		t.Fatal("Attribution() getter mismatch")
+	}
+	if again := plat.EnableAttribution(); again != att {
+		t.Fatal("EnableAttribution not idempotent")
+	}
+}

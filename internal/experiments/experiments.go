@@ -27,6 +27,7 @@ import (
 	"dsr/internal/rvs"
 	"dsr/internal/spaceapp"
 	"dsr/internal/stats"
+	"dsr/internal/telemetry"
 )
 
 // Config dimensions a measurement campaign.
@@ -44,6 +45,18 @@ type Config struct {
 	MBPTA mbpta.Options
 	// Margin is the industrial engineering margin (E5; paper: 20%).
 	Margin float64
+
+	// Telemetry, when non-nil, receives one RunRecord per measured run
+	// (metrics, events and the campaign timeline). A nil campaign
+	// disables recording at zero cost.
+	Telemetry *telemetry.Campaign
+	// Attribution enables the cycle-attribution profiler on every
+	// campaign platform, so each RunResult carries a per-component
+	// cycle split (and Series.Attribution the campaign aggregate).
+	Attribution bool
+	// Progress, when non-nil, is called after every completed run with
+	// the series name, the runs finished so far, and the total.
+	Progress func(series string, done, total int)
 }
 
 // DefaultConfig returns the paper-scale campaign configuration.
@@ -62,6 +75,9 @@ type Series struct {
 	Name    string
 	Cycles  []float64
 	Results []platform.RunResult
+	// Attribution is the campaign-aggregate cycle attribution (the sum
+	// over runs); Valid only when Config.Attribution was set.
+	Attribution telemetry.AttributionSnapshot
 }
 
 // MinMeanMax summarises the execution times (Fig. 2's three bars).
@@ -76,6 +92,39 @@ func verify(res platform.RunResult, in *spaceapp.ControlInput) error {
 		return fmt.Errorf("experiments: functional mismatch: got %#x, golden %#x", res.ExitValue, want)
 	}
 	return nil
+}
+
+// instrument applies the campaign's observability configuration to a
+// freshly built platform.
+func (cfg *Config) instrument(plat *platform.Platform) {
+	if cfg.Attribution {
+		plat.EnableAttribution()
+	}
+}
+
+// eventLog returns the campaign's event log (nil when telemetry is
+// disabled; a nil log is the valid no-op log).
+func (cfg *Config) eventLog() *telemetry.EventLog {
+	if cfg.Telemetry == nil {
+		return nil
+	}
+	return cfg.Telemetry.Events
+}
+
+// record books one completed run into the series and the telemetry
+// campaign, and fires the progress callback.
+func (cfg *Config) record(s *Series, i int, seed uint64, res platform.RunResult) {
+	uoa := uoaCycles(res)
+	s.Cycles = append(s.Cycles, uoa)
+	s.Results = append(s.Results, res)
+	s.Attribution.Add(res.Attribution)
+	cfg.Telemetry.RecordRun(telemetry.RunRecord{
+		Series: s.Name, Index: i, Seed: seed,
+		Cycles: res.Cycles, UoA: uoa, Attribution: res.Attribution,
+	})
+	if cfg.Progress != nil {
+		cfg.Progress(s.Name, i+1, cfg.Runs)
+	}
 }
 
 // uoaCycles extracts the unit-of-analysis duration from the run's
@@ -101,6 +150,7 @@ func RunBaseline(cfg Config) (*Series, error) {
 		return nil, err
 	}
 	plat := platform.New(platform.ProximaLEON3())
+	cfg.instrument(plat)
 	plat.LoadImage(img)
 	s := &Series{Name: "No Rand"}
 	for i := 0; i < cfg.Runs; i++ {
@@ -116,8 +166,7 @@ func RunBaseline(cfg Config) (*Series, error) {
 		if err := verify(res, in); err != nil {
 			return nil, err
 		}
-		s.Cycles = append(s.Cycles, uoaCycles(res))
-		s.Results = append(s.Results, res)
+		cfg.record(s, i, 0, res)
 	}
 	return s, nil
 }
@@ -129,13 +178,16 @@ func dsrSeries(cfg Config, name string, opts core.Options) (*Series, error) {
 		return nil, err
 	}
 	plat := platform.New(platform.ProximaLEON3())
+	cfg.instrument(plat)
 	rt, err := core.NewRuntime(p, plat, opts)
 	if err != nil {
 		return nil, err
 	}
+	rt.SetEventLog(cfg.eventLog())
 	s := &Series{Name: name}
 	for i := 0; i < cfg.Runs; i++ {
-		if _, err := rt.Reboot(cfg.SeedBase + uint64(i)); err != nil {
+		seed := cfg.SeedBase + uint64(i)
+		if _, err := rt.Reboot(seed); err != nil {
 			return nil, err
 		}
 		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
@@ -149,8 +201,7 @@ func dsrSeries(cfg Config, name string, opts core.Options) (*Series, error) {
 		if err := verify(res, in); err != nil {
 			return nil, err
 		}
-		s.Cycles = append(s.Cycles, uoaCycles(res))
-		s.Results = append(s.Results, res)
+		cfg.record(s, i, seed, res)
 	}
 	return s, nil
 }
@@ -192,10 +243,12 @@ func RunHWRand(cfg Config) (*Series, error) {
 		return nil, err
 	}
 	plat := platform.New(platform.HWRandLEON3())
+	cfg.instrument(plat)
 	plat.LoadImage(img)
 	s := &Series{Name: "Hw Rand"}
 	for i := 0; i < cfg.Runs; i++ {
-		plat.ReseedCaches(cfg.SeedBase + uint64(i))
+		seed := cfg.SeedBase + uint64(i)
+		plat.ReseedCaches(seed)
 		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
 		plat.Reload()
 		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
@@ -208,8 +261,7 @@ func RunHWRand(cfg Config) (*Series, error) {
 		if err := verify(res, in); err != nil {
 			return nil, err
 		}
-		s.Cycles = append(s.Cycles, uoaCycles(res))
-		s.Results = append(s.Results, res)
+		cfg.record(s, i, seed, res)
 	}
 	return s, nil
 }
@@ -223,8 +275,10 @@ func RunStatic(cfg Config) (*Series, error) {
 	}
 	s := &Series{Name: "Static Rand"}
 	plat := platform.New(platform.ProximaLEON3())
+	cfg.instrument(plat)
 	for i := 0; i < cfg.Runs; i++ {
-		img, err := core.StaticBuild(p, loader.DefaultSequentialConfig(), plat.Cfg.L2.WaySize(), cfg.SeedBase+uint64(i))
+		seed := cfg.SeedBase + uint64(i)
+		img, err := core.StaticBuild(p, loader.DefaultSequentialConfig(), plat.Cfg.L2.WaySize(), seed)
 		if err != nil {
 			return nil, err
 		}
@@ -241,8 +295,7 @@ func RunStatic(cfg Config) (*Series, error) {
 		if err := verify(res, in); err != nil {
 			return nil, err
 		}
-		s.Cycles = append(s.Cycles, uoaCycles(res))
-		s.Results = append(s.Results, res)
+		cfg.record(s, i, seed, res)
 	}
 	return s, nil
 }
@@ -408,14 +461,17 @@ func RunDSRWithContention(cfg Config, cont bus.Contention, name string) (*Series
 		return nil, err
 	}
 	plat := platform.New(platform.ProximaLEON3())
+	cfg.instrument(plat)
 	plat.Bus.SetContention(cont)
 	rt, err := core.NewRuntime(p, plat, core.Options{})
 	if err != nil {
 		return nil, err
 	}
+	rt.SetEventLog(cfg.eventLog())
 	s := &Series{Name: name}
 	for i := 0; i < cfg.Runs; i++ {
-		if _, err := rt.Reboot(cfg.SeedBase + uint64(i)); err != nil {
+		seed := cfg.SeedBase + uint64(i)
+		if _, err := rt.Reboot(seed); err != nil {
 			return nil, err
 		}
 		plat.Bus.ReseedContention(cfg.SeedBase + uint64(i)*31 + 7)
@@ -430,8 +486,7 @@ func RunDSRWithContention(cfg Config, cont bus.Contention, name string) (*Series
 		if err := verify(res, in); err != nil {
 			return nil, err
 		}
-		s.Cycles = append(s.Cycles, uoaCycles(res))
-		s.Results = append(s.Results, res)
+		cfg.record(s, i, seed, res)
 	}
 	return s, nil
 }
@@ -449,13 +504,16 @@ func RunProcessing(cfg Config, litFrac float64, name string) (*Series, error) {
 		return nil, err
 	}
 	plat := platform.New(platform.ProximaLEON3())
+	cfg.instrument(plat)
 	rt, err := core.NewRuntime(p, plat, core.Options{})
 	if err != nil {
 		return nil, err
 	}
+	rt.SetEventLog(cfg.eventLog())
 	s := &Series{Name: name}
 	for i := 0; i < cfg.Runs; i++ {
-		if _, err := rt.Reboot(cfg.SeedBase + uint64(i)); err != nil {
+		seed := cfg.SeedBase + uint64(i)
+		if _, err := rt.Reboot(seed); err != nil {
 			return nil, err
 		}
 		scene := spaceapp.GenScene(cfg.InputSeedBase+uint64(i), litFrac)
@@ -469,8 +527,7 @@ func RunProcessing(cfg Config, litFrac float64, name string) (*Series, error) {
 		if want := spaceapp.ProcessingReference(scene).RMSBits; res.ExitValue != want {
 			return nil, fmt.Errorf("experiments: processing mismatch: %#x vs %#x", res.ExitValue, want)
 		}
-		s.Cycles = append(s.Cycles, uoaCycles(res))
-		s.Results = append(s.Results, res)
+		cfg.record(s, i, seed, res)
 	}
 	return s, nil
 }
@@ -514,6 +571,7 @@ func RunPositioned(cfg Config) (*Series, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.instrument(plat)
 	plat.LoadImage(img)
 	s := &Series{Name: "Positioned"}
 	for i := 0; i < cfg.Runs; i++ {
@@ -529,8 +587,7 @@ func RunPositioned(cfg Config) (*Series, error) {
 		if err := verify(res, in); err != nil {
 			return nil, err
 		}
-		s.Cycles = append(s.Cycles, uoaCycles(res))
-		s.Results = append(s.Results, res)
+		cfg.record(s, i, 0, res)
 	}
 	return s, nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"dsr/internal/evt"
 	"dsr/internal/stats"
+	"dsr/internal/telemetry"
 )
 
 // Options configures an analysis. The defaults reproduce the paper's
@@ -36,7 +37,15 @@ type Options struct {
 	TailQuantile float64
 	// ConvergenceTol is the relative tolerance of the convergence check.
 	ConvergenceTol float64
+
+	// Events, when non-nil, receives the analysis diagnostics (i.i.d.
+	// verdicts, EVT fit parameters, convergence) as structured events on
+	// the "mbpta" track; a nil log no-ops.
+	Events *telemetry.EventLog
 }
+
+// mbptaTrack is the event-log track of analysis events.
+const mbptaTrack = "mbpta"
 
 // DefaultOptions returns the paper's analysis configuration.
 func DefaultOptions() Options {
@@ -81,7 +90,18 @@ func CheckIID(times []float64, opts Options) (IIDReport, error) {
 	if err != nil {
 		return IIDReport{}, fmt.Errorf("mbpta: %w", err)
 	}
-	return IIDReport{LjungBox: lb, KS: ks, Alpha: opts.Alpha}, nil
+	rep := IIDReport{LjungBox: lb, KS: ks, Alpha: opts.Alpha}
+	verdict := "rejected"
+	if rep.Pass() {
+		verdict = "passed"
+	}
+	opts.Events.Emit(mbptaTrack, "mbpta.iid", telemetry.PhaseInstant,
+		telemetry.Int("n", len(times)),
+		telemetry.Float("ljung_box_p", lb.PValue),
+		telemetry.Float("ks_p", ks.PValue),
+		telemetry.Float("alpha", opts.Alpha),
+		telemetry.String("verdict", verdict))
+	return rep, nil
 }
 
 // Report is a complete MBPTA analysis result.
@@ -139,6 +159,14 @@ func Analyse(times []float64, opts Options) (*Report, error) {
 	rep.Fit = fit
 	rep.Curve = fit.Curve(evt.DecadeProbs(opts.CurveDecades))
 	rep.PWCET = fit.Quantile(opts.TargetExceedance)
+	opts.Events.Emit(mbptaTrack, "mbpta.fit", telemetry.PhaseInstant,
+		telemetry.Int("n", rep.N),
+		telemetry.Int("block", opts.BlockSize),
+		telemetry.Float("mu", fit.Model.Mu),
+		telemetry.Float("beta", fit.Model.Beta),
+		telemetry.Float("moet", rep.MOET),
+		telemetry.Float("pwcet", rep.PWCET),
+		telemetry.Float("exceedance", opts.TargetExceedance))
 	if pwm, err := evt.FitGumbelPWM(evt.BlockMaxima(times, opts.BlockSize)); err == nil {
 		alt := evt.PWCET{Model: pwm, Block: opts.BlockSize, N: len(times), MOET: rep.MOET}
 		rep.PWCETAlt = alt.Quantile(opts.TargetExceedance)
@@ -150,6 +178,19 @@ func Analyse(times []float64, opts Options) (*Report, error) {
 	if conv, err := evt.Converged(times, opts.BlockSize, opts.TargetExceedance, opts.ConvergenceTol); err == nil {
 		rep.Converged = conv
 	}
+	converged := "no"
+	if rep.Converged {
+		converged = "yes"
+	}
+	cvPass := "fail"
+	if rep.CVPass {
+		cvPass = "pass"
+	}
+	opts.Events.Emit(mbptaTrack, "mbpta.diagnostics", telemetry.PhaseInstant,
+		telemetry.Float("pwcet_alt", rep.PWCETAlt),
+		telemetry.Float("cv", rep.CV),
+		telemetry.String("cv_check", cvPass),
+		telemetry.String("converged", converged))
 	return rep, nil
 }
 

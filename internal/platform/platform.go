@@ -17,6 +17,7 @@ import (
 	"dsr/internal/isa"
 	"dsr/internal/loader"
 	"dsr/internal/mem"
+	"dsr/internal/telemetry"
 	"dsr/internal/tlb"
 )
 
@@ -96,6 +97,14 @@ type Platform struct {
 	Mem  *cpu.Memory
 
 	img *loader.Image
+
+	// att is the cycle-attribution profiler; nil (the no-op profiler)
+	// until EnableAttribution is called.
+	att *telemetry.Attribution
+	// ifront/dfront are the memory fronts the CPU is bound to: the raw
+	// L1s by default, telemetry probe chains once attribution is enabled.
+	ifront mem.Backend
+	dfront mem.Backend
 }
 
 // New wires the hierarchy. The platform has no image loaded yet; call
@@ -111,9 +120,48 @@ func New(cfg Config) *Platform {
 	return &Platform{
 		Cfg: cfg, IL1: il1, DL1: dl1, L2: l2,
 		ITLB: itlb, DTLB: dtlb, Bus: b, DRAM: d,
-		Mem: cpu.NewMemory(),
+		Mem:    cpu.NewMemory(),
+		ifront: il1, dfront: dl1,
 	}
 }
+
+// EnableAttribution interposes telemetry probes at every level of the
+// memory hierarchy and installs a cycle-attribution profiler on the
+// core, so that every cycle the platform charges is booked to exactly
+// one telemetry.Component. It returns the profiler (also available via
+// Attribution). Idempotent; call before or after LoadImage.
+//
+// The probe chain mirrors the hardware topology: DRAM self-latency,
+// L2 self-latency, bus self-latency, and the L1 fronts book to their
+// own components, while TLB walks route through the probed bus so walk
+// traffic is redirected to the walk component by the CPU's override.
+func (p *Platform) EnableAttribution() *telemetry.Attribution {
+	if p.att != nil {
+		return p.att
+	}
+	att := telemetry.NewAttribution()
+	pDRAM := telemetry.NewProbe(p.DRAM, att, telemetry.CompDRAM)
+	p.L2.SetNext(pDRAM)
+	pL2 := telemetry.NewProbe(p.L2, att, telemetry.CompL2)
+	p.Bus.SetNext(pL2)
+	pBus := telemetry.NewProbe(p.Bus, att, telemetry.CompBus)
+	p.IL1.SetNext(pBus)
+	p.DL1.SetNext(pBus)
+	p.ITLB.SetWalkMem(pBus)
+	p.DTLB.SetWalkMem(pBus)
+	p.ifront = telemetry.NewProbe(p.IL1, att, telemetry.CompIL1)
+	p.dfront = telemetry.NewProbe(p.DL1, att, telemetry.CompDL1)
+	p.att = att
+	if p.CPU != nil {
+		p.CPU.SetMemoryFronts(p.ifront, p.dfront)
+		p.CPU.SetAttribution(att)
+	}
+	return att
+}
+
+// Attribution returns the installed profiler, or nil when attribution
+// is disabled (a nil *Attribution is the valid no-op profiler).
+func (p *Platform) Attribution() *telemetry.Attribution { return p.att }
 
 // LoadImage binds img to the platform and applies its data initialisers
 // directly to memory — the debug-link load of §V, which does not disturb
@@ -124,7 +172,8 @@ func (p *Platform) LoadImage(img *loader.Image) {
 		p.Mem.StoreWord(iw.Addr, iw.Val)
 	}
 	if p.CPU == nil {
-		p.CPU = cpu.New(p.Cfg.CPU, img, p.IL1, p.DL1, p.ITLB, p.DTLB, p.Mem)
+		p.CPU = cpu.New(p.Cfg.CPU, img, p.ifront, p.dfront, p.ITLB, p.DTLB, p.Mem)
+		p.CPU.SetAttribution(p.att)
 	} else {
 		p.CPU.SetImage(img)
 	}
@@ -157,7 +206,8 @@ func (p *Platform) FlushCaches() {
 	p.DTLB.Flush()
 }
 
-// ResetCounters zeroes every performance counter in the machine.
+// ResetCounters zeroes every performance counter in the machine,
+// including the core's PMCs and the attribution buckets.
 func (p *Platform) ResetCounters() {
 	p.IL1.ResetCounters()
 	p.DL1.ResetCounters()
@@ -166,6 +216,10 @@ func (p *Platform) ResetCounters() {
 	p.DTLB.ResetCounters()
 	p.Bus.ResetCounters()
 	p.DRAM.ResetCounters()
+	if p.CPU != nil {
+		p.CPU.ResetCounters()
+	}
+	p.att.Reset()
 }
 
 // ReseedCaches reseeds the parametric placement hash of the caches; only
@@ -235,6 +289,11 @@ type RunResult struct {
 	Trace  []cpu.TracePoint
 	// ExitValue is %o0 at halt, the program's result word.
 	ExitValue uint32
+	// Attribution is the per-component cycle split of this run; its
+	// Valid flag is false when EnableAttribution was not called. When
+	// valid, Attribution.Total() == Cycles exactly (the conservation
+	// invariant).
+	Attribution telemetry.AttributionSnapshot
 }
 
 // Run performs one measurement run under the paper's protocol: flush
@@ -252,9 +311,10 @@ func (p *Platform) Run() (RunResult, error) {
 		return RunResult{}, fmt.Errorf("platform: run failed: %w", err)
 	}
 	res := RunResult{
-		Cycles:    cycles,
-		PMCs:      p.Counters(),
-		ExitValue: p.CPU.Reg(isa.O0),
+		Cycles:      cycles,
+		PMCs:        p.Counters(),
+		ExitValue:   p.CPU.Reg(isa.O0),
+		Attribution: p.att.Snapshot(),
 	}
 	res.Trace = append(res.Trace, p.CPU.Trace()...)
 	return res, nil
@@ -275,9 +335,10 @@ func (p *Platform) RunBudget(budget mem.Cycles) (RunResult, bool, error) {
 		return RunResult{}, false, fmt.Errorf("platform: run failed: %w", err)
 	}
 	res := RunResult{
-		Cycles:    cycles,
-		PMCs:      p.Counters(),
-		ExitValue: p.CPU.Reg(isa.O0),
+		Cycles:      cycles,
+		PMCs:        p.Counters(),
+		ExitValue:   p.CPU.Reg(isa.O0),
+		Attribution: p.att.Snapshot(),
 	}
 	res.Trace = append(res.Trace, p.CPU.Trace()...)
 	return res, p.CPU.Halted(), nil

@@ -1,0 +1,175 @@
+package platform
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/prog"
+)
+
+// dirtyProgram exercises every counter class in the machine: integer and
+// FPU pipelines, taken and fall-through branches, a call chain deeper
+// than the 8 register windows (overflow + underflow traps), and a data
+// sweep larger than DL1 (read and write misses, L2 fills, DRAM traffic).
+func dirtyProgram(t *testing.T) *loader.Image {
+	t.Helper()
+	p := &prog.Program{Name: "dirty", Entry: "main"}
+	if err := p.AddData(&prog.DataObject{Name: "arr", Size: 24 * 1024, Align: 8}); err != nil {
+		t.Fatal(err)
+	}
+	main := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		// Data sweep: load, accumulate, store back.
+		Set(isa.L0, "arr").
+		MovI(isa.L1, 0).
+		MovI(isa.L3, 0).
+		Label("loop").
+		Ld(isa.L4, isa.L0, 0).
+		Add(isa.L3, isa.L3, isa.L4).
+		St(isa.L3, isa.L0, 0).
+		AddI(isa.L0, isa.L0, 4).
+		AddI(isa.L1, isa.L1, 1).
+		CmpI(isa.L1, 2048).
+		Bl("loop").
+		// FPU: int->float, arithmetic, float->int.
+		St(isa.L1, isa.FP, -4).
+		FLd(isa.FReg(0), isa.FP, -4).
+		Fitos(isa.FReg(1), isa.FReg(0)).
+		Fadd(isa.FReg(2), isa.FReg(1), isa.FReg(1)).
+		Fdiv(isa.FReg(3), isa.FReg(2), isa.FReg(1)).
+		Fstoi(isa.FReg(4), isa.FReg(3)).
+		// Call chain deeper than the window file.
+		Call("f1").
+		Mov(isa.O0, isa.L3).
+		Halt()
+	if err := p.AddFunction(main.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		b := prog.NewFunc(fname(i), prog.MinFrame).Prologue()
+		if i < 10 {
+			b.Call(fname(i + 1))
+		}
+		b.Epilogue()
+		if err := p.AddFunction(b.MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func fname(i int) string { return fmt.Sprintf("f%d", i) }
+
+// counterSources enumerates every component whose Counters() snapshot
+// ResetCounters must zero. Adding a component to the platform without
+// adding it here (and to ResetCounters) fails the reflection sweep below
+// as soon as the component is exercised.
+func counterSources(p *Platform) map[string]interface{} {
+	return map[string]interface{}{
+		"cpu":  p.CPU.Counters(),
+		"il1":  p.IL1.Counters(),
+		"dl1":  p.DL1.Counters(),
+		"l2":   p.L2.Counters(),
+		"itlb": p.ITLB.Counters(),
+		"dtlb": p.DTLB.Counters(),
+		"bus":  p.Bus.Counters(),
+		"dram": p.DRAM.Counters(),
+	}
+}
+
+// uintFields reflects over a counter struct and returns name->value for
+// every unsigned integer field, recursing nowhere: counter structs are
+// flat by design.
+func uintFields(t *testing.T, v interface{}) map[string]uint64 {
+	t.Helper()
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Struct {
+		t.Fatalf("counter source %T is not a struct", v)
+	}
+	out := map[string]uint64{}
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			out[rv.Type().Field(i).Name] = f.Uint()
+		case reflect.Float64:
+			// MissRatio-style derived fields would be methods, not fields;
+			// a float field would be a design change worth flagging.
+			t.Fatalf("%T has unexpected float field %s", v, rv.Type().Field(i).Name)
+		}
+	}
+	return out
+}
+
+func TestResetCountersZeroesEveryField(t *testing.T) {
+	pl := New(ProximaLEON3())
+	pl.EnableAttribution()
+	pl.LoadImage(dirtyProgram(t))
+	if _, err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The run must have dirtied the counters we rely on, otherwise the
+	// zero-after-reset sweep proves nothing.
+	mustBeDirty := map[string][]string{
+		"cpu": {"Instrs", "FPUOps", "Loads", "Stores", "Branches",
+			"TakenBranches", "Calls", "WindowOverflows", "WindowUnderflows"},
+		"il1":  {"Accesses", "Reads", "Hits", "Misses", "Fills"},
+		"dl1":  {"Accesses", "Reads", "Writes", "Hits", "Misses"},
+		"l2":   {"Accesses", "Reads", "Writes", "Hits", "Misses", "Fills"},
+		"itlb": {"Accesses", "Hits"},
+		"dtlb": {"Accesses", "Hits", "Misses"},
+		"bus":  {"Reads", "Writes"},
+		"dram": {"Reads", "WordsRead"},
+	}
+	before := counterSources(pl)
+	for comp, wantDirty := range mustBeDirty {
+		fields := uintFields(t, before[comp])
+		for _, name := range wantDirty {
+			v, ok := fields[name]
+			if !ok {
+				t.Fatalf("%s: counter field %s disappeared", comp, name)
+			}
+			if v == 0 {
+				t.Errorf("%s.%s: still zero after the dirtying run", comp, name)
+			}
+		}
+	}
+	if pl.Attribution().Total() == 0 {
+		t.Error("attribution: no cycles booked by the dirtying run")
+	}
+
+	pl.ResetCounters()
+
+	// The sweep: every unsigned field of every component must be zero.
+	for comp, src := range counterSources(pl) {
+		for name, v := range uintFields(t, src) {
+			if v != 0 {
+				t.Errorf("%s.%s = %d after ResetCounters, want 0", comp, name, v)
+			}
+		}
+	}
+	// The PMC snapshot is derived from the components and must agree.
+	pmcs := pl.Counters()
+	rv := reflect.ValueOf(pmcs)
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		if f.CanUint() && f.Uint() != 0 {
+			t.Errorf("PMCs.%s = %d after ResetCounters, want 0", rv.Type().Field(i).Name, f.Uint())
+		}
+	}
+	// And the attribution ledger restarts from zero.
+	if got := pl.Attribution().Total(); got != 0 {
+		t.Errorf("attribution total = %d after ResetCounters, want 0", got)
+	}
+	if snap := pl.Attribution().Snapshot(); snap.Total() != 0 {
+		t.Errorf("attribution snapshot total = %d after ResetCounters, want 0", snap.Total())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"dsr/internal/core"
 	"dsr/internal/mem"
 	"dsr/internal/platform"
+	"dsr/internal/telemetry"
 )
 
 // Criticality is the design-assurance level of a partition.
@@ -147,7 +148,16 @@ type Scheduler struct {
 	cfg     Config
 	windows []Window
 	acts    map[string]uint64 // per-partition activation counters
+
+	// events, when non-nil, receives one span per partition window
+	// (timestamped in frame time, so the Chrome trace shows the cyclic
+	// schedule) plus overrun instants; a nil log no-ops.
+	events *telemetry.EventLog
 }
+
+// SetEventLog installs (or clears, with nil) the structured event log
+// the executive emits partition-window events into.
+func (s *Scheduler) SetEventLog(l *telemetry.EventLog) { s.events = l }
 
 // NewScheduler builds a scheduler; windows must fit the major frame and
 // not overlap.
@@ -212,6 +222,28 @@ func (s *Scheduler) RunMajorFrames(n int) ([]Activation, error) {
 			if err != nil {
 				return out, fmt.Errorf("rtos: execute %s: %w", p.Name, err)
 			}
+			// Frame-time span: the window opens at its schedule offset
+			// and the partition occupies it for the cycles it consumed
+			// (clamped to the budget — temporal isolation).
+			start := (mem.Cycles(frame)*mem.Cycles(s.cfg.MajorFrameMillis) +
+				mem.Cycles(w.OffsetMillis)) * s.cfg.CyclesPerMilli
+			used := res.Cycles
+			if used > budget {
+				used = budget
+			}
+			s.events.EmitAt(start, p.Name, "rtos.window", telemetry.PhaseBegin,
+				telemetry.Int("frame", frame),
+				telemetry.Int("window", wi),
+				telemetry.Uint64("activation", act),
+				telemetry.Cycles("budget", budget),
+				telemetry.Cycles("cycles", res.Cycles),
+				telemetry.String("criticality", p.Criticality.String()))
+			if !done {
+				s.events.EmitAt(start+used, p.Name, "rtos.overrun", telemetry.PhaseInstant,
+					telemetry.Int("frame", frame),
+					telemetry.Uint64("activation", act))
+			}
+			s.events.EmitAt(start+used, p.Name, "rtos.window", telemetry.PhaseEnd)
 			out = append(out, Activation{
 				Partition:   p.Name,
 				Criticality: p.Criticality,

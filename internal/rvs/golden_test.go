@@ -1,0 +1,103 @@
+package rvs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsr/internal/mbpta"
+	"dsr/internal/platform"
+	"dsr/internal/prng"
+	"dsr/internal/telemetry"
+)
+
+// -update rewrites the golden files from the current render output:
+//
+//	go test ./internal/rvs -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTimes is a fixed pseudo-Gaussian sample (sum of uniforms), so
+// the analysis — and therefore the rendered output — is byte-stable.
+func goldenTimes() []float64 {
+	src := prng.NewMWC(9)
+	times := make([]float64, 1000)
+	for i := range times {
+		var s float64
+		for k := 0; k < 6; k++ {
+			s += prng.Float64(src)
+		}
+		times[i] = 200000 + 1500*s
+	}
+	return times
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\nre-run with -update if the change is intended", name, got, want)
+	}
+}
+
+func TestRenderCurveGolden(t *testing.T) {
+	times := goldenTimes()
+	rep, err := mbpta.Analyse(times, mbpta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "curve.golden", []byte(RenderCurve(rep, times, 72, 18)))
+}
+
+func TestWriteReportGolden(t *testing.T) {
+	times := goldenTimes()
+	rep, err := mbpta.Analyse(times, mbpta.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, "golden-uoa", rep, times); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden", buf.Bytes())
+}
+
+func TestWriteCounterSummaryGolden(t *testing.T) {
+	pmcs := platform.PMCs{
+		Instr: 120000, Loads: 20000, Stores: 8000, FPU: 3000,
+		ICMiss: 150, DCMiss: 900, L2Miss: 400, L2Access: 1050,
+		ITLBMiss: 12, DTLBMiss: 31,
+		WindowOverflows: 7, WindowUnderflows: 7,
+	}
+	var att telemetry.Attribution
+	att.Charge(telemetry.CompBaseIssue, 120000)
+	att.Charge(telemetry.CompDRAM, 48000)
+	att.Charge(telemetry.CompL2, 9500)
+	att.Charge(telemetry.CompFPUBase, 6000)
+	att.Charge(telemetry.CompDSR, 1234)
+	var buf bytes.Buffer
+	if err := WriteCounterSummary(&buf, "golden-uoa", pmcs, att.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "counters.golden", buf.Bytes())
+
+	// An invalid snapshot must stop after the PMC block.
+	var off bytes.Buffer
+	if err := WriteCounterSummary(&off, "golden-uoa", pmcs, telemetry.AttributionSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(off.Bytes(), []byte("attribution")) {
+		t.Error("disabled attribution still rendered a breakdown")
+	}
+}

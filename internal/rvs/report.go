@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"dsr/internal/mbpta"
+	"dsr/internal/platform"
 	"dsr/internal/stats"
+	"dsr/internal/telemetry"
 )
 
 // WriteReport emits the full analysis report for one unit of analysis —
@@ -86,4 +88,36 @@ func WriteReport(w io.Writer, name string, rep *mbpta.Report, times []float64) e
 		}
 	}
 	return p("\n%s", RenderCurve(rep, times, 72, 18))
+}
+
+// WriteCounterSummary emits the per-run hardware view that accompanies a
+// timing report: the PMC snapshot (the paper's Table I counters) and,
+// when attribution was enabled, the per-component cycle split. The
+// attribution rows are the RVS "where did the cycles go" breakdown; an
+// invalid (disabled) snapshot prints the counters only.
+func WriteCounterSummary(w io.Writer, name string, pmcs platform.PMCs, att telemetry.AttributionSnapshot) error {
+	p := func(format string, args ...interface{}) (err error) {
+		_, err = fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p(
+		"[performance counters — %s]\n"+
+			"  instructions:   %d (loads %d, stores %d, FPU %d)\n"+
+			"  IL1 misses:     %d\n"+
+			"  DL1 misses:     %d\n"+
+			"  L2 misses:      %d / %d accesses (ratio %.4f)\n"+
+			"  TLB misses:     I=%d D=%d\n"+
+			"  window traps:   overflow=%d underflow=%d\n",
+		name,
+		pmcs.Instr, pmcs.Loads, pmcs.Stores, pmcs.FPU,
+		pmcs.ICMiss, pmcs.DCMiss,
+		pmcs.L2Miss, pmcs.L2Access, pmcs.L2MissRatio(),
+		pmcs.ITLBMiss, pmcs.DTLBMiss,
+		pmcs.WindowOverflows, pmcs.WindowUnderflows); err != nil {
+		return err
+	}
+	if !att.Valid {
+		return nil
+	}
+	return p("%s", att.Render())
 }

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dsr/internal/mem"
+)
+
+// Phase classifies an event for timeline rendering, following the Chrome
+// trace_event phases: 'B' opens a span, 'E' closes the innermost open
+// span of the same track, 'i' is an instant event.
+type Phase byte
+
+// Event phases.
+const (
+	PhaseBegin   Phase = 'B'
+	PhaseEnd     Phase = 'E'
+	PhaseInstant Phase = 'i'
+)
+
+// Attr is one key/value attribute of an event. Values are stored as
+// strings to keep the log allocation-bounded and the codec trivial;
+// helpers format the common types.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Uint64 builds an integer attribute.
+func Uint64(k string, v uint64) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// Hex builds a hexadecimal address attribute.
+func Hex(k string, v mem.Addr) Attr { return Attr{Key: k, Value: fmt.Sprintf("%#x", uint64(v))} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: fmt.Sprintf("%g", v)} }
+
+// Cycles builds a cycle-count attribute.
+func Cycles(k string, v mem.Cycles) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", uint64(v))} }
+
+// Event is one structured runtime event.
+type Event struct {
+	// Seq is the global emission order (assigned by the log).
+	Seq uint64 `json:"seq"`
+	// TS is the event's position on the campaign clock, in simulated
+	// cycles (see EventLog.SetClock); 0 when no clock is installed.
+	TS mem.Cycles `json:"ts"`
+	// Track groups events into timeline rows (partition name, campaign
+	// series, analysis stage).
+	Track string `json:"track,omitempty"`
+	// Kind is the dotted event type, e.g. "dsr.reboot", "rtos.window",
+	// "mbpta.iid".
+	Kind  string `json:"kind"`
+	Phase Phase  `json:"phase"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (e *Event) Attr(key string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the event for humans.
+func (e *Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d @%d [%s] %c %s", e.Seq, uint64(e.TS), e.Track, byte(e.Phase), e.Kind)
+	for _, a := range e.Attrs {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+	}
+	return b.String()
+}
+
+// EventLog is a bounded ring buffer of structured events. A nil
+// *EventLog is the disabled log: Emit and friends no-op without
+// allocating, so emitters need no guards.
+type EventLog struct {
+	ring    []Event
+	start   int // index of oldest
+	n       int // live count
+	seq     uint64
+	dropped uint64
+	clock   func() mem.Cycles
+}
+
+// NewEventLog returns a log retaining at most capacity events (oldest
+// dropped first).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &EventLog{ring: make([]Event, capacity)}
+}
+
+// SetClock installs the campaign clock: a function returning the current
+// position in simulated cycles, read at each emission. Nil-safe.
+func (l *EventLog) SetClock(f func() mem.Cycles) {
+	if l != nil {
+		l.clock = f
+	}
+}
+
+// Emit appends an event stamped with the campaign clock; nil-safe.
+func (l *EventLog) Emit(track, kind string, phase Phase, attrs ...Attr) {
+	if l == nil {
+		return
+	}
+	var ts mem.Cycles
+	if l.clock != nil {
+		ts = l.clock()
+	}
+	l.EmitAt(ts, track, kind, phase, attrs...)
+}
+
+// EmitAt appends an event with an explicit timestamp; nil-safe.
+func (l *EventLog) EmitAt(ts mem.Cycles, track, kind string, phase Phase, attrs ...Attr) {
+	if l == nil {
+		return
+	}
+	e := Event{Seq: l.seq, TS: ts, Track: track, Kind: kind, Phase: phase, Attrs: attrs}
+	l.seq++
+	if l.n == len(l.ring) {
+		l.ring[l.start] = e
+		l.start = (l.start + 1) % len(l.ring)
+		l.dropped++
+		return
+	}
+	l.ring[(l.start+l.n)%len(l.ring)] = e
+	l.n++
+}
+
+// Len returns the number of retained events; nil-safe (0).
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// Dropped returns how many events the ring discarded; nil-safe (0).
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Events returns the retained events oldest-first; nil-safe (nil).
+func (l *EventLog) Events() []Event {
+	if l == nil || l.n == 0 {
+		return nil
+	}
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.ring[(l.start+i)%len(l.ring)]
+	}
+	return out
+}
+
+// Tracks returns the distinct track names in the log, sorted.
+func (l *EventLog) Tracks() []string {
+	seen := map[string]bool{}
+	for _, e := range l.Events() {
+		seen[e.Track] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleDump builds a dump covering every metric kind (with and without
+// labels) and an event stream with spans, instants and attributes.
+func sampleDump() *Dump {
+	r := NewRegistry()
+	r.Counter("dsr_runs_total", Labels{"series": "Sw Rand"}).Add(500)
+	r.Counter("plain_total", nil).Add(7)
+	r.Gauge("last_seed", Labels{"series": "Sw Rand"}).Set(41.5)
+	h := r.Histogram("run_cycles", Labels{"series": "Sw Rand"}, []float64{100, 1000, 10000})
+	for _, v := range []float64{90, 110, 900, 2500, 50000} {
+		h.Observe(v)
+	}
+
+	l := NewEventLog(64)
+	l.EmitAt(0, "run", "run", PhaseBegin, Uint64("seed", 1), String("series", "Sw Rand"))
+	l.EmitAt(10, "run", "uoa", PhaseBegin)
+	l.EmitAt(90, "run", "dsr.reloc", PhaseInstant, Hex("new", 0x4000), Cycles("cost", 12))
+	l.EmitAt(200, "run", "uoa", PhaseEnd)
+	l.EmitAt(250, "run", "run", PhaseEnd)
+	l.EmitAt(300, "mbpta", "mbpta.iid", PhaseInstant, Float("ks_p", 0.42))
+	return NewDump(r, l)
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := sampleDump()
+	var buf bytes.Buffer
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MetricsEqual(d.Metrics, back.Metrics) {
+		t.Error("jsonl round-trip changed the metrics")
+	}
+	// JSONL is the only format that carries events: require exact
+	// structural equality, not just counts.
+	if !reflect.DeepEqual(d.Events, back.Events) {
+		t.Errorf("jsonl round-trip changed the events:\n got %+v\nwant %+v", back.Events, d.Events)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sampleDump()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "kind,name,labels,") {
+		t.Errorf("csv header missing: %q", buf.String()[:40])
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MetricsEqual(d.Metrics, back.Metrics) {
+		t.Error("csv round-trip changed the metrics")
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	d := sampleDump()
+	var buf bytes.Buffer
+	if err := d.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, w := range []string{
+		"# TYPE dsr_runs_total counter",
+		"# TYPE run_cycles histogram",
+		`run_cycles_bucket{le="+Inf",series="Sw Rand"} 5`,
+		`run_cycles_count{series="Sw Rand"} 5`,
+		"plain_total 7",
+	} {
+		if !strings.Contains(text, w) {
+			t.Errorf("exposition missing %q:\n%s", w, text)
+		}
+	}
+	back, err := ReadPrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MetricsEqual(d.Metrics, back.Metrics) {
+		t.Errorf("prometheus round-trip changed the metrics:\n got %+v\nwant %+v", back.Metrics, d.Metrics)
+	}
+}
+
+func TestMetricsEqualDetectsDrift(t *testing.T) {
+	a := sampleDump().Metrics
+	b := sampleDump().Metrics
+	if !MetricsEqual(a, b) {
+		t.Fatal("identical dumps compare unequal")
+	}
+	// Order-insensitive.
+	rev := append([]Metric(nil), a...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if !MetricsEqual(a, rev) {
+		t.Error("reordered metrics compare unequal")
+	}
+	b[0].Value++
+	if MetricsEqual(a, b) {
+		t.Error("value drift not detected")
+	}
+}
+
+func TestChromeTraceValid(t *testing.T) {
+	d := sampleDump()
+	var buf bytes.Buffer
+	if err := d.WriteChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Schema check: it must parse and satisfy the span invariants.
+	spans, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != 2 { // run and uoa
+		t.Errorf("validated %d span pairs, want 2", spans)
+	}
+	// Structure check: thread-name metadata + cycle->us conversion.
+	var tf struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	names := 0
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			names++
+			continue
+		}
+		if e.Name == "mbpta.iid" && e.Ts != 300/DefaultCyclesPerMicro {
+			t.Errorf("ts = %g us, want %g", e.Ts, 300/DefaultCyclesPerMicro)
+		}
+		if e.Ph == "i" && e.S != "t" {
+			t.Errorf("instant %s missing scope", e.Name)
+		}
+	}
+	if names != 2 { // "run" and "mbpta" tracks
+		t.Errorf("%d thread_name rows, want 2", names)
+	}
+}
+
+func TestValidateChromeTraceRejectsBadTraces(t *testing.T) {
+	mk := func(events ...Event) []byte {
+		d := &Dump{Events: events}
+		var buf bytes.Buffer
+		if err := d.WriteChromeTrace(&buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name   string
+		events []Event
+		want   string
+	}{
+		{"unmatched end", []Event{
+			{TS: 0, Track: "t", Kind: "a", Phase: PhaseEnd},
+		}, "without open B"},
+		{"left open", []Event{
+			{TS: 0, Track: "t", Kind: "a", Phase: PhaseBegin},
+		}, "left open"},
+		{"bad nesting", []Event{
+			{TS: 0, Track: "t", Kind: "a", Phase: PhaseBegin},
+			{TS: 1, Track: "t", Kind: "b", Phase: PhaseBegin},
+			{TS: 2, Track: "t", Kind: "a", Phase: PhaseEnd},
+		}, "bad nesting"},
+		{"non-monotonic", []Event{
+			{TS: 100, Track: "t", Kind: "a", Phase: PhaseInstant},
+			{TS: 50, Track: "t", Kind: "b", Phase: PhaseInstant},
+		}, "not monotonic"},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateChromeTrace(bytes.NewReader(mk(tc.events...))); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := ValidateChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestCampaignRecordRun(t *testing.T) {
+	c := NewCampaign(128)
+	var att Attribution
+	att.Charge(CompBaseIssue, 600)
+	att.Charge(CompDRAM, 400)
+	c.RecordRun(RunRecord{
+		Series: "s", Index: 0, Seed: 9,
+		Cycles: 1000, UoA: 900, Attribution: att.Snapshot(),
+	})
+	c.RecordRun(RunRecord{Series: "s", Index: 1, Seed: 10, Cycles: 500, UoA: 450})
+	if got := c.Registry.Counter("dsr_runs_total", Labels{"series": "s"}).Value(); got != 2 {
+		t.Errorf("dsr_runs_total = %d, want 2", got)
+	}
+	if got := c.Registry.Counter("dsr_run_cycles_total", Labels{"series": "s"}).Value(); got != 1500 {
+		t.Errorf("dsr_run_cycles_total = %d, want 1500", got)
+	}
+	if got := c.Registry.Counter("dsr_attributed_cycles_total",
+		Labels{"series": "s", "component": "dram_stall"}).Value(); got != 400 {
+		t.Errorf("attributed dram cycles = %d, want 400", got)
+	}
+	if c.Now() != 1500 {
+		t.Errorf("campaign clock = %d, want 1500", c.Now())
+	}
+	// The event stream must render to a schema-valid trace.
+	var buf bytes.Buffer
+	if err := NewDump(c.Registry, c.Events).WriteChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(&buf); err != nil {
+		t.Errorf("campaign trace invalid: %v", err)
+	}
+}

@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"dsr/internal/mem"
+)
+
+func TestCounterGaugeIdentity(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs", Labels{"series": "a"}).Add(2)
+	r.Counter("runs", Labels{"series": "a"}).Inc()
+	r.Counter("runs", Labels{"series": "b"}).Inc()
+	if got := r.Counter("runs", Labels{"series": "a"}).Value(); got != 3 {
+		t.Errorf("counter a = %d, want 3", got)
+	}
+	if got := r.Counter("runs", Labels{"series": "b"}).Value(); got != 1 {
+		t.Errorf("counter b = %d, want 1", got)
+	}
+	r.Gauge("temp", nil).Set(1.5)
+	r.Gauge("temp", nil).Set(2.5)
+	if got := r.Gauge("temp", nil).Value(); got != 2.5 {
+		t.Errorf("gauge = %g, want last value 2.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil, []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 99, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 5125 {
+		t.Errorf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+	cum := h.Cumulative()
+	want := []uint64{2, 4, 4} // <=10: {5,10}; <=100: +{11,99}; <=1000: same
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cum[%d]=%d want %d", i, cum[i], want[i])
+		}
+	}
+	// Bounds are fixed by the first registration of the name.
+	h2 := r.Histogram("lat", Labels{"k": "v"}, []float64{1, 2})
+	if got := len(h2.Bounds()); got != 3 {
+		t.Errorf("second registration got %d bounds, want the fixed 3", got)
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z", nil).Inc()
+	r.Counter("a", Labels{"x": "2"}).Inc()
+	r.Counter("a", Labels{"x": "1"}).Inc()
+	r.Gauge("g", nil).Set(1)
+	r.Histogram("h", nil, []float64{1}).Observe(0.5)
+	s1, s2 := r.Snapshot(), r.Snapshot()
+	if len(s1) != 5 {
+		t.Fatalf("snapshot has %d metrics, want 5", len(s1))
+	}
+	for i := range s1 {
+		if s1[i].Name != s2[i].Name || s1[i].Labels.canonical() != s2[i].Labels.canonical() {
+			t.Fatalf("snapshot order not deterministic at %d", i)
+		}
+	}
+	if s1[0].Name != "a" || s1[0].Labels["x"] != "1" {
+		t.Errorf("first metric = %s{%s}, want a{x=1}", s1[0].Name, s1[0].Labels.canonical())
+	}
+}
+
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	r.Counter("c", nil).Inc()
+	r.Gauge("g", nil).Set(1)
+	r.Histogram("h", nil, nil).Observe(1)
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", got)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		r.Counter("c", nil).Inc()
+		r.Histogram("h", nil, nil).Observe(1)
+	}); n != 0 {
+		t.Errorf("nil registry allocates %g per op, want 0", n)
+	}
+}
+
+func TestAttributionZeroValueUsable(t *testing.T) {
+	// Regression: Component's zero value is CompBaseIssue, so the zero
+	// Attribution must not treat it as an active override.
+	var a Attribution
+	a.Charge(CompDRAM, 7)
+	a.Charge(CompL2, 3)
+	if got := a.Component(CompDRAM); got != 7 {
+		t.Errorf("zero-value attribution booked DRAM charge to %d cycles, want 7", got)
+	}
+	if got := a.Component(CompBaseIssue); got != 0 {
+		t.Errorf("zero-value attribution redirected %d cycles to base_issue", got)
+	}
+}
+
+func TestAttributionOverrideOuterWins(t *testing.T) {
+	a := NewAttribution()
+	prevTrap, effTrap := a.SetOverride(CompWindowTrap)
+	if prevTrap != CompNone || effTrap != CompWindowTrap {
+		t.Fatalf("outer SetOverride = (%v, %v)", prevTrap, effTrap)
+	}
+	// Inner override (a TLB walk inside the trap) must not displace it.
+	prevWalk, effWalk := a.SetOverride(CompDTLBWalk)
+	if effWalk != CompWindowTrap {
+		t.Errorf("inner override effective = %v, want the outer %v", effWalk, CompWindowTrap)
+	}
+	a.Charge(CompDRAM, 10)
+	a.ClearOverride(prevWalk)
+	a.Charge(CompDL1, 5)
+	a.ClearOverride(prevTrap)
+	a.Charge(CompDL1, 2)
+	if got := a.Component(CompWindowTrap); got != 15 {
+		t.Errorf("trap bucket = %d, want 15 (all charges inside the span)", got)
+	}
+	if got := a.Component(CompDL1); got != 2 {
+		t.Errorf("dl1 bucket = %d, want 2 (only the post-span charge)", got)
+	}
+	if a.Total() != 17 {
+		t.Errorf("total = %d, want 17", a.Total())
+	}
+}
+
+func TestAttributionRebateAndSuspend(t *testing.T) {
+	a := NewAttribution()
+	a.Charge(CompStorePath, 10)
+	a.Rebate(CompStorePath, 4)
+	if a.Component(CompStorePath) != 6 || a.Total() != 6 {
+		t.Errorf("after rebate: bucket=%d total=%d, want 6/6", a.Component(CompStorePath), a.Total())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-rebate did not panic")
+			}
+		}()
+		a.Rebate(CompStorePath, 100)
+	}()
+	a.Suspend()
+	a.Charge(CompDRAM, 50)
+	a.Resume()
+	if a.Component(CompDRAM) != 0 {
+		t.Error("suspended attribution still booked cycles")
+	}
+}
+
+func TestAttributionSnapshotAggregation(t *testing.T) {
+	a := NewAttribution()
+	a.Charge(CompBaseIssue, 100)
+	a.Charge(CompDRAM, 50)
+	s := a.Snapshot()
+	if !s.Valid || s.Total() != 150 {
+		t.Fatalf("snapshot valid=%v total=%d", s.Valid, s.Total())
+	}
+	var agg AttributionSnapshot
+	agg.Add(s)
+	agg.Add(s)
+	if agg.Total() != 300 || !agg.Valid {
+		t.Errorf("aggregate total=%d valid=%v, want 300/true", agg.Total(), agg.Valid)
+	}
+	out := agg.Render()
+	if !strings.Contains(out, "base_issue") || !strings.Contains(out, "66.7%") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+	var nilAtt *Attribution
+	if nilAtt.Snapshot().Valid {
+		t.Error("nil attribution snapshot claims validity")
+	}
+}
+
+// level is a fake memory level: a fixed self-latency plus whatever its
+// (probed) next level reports.
+type level struct {
+	self mem.Cycles
+	next mem.Backend
+}
+
+func (l *level) Read(a mem.Addr, s int) mem.Cycles  { return l.access(a, s, true) }
+func (l *level) Write(a mem.Addr, s int) mem.Cycles { return l.access(a, s, false) }
+
+func (l *level) access(a mem.Addr, s int, read bool) mem.Cycles {
+	lat := l.self
+	if l.next != nil {
+		if read {
+			lat += l.next.Read(a, s)
+		} else {
+			lat += l.next.Write(a, s)
+		}
+	}
+	return lat
+}
+
+func TestProbeChainBooksSelfLatency(t *testing.T) {
+	att := NewAttribution()
+	dram := NewProbe(&level{self: 10}, att, CompDRAM)
+	l2 := NewProbe(&level{self: 5, next: dram}, att, CompL2)
+	bus := NewProbe(&level{self: 2, next: l2}, att, CompBus)
+
+	lat := bus.Read(0x100, 4)
+	if lat != 17 {
+		t.Fatalf("chain latency = %d, want 17", lat)
+	}
+	// Conservation: the probes book exactly the top-level latency,
+	// partitioned into each level's self-latency.
+	if att.Total() != lat {
+		t.Errorf("booked %d cycles for a %d-cycle access", att.Total(), lat)
+	}
+	for _, tc := range []struct {
+		comp Component
+		want mem.Cycles
+	}{{CompDRAM, 10}, {CompL2, 5}, {CompBus, 2}} {
+		if got := att.Component(tc.comp); got != tc.want {
+			t.Errorf("%s booked %d, want %d", tc.comp, got, tc.want)
+		}
+	}
+	// Writes follow the same protocol.
+	att.Reset()
+	if lat := bus.Write(0x200, 4); att.Total() != lat {
+		t.Errorf("write booked %d for a %d-cycle access", att.Total(), lat)
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 6; i++ {
+		l.EmitAt(mem.Cycles(i), "t", "k", PhaseInstant, Int("i", i))
+	}
+	if l.Len() != 4 || l.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 4/2", l.Len(), l.Dropped())
+	}
+	evs := l.Events()
+	if evs[0].Seq != 2 || evs[3].Seq != 5 {
+		t.Errorf("ring kept seqs %d..%d, want oldest-first 2..5", evs[0].Seq, evs[3].Seq)
+	}
+	if v, ok := evs[0].Attr("i"); !ok || v != "2" {
+		t.Errorf("attr i = %q (%v)", v, ok)
+	}
+	if got := l.Tracks(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("tracks = %v", got)
+	}
+}
+
+func TestEventLogClockAndNil(t *testing.T) {
+	l := NewEventLog(8)
+	var now mem.Cycles = 42
+	l.SetClock(func() mem.Cycles { return now })
+	l.Emit("t", "k", PhaseInstant)
+	now = 99
+	l.Emit("t", "k", PhaseInstant)
+	evs := l.Events()
+	if evs[0].TS != 42 || evs[1].TS != 99 {
+		t.Errorf("clock stamps = %d, %d", evs[0].TS, evs[1].TS)
+	}
+
+	var nilLog *EventLog
+	nilLog.Emit("t", "k", PhaseInstant)
+	nilLog.SetClock(func() mem.Cycles { return 0 })
+	if nilLog.Len() != 0 || nilLog.Dropped() != 0 || nilLog.Events() != nil {
+		t.Error("nil log is not inert")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		nilLog.Emit("t", "k", PhaseInstant)
+	}); n != 0 {
+		t.Errorf("nil log allocates %g per emit, want 0", n)
+	}
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent is one Chrome trace_event record (the JSON Array / Object
+// format consumed by chrome://tracing and Perfetto).
+type TraceEvent struct {
+	Name string `json:"name"`
+	// Cat is the event category (we use the dotted kind prefix).
+	Cat string `json:"cat"`
+	// Ph is the phase: "B"/"E" span brackets or "i" instants.
+	Ph string `json:"ph"`
+	// Ts is the timestamp in microseconds.
+	Ts float64 `json:"ts"`
+	// Pid/Tid place the event on a timeline row; we map the campaign to
+	// one process and each track to one thread.
+	Pid int `json:"pid"`
+	Tid int `json:"tid"`
+	// S is the instant-event scope ("t" thread), required by the schema
+	// for ph=="i".
+	S string `json:"s,omitempty"`
+	// Args carries the event attributes.
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the Object Format wrapper, which Perfetto and
+// chrome://tracing both accept and which allows metadata.
+type traceFile struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// DefaultCyclesPerMicro converts simulated cycles to trace microseconds:
+// the case study's 80 MHz LEON3 runs 80 cycles per microsecond.
+const DefaultCyclesPerMicro = 80.0
+
+// WriteChromeTrace renders the event log as a Chrome trace_event JSON
+// file: every track becomes a thread row, B/E events become nested
+// spans, instants become 'i' marks, and timestamps are converted from
+// simulated cycles at cyclesPerMicro (0 selects the 80 MHz default).
+// Load the output in chrome://tracing or https://ui.perfetto.dev.
+func (d *Dump) WriteChromeTrace(w io.Writer, cyclesPerMicro float64) error {
+	if cyclesPerMicro <= 0 {
+		cyclesPerMicro = DefaultCyclesPerMicro
+	}
+	tids := map[string]int{}
+	var order []string
+	for _, e := range d.Events {
+		if _, ok := tids[e.Track]; !ok {
+			tids[e.Track] = len(tids) + 1
+			order = append(order, e.Track)
+		}
+	}
+	tf := traceFile{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"generator": "dsr internal/telemetry"},
+		TraceEvents:     make([]TraceEvent, 0, len(d.Events)+len(order)),
+	}
+	// Thread-name metadata rows so the UI shows track names.
+	for _, track := range order {
+		name := track
+		if name == "" {
+			name = "events"
+		}
+		tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+			Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: 1, Tid: tids[track],
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, e := range d.Events {
+		te := TraceEvent{
+			Name: e.Kind,
+			Cat:  kindCategory(e.Kind),
+			Ph:   string(rune(e.Phase)),
+			Ts:   float64(e.TS) / cyclesPerMicro,
+			Pid:  1,
+			Tid:  tids[e.Track],
+		}
+		if e.Phase == PhaseInstant {
+			te.S = "t"
+		}
+		if len(e.Attrs) > 0 {
+			te.Args = make(map[string]string, len(e.Attrs))
+			for _, a := range e.Attrs {
+				te.Args[a.Key] = a.Value
+			}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(tf); err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	return nil
+}
+
+// kindCategory returns the dotted prefix of an event kind ("dsr.reboot"
+// → "dsr"), used as the trace category.
+func kindCategory(kind string) string {
+	for i := 0; i < len(kind); i++ {
+		if kind[i] == '.' {
+			return kind[:i]
+		}
+	}
+	return kind
+}
+
+// ValidateChromeTrace parses a Chrome trace JSON document and checks the
+// trace_event schema invariants the viewers rely on:
+//
+//   - every event has a known phase (B, E, i, M) and non-negative ts;
+//   - per (pid, tid), timestamps are monotonically non-decreasing;
+//   - per (pid, tid), B and E events are properly nested and matched
+//     (every E closes the innermost open B of the same name; no E
+//     without an open B; no B left open at the end).
+//
+// It returns the number of span pairs checked.
+func ValidateChromeTrace(r io.Reader) (spans int, err error) {
+	var tf traceFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tf); err != nil {
+		return 0, fmt.Errorf("telemetry: trace validate: %w", err)
+	}
+	type tidKey struct{ pid, tid int }
+	lastTs := map[tidKey]float64{}
+	open := map[tidKey][]string{}
+	// Events in the file are ordered per track by construction; viewers
+	// sort by ts anyway, so validate in ts order per track.
+	byTrack := map[tidKey][]TraceEvent{}
+	var tracks []tidKey
+	for _, e := range tf.TraceEvents {
+		k := tidKey{e.Pid, e.Tid}
+		if _, ok := byTrack[k]; !ok {
+			tracks = append(tracks, k)
+		}
+		byTrack[k] = append(byTrack[k], e)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	for _, k := range tracks {
+		for i, e := range byTrack[k] {
+			switch e.Ph {
+			case "M":
+				continue
+			case "B", "E", "i":
+			default:
+				return spans, fmt.Errorf("telemetry: trace validate: pid=%d tid=%d event %d: unknown phase %q",
+					k.pid, k.tid, i, e.Ph)
+			}
+			if e.Ts < 0 {
+				return spans, fmt.Errorf("telemetry: trace validate: pid=%d tid=%d event %d (%s): negative ts %g",
+					k.pid, k.tid, i, e.Name, e.Ts)
+			}
+			if e.Ts < lastTs[k] {
+				return spans, fmt.Errorf("telemetry: trace validate: pid=%d tid=%d event %d (%s): ts %g < previous %g (not monotonic)",
+					k.pid, k.tid, i, e.Name, e.Ts, lastTs[k])
+			}
+			lastTs[k] = e.Ts
+			switch e.Ph {
+			case "B":
+				open[k] = append(open[k], e.Name)
+			case "E":
+				stack := open[k]
+				if len(stack) == 0 {
+					return spans, fmt.Errorf("telemetry: trace validate: pid=%d tid=%d event %d: E %q without open B",
+						k.pid, k.tid, i, e.Name)
+				}
+				top := stack[len(stack)-1]
+				if top != e.Name {
+					return spans, fmt.Errorf("telemetry: trace validate: pid=%d tid=%d event %d: E %q closes open B %q (bad nesting)",
+						k.pid, k.tid, i, e.Name, top)
+				}
+				open[k] = stack[:len(stack)-1]
+				spans++
+			}
+		}
+		if n := len(open[k]); n > 0 {
+			return spans, fmt.Errorf("telemetry: trace validate: pid=%d tid=%d: %d B event(s) left open (first: %q)",
+				k.pid, k.tid, n, open[k][0])
+		}
+	}
+	return spans, nil
+}

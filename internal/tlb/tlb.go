@@ -91,6 +91,15 @@ func New(cfg Config, walkMem mem.Backend, walkBase mem.Addr) *TLB {
 // Config returns the TLB's configuration.
 func (t *TLB) Config() Config { return t.cfg }
 
+// SetWalkMem rebinds the page-table-walk backend; used to interpose
+// telemetry probes after construction. Panics on nil.
+func (t *TLB) SetWalkMem(walkMem mem.Backend) {
+	if walkMem == nil {
+		panic(fmt.Sprintf("tlb %q: nil walk backend", t.cfg.Name))
+	}
+	t.walkMem = walkMem
+}
+
 // Counters returns a snapshot of the event counters.
 func (t *TLB) Counters() Counters { return t.ctr }
 
