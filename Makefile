@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench evaluate examples dsrlint telemetry-smoke fuzz clean
+.PHONY: all build test vet lint race race-campaign bench evaluate examples dsrlint telemetry-smoke fuzz clean
 
-all: build lint test race dsrlint telemetry-smoke
+all: build lint test race race-campaign dsrlint telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ test: vet
 
 race:
 	$(GO) test -race ./...
+
+# The campaign engine's hard invariant under the race detector: every
+# Run* series at Workers=8 must be byte-identical (cycles, counters,
+# attribution, telemetry event ordering) to Workers=1, with zero data
+# races across the worker pool, the canonical-order merge and the
+# capture/replay event path.
+race-campaign:
+	$(GO) test -race -run 'TestCampaign|TestExecute' ./internal/experiments ./internal/campaign
 
 # Run the repo's own lint/verification toolchain over the shipped
 # programs; non-zero exit on any Error-level diagnostic.
@@ -69,6 +77,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=20s -fuzzminimizetime=5s ./internal/rvs
 	$(GO) test -run=^$$ -fuzz=FuzzDurations -fuzztime=20s -fuzzminimizetime=5s ./internal/rvs
 	$(GO) test -run=^$$ -fuzz=FuzzVerifyTransform -fuzztime=20s -fuzzminimizetime=5s ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzSeedSchedule -fuzztime=20s -fuzzminimizetime=5s ./internal/campaign
 
 clean:
 	$(GO) clean ./...

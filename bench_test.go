@@ -201,11 +201,11 @@ func BenchmarkAblationPRNG(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Runs = 150
 	for i := 0; i < b.N; i++ {
-		mwc, err := experiments.RunDSRWithPRNG(cfg, prng.NewMWC(1), "MWC")
+		mwc, err := experiments.RunDSRWithPRNG(cfg, func() prng.Source { return prng.NewMWC(1) }, "MWC")
 		if err != nil {
 			b.Fatal(err)
 		}
-		lfsr, err := experiments.RunDSRWithPRNG(cfg, prng.NewLFSR(1), "LFSR")
+		lfsr, err := experiments.RunDSRWithPRNG(cfg, func() prng.Source { return prng.NewLFSR(1) }, "LFSR")
 		if err != nil {
 			b.Fatal(err)
 		}

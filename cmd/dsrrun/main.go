@@ -18,6 +18,7 @@ import (
 
 	"dsr/internal/analysis"
 	"dsr/internal/asm"
+	"dsr/internal/campaign"
 	"dsr/internal/core"
 	"dsr/internal/loader"
 	"dsr/internal/mbpta"
@@ -32,6 +33,7 @@ func main() {
 		useDSR   = flag.Bool("dsr", false, "run a DSR measurement campaign instead of a single run")
 		runs     = flag.Int("runs", 500, "campaign size with -dsr")
 		seed     = flag.Uint64("seed", 1, "base layout seed with -dsr")
+		workers  = flag.Int("workers", 0, "campaign worker-pool size with -dsr: 0 = one per CPU, 1 = sequential; output is identical for every value")
 		disasm   = flag.Bool("disasm", false, "print the assembled program and exit")
 		telem    = flag.Bool("telemetry", false, "enable cycle attribution and print the per-component split")
 		progress = flag.Bool("progress", false, "print per-run campaign progress to stderr")
@@ -92,34 +94,60 @@ func main() {
 		os.Exit(1)
 	}
 
-	var times []float64
-	var agg telemetry.AttributionSnapshot
-	for i := 0; i < *runs; i++ {
-		_, err := rt.Reboot(*seed + uint64(i))
-		die(err)
-		res, err := rt.Run()
-		die(err)
-		times = append(times, float64(res.Cycles))
-		agg.Add(res.Attribution)
-		if *progress && ((i+1)%50 == 0 || i+1 == *runs) {
-			fmt.Fprintf(os.Stderr, "  %s: %d/%d runs\r", p.Name, i+1, *runs)
-			if i+1 == *runs {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
-	}
-	if agg.Valid {
-		fmt.Print(agg.Render())
-		fmt.Println()
-	}
+	// The campaign proper runs on the parallel engine: per-run seeds come
+	// from the splittable schedule (a pure function of -seed and the run
+	// index), every worker assembles its own program and owns a private
+	// platform + runtime, and the merge streams execution times into the
+	// MBPTA stream in canonical run order — so the analysis input is
+	// byte-identical at every -workers value.
 	opts := mbpta.DefaultOptions()
-	if len(times)/opts.BlockSize < 10 {
-		opts.BlockSize = len(times) / 10
+	if *runs/opts.BlockSize < 10 {
+		opts.BlockSize = *runs / 10
 		if opts.BlockSize < 5 {
 			opts.BlockSize = 5
 		}
 	}
-	rep, err := mbpta.Analyse(times, opts)
+	sched := campaign.NewSchedule(*seed)
+	stream := mbpta.NewStream(opts)
+	var agg telemetry.AttributionSnapshot
+	err = campaign.Execute(campaign.Config{Runs: *runs, Workers: *workers},
+		func(w int) (campaign.RunFunc[platform.RunResult], error) {
+			wp, err := asm.Assemble(string(src))
+			if err != nil {
+				return nil, err
+			}
+			wplat := platform.New(platform.ProximaLEON3())
+			if *telem {
+				wplat.EnableAttribution()
+			}
+			wrt, err := core.NewRuntime(wp, wplat, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return func(i int) (platform.RunResult, error) {
+				if _, err := wrt.Reboot(sched.Seed(i)); err != nil {
+					return platform.RunResult{}, err
+				}
+				return wrt.Run()
+			}, nil
+		},
+		func(i int, res platform.RunResult) error {
+			stream.Observe(float64(res.Cycles))
+			agg.Add(res.Attribution)
+			if *progress && ((i+1)%50 == 0 || i+1 == *runs) {
+				fmt.Fprintf(os.Stderr, "  %s: %d/%d runs\r", p.Name, i+1, *runs)
+				if i+1 == *runs {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+			return nil
+		})
+	die(err)
+	if agg.Valid {
+		fmt.Print(agg.Render())
+		fmt.Println()
+	}
+	rep, err := stream.Report()
 	if rep != nil {
 		fmt.Printf("%s under DSR, %d runs: min=%.0f mean=%.0f MOET=%.0f\n",
 			p.Name, rep.N, rep.Min, rep.Mean, rep.MOET)
@@ -129,7 +157,7 @@ func main() {
 	die(err)
 	fmt.Printf("pWCET @ %.0e = %.0f cycles (+%.2f%% over MOET)\n\n",
 		rep.TargetExceedance, rep.PWCET, (rep.PWCET/rep.MOET-1)*100)
-	fmt.Print(rvs.RenderCurve(rep, times, 72, 18))
+	fmt.Print(rvs.RenderCurve(rep, stream.Times(), 72, 18))
 }
 
 func dump(p *prog.Program) {

@@ -11,6 +11,9 @@
 //	dsrsim -all         everything above
 //
 // -runs N sets the campaign size (default 1000, as in the paper).
+// -workers N shards each campaign across a worker pool (default one
+// worker per CPU; 1 forces the sequential path). Campaign results,
+// telemetry and progress are byte-identical for every worker count.
 //
 // Observability:
 //
@@ -41,6 +44,7 @@ func main() {
 	var (
 		runs      = flag.Int("runs", 1000, "measurement runs per configuration")
 		seed      = flag.Uint64("seed", 1, "base seed for layout randomisation")
+		workers   = flag.Int("workers", 0, "campaign worker-pool size: 0 = one per CPU, 1 = sequential; campaign output is identical for every value")
 		all       = flag.Bool("all", false, "run every experiment")
 		platFlag  = flag.Bool("platform", false, "print the platform description (Fig. 1)")
 		table1    = flag.Bool("table1", false, "Table I: performance counters")
@@ -67,6 +71,7 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = *runs
 	cfg.SeedBase = *seed
+	cfg.Workers = *workers
 
 	var campaign *telemetry.Campaign
 	if *telemDir != "" {
@@ -263,7 +268,7 @@ func runAblations(cfg experiments.Config) {
 	fmt.Println("  " + summarise(small))
 
 	fmt.Fprintf(os.Stderr, "A3: MWC vs LFSR generator...\n")
-	lfsr, err := experiments.RunDSRWithPRNG(acfg, prng.NewLFSR(1), "Sw Rand (LFSR)")
+	lfsr, err := experiments.RunDSRWithPRNG(acfg, func() prng.Source { return prng.NewLFSR(1) }, "Sw Rand (LFSR)")
 	die(err)
 	fmt.Println("A3 random source (§III.B.3; both must behave equivalently):")
 	fmt.Println("  " + summarise(eager))

@@ -1,0 +1,230 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Config dimensions an engine execution.
+type Config struct {
+	// Runs is the number of independent runs to execute (canonical
+	// indices 0..Runs-1).
+	Runs int
+	// Workers is the worker-pool size: 0 (or negative) selects
+	// runtime.NumCPU(), 1 selects the legacy strictly sequential path
+	// (no goroutines, runs executed inline on the caller's goroutine).
+	// The engine's determinism invariant guarantees the merged output is
+	// byte-identical for every worker count.
+	Workers int
+}
+
+// WorkerCount resolves the effective pool size: Workers, defaulted to
+// runtime.NumCPU() and clamped to [1, Runs].
+func (c Config) WorkerCount() int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if c.Runs > 0 && w > c.Runs {
+		w = c.Runs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunFunc executes one run by canonical index on worker-private state
+// and returns its result. It is called from a single goroutine per
+// worker, but different workers call their own RunFunc concurrently:
+// implementations must not share mutable state across workers.
+type RunFunc[R any] func(i int) (R, error)
+
+// MergeFunc folds one run's result into the campaign output. The
+// engine calls it exactly once per index, in canonical order 0, 1, 2,
+// ..., always from the caller's goroutine — so merge code may touch
+// non-thread-safe campaign state (telemetry registries, event logs,
+// result slices) without locking. Results stream into the merge as
+// soon as their canonical predecessor has merged; the engine does not
+// wait for the whole campaign before merging the first run.
+type MergeFunc[R any] func(i int, r R) error
+
+// Execute shards cfg.Runs independent runs across cfg.Workers workers
+// and merges the results in canonical order.
+//
+// newWorker is called once per worker (with the worker id) to build
+// worker-private state — typically a fresh platform instance plus a DSR
+// runtime — and returns the worker's RunFunc. Run indices are assigned
+// dynamically (a shared counter), which keeps all workers busy even
+// when run times vary; determinism is unaffected because every run is a
+// pure function of its canonical index.
+//
+// On error — from newWorker, a run, or the merge — the engine stops
+// handing out new runs, drains in-flight ones, and returns the error
+// belonging to the smallest canonical index (worker construction
+// errors, which have no index, take precedence). The merge is never
+// invoked for indices at or beyond a failed run.
+func Execute[R any](cfg Config, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
+	n := cfg.Runs
+	if n < 0 {
+		return fmt.Errorf("campaign: negative run count %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if cfg.WorkerCount() == 1 {
+		return executeSequential(n, newWorker, merge)
+	}
+	return executeParallel(n, cfg.WorkerCount(), newWorker, merge)
+}
+
+// executeSequential is the legacy path (Workers=1): one worker, runs
+// executed inline in canonical order on the caller's goroutine. It is
+// the reference the determinism tests compare the parallel path
+// against.
+func executeSequential[R any](n int, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
+	run, err := newWorker(0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		r, err := run(i)
+		if err != nil {
+			return err
+		}
+		if merge != nil {
+			if err := merge(i, r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// indexedError is an error tagged with the canonical index it occurred
+// at, so that concurrent failures resolve deterministically to the one
+// the sequential path would have hit first.
+type indexedError struct {
+	index int // run index; -1 for worker-construction errors
+	err   error
+}
+
+// executeParallel is the worker-pool path. Results land in a pre-sized
+// slice guarded by a mutex + condvar; the caller's goroutine walks the
+// slice in canonical order, handing each completed result to merge as
+// soon as it is available.
+func executeParallel[R any](n, workers int, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		results = make([]R, n)
+		done    = make([]bool, n)
+		next    int  // next unassigned run index
+		stopped bool // no further runs may be claimed
+		errs    []indexedError
+		wg      sync.WaitGroup
+	)
+	fail := func(index int, err error) {
+		// called with mu held
+		errs = append(errs, indexedError{index: index, err: err})
+		stopped = true
+		cond.Broadcast()
+	}
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			run, err := newWorker(w)
+			if err != nil {
+				mu.Lock()
+				fail(-1, err)
+				mu.Unlock()
+				return
+			}
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				r, err := run(i)
+				mu.Lock()
+				if err != nil {
+					fail(i, err)
+					mu.Unlock()
+					return
+				}
+				results[i], done[i] = r, true
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Canonical-order streaming merge on the caller's goroutine.
+	var mergeErr error
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		for !done[i] && !stopped {
+			cond.Wait()
+		}
+		if !done[i] {
+			break // stopped before run i completed
+		}
+		r := results[i]
+		mu.Unlock()
+		if merge != nil {
+			if err := merge(i, r); err != nil {
+				mergeErr = err
+			}
+		}
+		mu.Lock()
+		if mergeErr != nil {
+			stopped = true
+			break
+		}
+	}
+	stopped = true
+	mu.Unlock()
+	wg.Wait()
+
+	if mergeErr != nil {
+		return mergeErr
+	}
+	return firstError(errs)
+}
+
+// firstError resolves concurrent failures deterministically: worker
+// construction errors first, then the error with the smallest run
+// index — the one the sequential path would have reported.
+func firstError(errs []indexedError) error {
+	var best *indexedError
+	for i := range errs {
+		e := &errs[i]
+		if best == nil {
+			best = e
+			continue
+		}
+		switch {
+		case e.index == -1 && best.index != -1:
+			best = e
+		case e.index != -1 && best.index != -1 && e.index < best.index:
+			best = e
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.err
+}

@@ -1,0 +1,239 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExecuteMergesInCanonicalOrder checks the core invariant at the
+// engine level: whatever order runs complete in, merge sees indices
+// 0, 1, 2, ... exactly once each.
+func TestExecuteMergesInCanonicalOrder(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 3, 8, n} {
+		var order []int
+		err := Execute(Config{Runs: n, Workers: workers},
+			func(w int) (RunFunc[int], error) {
+				return func(i int) (int, error) {
+					// Perturb completion order: later indices finish sooner.
+					if i%7 == 0 {
+						time.Sleep(time.Duration(i%3) * time.Microsecond)
+					}
+					return i * i, nil
+				}, nil
+			},
+			func(i, r int) error {
+				if r != i*i {
+					t.Errorf("workers=%d: merge(%d) got %d, want %d", workers, i, r, i*i)
+				}
+				order = append(order, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		if !reflect.DeepEqual(order, want) {
+			t.Fatalf("workers=%d: merge order %v", workers, order)
+		}
+	}
+}
+
+// TestExecuteWorkerPrivateState checks each worker gets its own state
+// from its own newWorker call, and no worker id is constructed twice.
+func TestExecuteWorkerPrivateState(t *testing.T) {
+	const n, workers = 64, 4
+	var mu sync.Mutex
+	built := map[int]int{}
+	err := Execute(Config{Runs: n, Workers: workers},
+		func(w int) (RunFunc[int], error) {
+			mu.Lock()
+			built[w]++
+			mu.Unlock()
+			private := 0 // worker-local accumulator: data race here would trip -race
+			return func(i int) (int, error) {
+				private++
+				return private, nil
+			}, nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built) != workers {
+		t.Errorf("built %d workers, want %d", len(built), workers)
+	}
+	for w, c := range built {
+		if c != 1 {
+			t.Errorf("worker %d constructed %d times", w, c)
+		}
+	}
+}
+
+// TestExecuteRunError checks a failing run aborts the campaign with
+// that error and never merges the failed index or anything after it.
+func TestExecuteRunError(t *testing.T) {
+	boom := errors.New("boom")
+	const failAt = 10
+	for _, workers := range []int{1, 4} {
+		var merged []int
+		err := Execute(Config{Runs: 32, Workers: workers},
+			func(w int) (RunFunc[int], error) {
+				return func(i int) (int, error) {
+					if i == failAt {
+						return 0, boom
+					}
+					return i, nil
+				}, nil
+			},
+			func(i, r int) error {
+				merged = append(merged, i)
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		for _, i := range merged {
+			if i >= failAt {
+				t.Errorf("workers=%d: merged index %d at or beyond failed run %d", workers, i, failAt)
+			}
+		}
+	}
+}
+
+// TestExecuteDeterministicError checks concurrent failures resolve to
+// the smallest-index error — the one the sequential path reports.
+func TestExecuteDeterministicError(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		err := Execute(Config{Runs: 64, Workers: 8},
+			func(w int) (RunFunc[int], error) {
+				return func(i int) (int, error) {
+					if i%5 == 3 { // fails at 3, 8, 13, ...
+						return 0, fmt.Errorf("run %d failed", i)
+					}
+					return i, nil
+				}, nil
+			}, nil)
+		if err == nil || err.Error() != "run 3 failed" {
+			t.Fatalf("trial %d: err = %v, want run 3's error", trial, err)
+		}
+	}
+}
+
+// TestExecuteNewWorkerError checks worker-construction failures win
+// over run errors and abort cleanly.
+func TestExecuteNewWorkerError(t *testing.T) {
+	build := errors.New("no platform")
+	err := Execute(Config{Runs: 16, Workers: 4},
+		func(w int) (RunFunc[int], error) {
+			if w == 2 {
+				return nil, build
+			}
+			return func(i int) (int, error) { return i, nil }, nil
+		}, nil)
+	if !errors.Is(err, build) {
+		t.Fatalf("err = %v, want construction error", err)
+	}
+}
+
+// TestExecuteMergeError checks a merge failure propagates and stops the
+// campaign.
+func TestExecuteMergeError(t *testing.T) {
+	sink := errors.New("disk full")
+	for _, workers := range []int{1, 4} {
+		var last int32
+		err := Execute(Config{Runs: 64, Workers: workers},
+			func(w int) (RunFunc[int], error) {
+				return func(i int) (int, error) { return i, nil }, nil
+			},
+			func(i, r int) error {
+				atomic.StoreInt32(&last, int32(i))
+				if i == 5 {
+					return sink
+				}
+				return nil
+			})
+		if !errors.Is(err, sink) {
+			t.Fatalf("workers=%d: err = %v, want merge error", workers, err)
+		}
+		if got := atomic.LoadInt32(&last); got != 5 {
+			t.Errorf("workers=%d: merge continued to index %d after failing at 5", workers, got)
+		}
+	}
+}
+
+// TestExecuteEdgeCases covers the degenerate configurations.
+func TestExecuteEdgeCases(t *testing.T) {
+	var calls atomic.Int32 // newWorker runs on the worker goroutines
+	noRuns := func(w int) (RunFunc[int], error) {
+		calls.Add(1)
+		return func(i int) (int, error) { return i, nil }, nil
+	}
+	if err := Execute(Config{Runs: 0, Workers: 4}, noRuns, nil); err != nil {
+		t.Fatalf("Runs=0: %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Error("Runs=0 built a worker")
+	}
+	if err := Execute(Config{Runs: -1}, noRuns, nil); err == nil {
+		t.Error("Runs=-1 did not error")
+	}
+	// Workers > Runs clamps rather than spawning idle goroutines.
+	if got := (Config{Runs: 3, Workers: 64}).WorkerCount(); got != 3 {
+		t.Errorf("WorkerCount clamp: got %d, want 3", got)
+	}
+	if got := (Config{Runs: 100, Workers: 0}).WorkerCount(); got != min(runtime.NumCPU(), 100) {
+		t.Errorf("WorkerCount default: got %d", got)
+	}
+	// A nil merge is allowed (fire-and-forget campaigns).
+	if err := Execute(Config{Runs: 8, Workers: 4}, noRuns, nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+}
+
+// TestExecuteStreamingMerge checks the merge does not wait for the
+// whole campaign: with runs completing in index order, merge i must be
+// able to run while runs > i are still executing. A buffered-barrier
+// implementation would deadlock here, because run n-1 blocks until
+// merge 0 has happened.
+func TestExecuteStreamingMerge(t *testing.T) {
+	const n = 8
+	merged := make(chan int, n)
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- Execute(Config{Runs: n, Workers: 2},
+			func(w int) (RunFunc[int], error) {
+				return func(i int) (int, error) {
+					if i == n-1 {
+						<-release // last run parks until merge 0 observed
+					}
+					return i, nil
+				}, nil
+			},
+			func(i, r int) error {
+				merged <- i
+				return nil
+			})
+	}()
+	select {
+	case i := <-merged:
+		if i != 0 {
+			t.Fatalf("first merge was %d", i)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("merge 0 never happened while run n-1 was in flight: merge is not streaming")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

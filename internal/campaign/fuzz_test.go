@@ -1,0 +1,47 @@
+package campaign
+
+import "testing"
+
+// FuzzSeedSchedule fuzzes the schedule's algebraic properties over
+// arbitrary (base, stream, index) triples:
+//
+//   - determinism: the same inputs always give the same seed,
+//   - locality: adjacent runs of one schedule get distinct seeds,
+//   - separation: a Split child never equals its parent, and the two
+//     disagree on the seed of every probed run,
+//   - purity: drawing seeds does not mutate the schedule value.
+//
+// `go test -fuzz=FuzzSeedSchedule ./internal/campaign` explores; the
+// seeded corpus below runs on every plain `go test`.
+func FuzzSeedSchedule(f *testing.F) {
+	f.Add(uint64(0), uint64(0), 0)
+	f.Add(uint64(1), uint64(1), 1)
+	f.Add(uint64(1001), uint64(2), 999)
+	f.Add(uint64(0xDEADBEEF), uint64(0xFFFFFFFFFFFFFFFF), 1<<20)
+	f.Add(^uint64(0), uint64(42), 0)
+	f.Fuzz(func(t *testing.T, base, stream uint64, i int) {
+		if i < 0 {
+			i = -(i + 1) // fold negatives into the valid index range
+		}
+		s := NewSchedule(base)
+		if got, again := s.Seed(i), s.Seed(i); got != again {
+			t.Fatalf("Seed(%d) not deterministic: %#x vs %#x", i, got, again)
+		}
+		if s.Seed(i) == s.Seed(i+1) {
+			t.Fatalf("adjacent seeds collide at base %#x, i %d", base, i)
+		}
+		if s != NewSchedule(base) {
+			t.Fatal("Schedule mutated by Seed")
+		}
+		child := s.Split(stream)
+		if child == s {
+			t.Fatalf("Split(%#x) returned the parent", stream)
+		}
+		if child.Seed(i) == s.Seed(i) {
+			t.Fatalf("parent and Split(%#x) agree on Seed(%d)", stream, i)
+		}
+		if child != s.Split(stream) {
+			t.Fatal("Split not deterministic")
+		}
+	})
+}

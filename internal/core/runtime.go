@@ -180,6 +180,14 @@ func (r *Runtime) Placement() loader.Placement { return r.placement }
 // loaded, the metadata tables are written, and (in eager mode) the
 // relocation plus cache-consistency cost is charged to boot time.
 func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
+	// A partition reboot re-establishes the canonical initial hardware
+	// state (§IV), so the relocation cost charged below is computed from
+	// cold caches — a pure function of (program, seed), independent of
+	// whatever ran on this platform before. The parallel campaign
+	// engine's determinism invariant relies on exactly this: a worker's
+	// Reboot(seed) must behave identically no matter which runs it
+	// executed previously.
+	r.plat.FlushCaches()
 	r.src.Seed(seed)
 	r.codePool.Reset(prng.Uint64(r.src))
 	r.dataPool.Reset(prng.Uint64(r.src))

@@ -120,12 +120,21 @@ type PWCET struct {
 
 // Fit builds a PWCET model from raw execution times.
 func Fit(times []float64, block int) (*PWCET, error) {
-	maxima := BlockMaxima(times, block)
+	return FitFromMaxima(BlockMaxima(times, block), block, len(times), stats.Max(times))
+}
+
+// FitFromMaxima builds a PWCET model from precomputed block maxima —
+// the streaming-ingestion path, where a campaign merge maintains the
+// maxima incrementally instead of re-deriving them from the full
+// series. n is the number of raw execution times the maxima summarise
+// and moet their maximum; the result is identical to Fit on the raw
+// series.
+func FitFromMaxima(maxima []float64, block, n int, moet float64) (*PWCET, error) {
 	g, err := FitGumbel(maxima)
 	if err != nil {
 		return nil, err
 	}
-	return &PWCET{Model: g, Block: block, N: len(times), MOET: stats.Max(times)}, nil
+	return &PWCET{Model: g, Block: block, N: n, MOET: moet}, nil
 }
 
 // Exceedance returns the per-run probability of exceeding x: the fitted

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dsr/internal/bus"
+	"dsr/internal/mbpta"
+	"dsr/internal/platform"
+	"dsr/internal/prng"
+	"dsr/internal/spaceapp"
+	"dsr/internal/telemetry"
+)
+
+// The campaign engine's hard invariant: campaign output is
+// byte-identical at every worker count. These tests run every Run*
+// series once on the legacy sequential path (Workers=1) and once
+// sharded wide (Workers=8), and compare everything observable —
+// cycles, run results, cycle attribution, the MBPTA stream, progress
+// callback order, and the full telemetry export (metrics, events,
+// sequence numbers, campaign-clock timestamps) byte for byte.
+//
+// The suite runs under -race in CI (make race-campaign), which also
+// makes it the data-race detector for the worker pool.
+
+// seriesRun is one campaign variant under test.
+type seriesRun struct {
+	name string
+	runs int
+	run  func(cfg Config) (*Series, error)
+}
+
+// determinismSeries lists every exported series constructor.
+func determinismSeries() []seriesRun {
+	dl1 := platform.ProximaLEON3().DL1
+	l1way := dl1.WaySize()
+	return []seriesRun{
+		{"Baseline", 16, RunBaseline},
+		{"DSR", 16, RunDSR},
+		{"DSRLazy", 16, RunDSRLazy},
+		{"DSROffsetBound", 16, func(cfg Config) (*Series, error) {
+			return RunDSRWithOffsetBound(cfg, l1way, "L1-way bound")
+		}},
+		{"DSRWithPRNG", 16, func(cfg Config) (*Series, error) {
+			return RunDSRWithPRNG(cfg, func() prng.Source { return prng.NewLFSR(1) }, "LFSR")
+		}},
+		{"HWRand", 16, RunHWRand},
+		{"Static", 16, RunStatic},
+		{"Contention", 16, func(cfg Config) (*Series, error) {
+			return RunDSRWithContention(cfg,
+				bus.Contention{Mode: bus.RandomContention, Intensity: 0.3, MaxDelay: 8},
+				"contended")
+		}},
+		{"Processing", 4, func(cfg Config) (*Series, error) {
+			return RunProcessing(cfg, spaceapp.LitFraction, "processing")
+		}},
+		{"Positioned", 16, RunPositioned},
+	}
+}
+
+// campaignOutput is everything a campaign can emit, captured for
+// comparison.
+type campaignOutput struct {
+	series    *Series
+	stream    []float64
+	progress  []int
+	telemetry []byte // full Dump as JSONL
+}
+
+// runCampaign executes one series at the given worker count with every
+// observability hook enabled.
+func runCampaign(t *testing.T, sr seriesRun, workers int) campaignOutput {
+	t.Helper()
+	camp := telemetry.NewCampaign(0)
+	stream := mbpta.NewStream(mbpta.Options{BlockSize: 4})
+	cfg := DefaultConfig()
+	cfg.Runs = sr.runs
+	cfg.Workers = workers
+	cfg.Attribution = true
+	cfg.Telemetry = camp
+	cfg.Stream = stream
+	var progress []int
+	cfg.Progress = func(series string, done, total int) {
+		if total != sr.runs {
+			t.Errorf("progress total = %d, want %d", total, sr.runs)
+		}
+		progress = append(progress, done)
+	}
+	s, err := sr.run(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := camp.Dump().WriteJSONL(&buf); err != nil {
+		t.Fatalf("workers=%d: dump: %v", workers, err)
+	}
+	return campaignOutput{
+		series:    s,
+		stream:    append([]float64(nil), stream.Times()...),
+		progress:  progress,
+		telemetry: buf.Bytes(),
+	}
+}
+
+// TestCampaignDeterminism is the invariant test: Workers=8 output must
+// be indistinguishable from Workers=1 for every series.
+func TestCampaignDeterminism(t *testing.T) {
+	for _, sr := range determinismSeries() {
+		sr := sr
+		t.Run(sr.name, func(t *testing.T) {
+			t.Parallel()
+			seq := runCampaign(t, sr, 1)
+			par := runCampaign(t, sr, 8)
+
+			if !reflect.DeepEqual(seq.series.Cycles, par.series.Cycles) {
+				t.Errorf("cycles differ:\n  seq %v\n  par %v", seq.series.Cycles, par.series.Cycles)
+			}
+			if !reflect.DeepEqual(seq.series.Results, par.series.Results) {
+				t.Error("run results differ (PMCs/trace/attribution)")
+			}
+			if !reflect.DeepEqual(seq.series.Attribution, par.series.Attribution) {
+				t.Errorf("campaign attribution differs:\n  seq %+v\n  par %+v",
+					seq.series.Attribution, par.series.Attribution)
+			}
+			if !reflect.DeepEqual(seq.stream, par.stream) {
+				t.Error("MBPTA stream ingestion order differs")
+			}
+			if !reflect.DeepEqual(seq.progress, par.progress) {
+				t.Errorf("progress callbacks differ:\n  seq %v\n  par %v", seq.progress, par.progress)
+			}
+			for i, d := range seq.progress {
+				if d != i+1 {
+					t.Fatalf("progress not in canonical order: %v", seq.progress)
+				}
+			}
+			if !bytes.Equal(seq.telemetry, par.telemetry) {
+				t.Errorf("telemetry export differs (%d vs %d bytes)",
+					len(seq.telemetry), len(par.telemetry))
+			}
+		})
+	}
+}
+
+// TestCampaignDeterminismWorkerSweep checks that every worker count in
+// between agrees too (the invariant is "any worker count", not just the
+// two endpoints), including counts that do not divide the run count.
+func TestCampaignDeterminismWorkerSweep(t *testing.T) {
+	sr := seriesRun{"DSR", 17, RunDSR} // prime run count: uneven shards
+	ref := runCampaign(t, sr, 1)
+	for _, w := range []int{2, 3, 5, 8} {
+		got := runCampaign(t, sr, w)
+		if !reflect.DeepEqual(ref.series.Cycles, got.series.Cycles) {
+			t.Errorf("workers=%d: cycles differ from sequential", w)
+		}
+		if !bytes.Equal(ref.telemetry, got.telemetry) {
+			t.Errorf("workers=%d: telemetry differs from sequential", w)
+		}
+	}
+}
+
+// TestCampaignDefaultWorkers checks Workers=0 (NumCPU) matches the
+// sequential reference: the default configuration inherits the
+// invariant.
+func TestCampaignDefaultWorkers(t *testing.T) {
+	sr := seriesRun{"DSR", 16, RunDSR}
+	seq := runCampaign(t, sr, 1)
+	def := runCampaign(t, sr, 0)
+	if !reflect.DeepEqual(seq.series.Cycles, def.series.Cycles) {
+		t.Error("Workers=0 cycles differ from sequential")
+	}
+	if !bytes.Equal(seq.telemetry, def.telemetry) {
+		t.Error("Workers=0 telemetry differs from sequential")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"dsr/internal/bus"
+	"dsr/internal/campaign"
 	"dsr/internal/core"
 	"dsr/internal/layout"
 	"dsr/internal/loader"
@@ -35,8 +36,11 @@ type Config struct {
 	// Runs is the number of measurement runs per configuration; the
 	// paper's campaigns use on the order of 1000.
 	Runs int
-	// SeedBase seeds the per-run layout randomisation (DSR reboots,
-	// static builds, hardware cache reseeds).
+	// SeedBase is the campaign base seed: per-run layout seeds (DSR
+	// reboots, static builds, hardware cache reseeds) are derived from
+	// it by the campaign engine's splittable seed schedule
+	// (campaign.NewSchedule), so every run's seed is a pure function of
+	// (SeedBase, run index) regardless of execution order.
 	SeedBase uint64
 	// InputSeedBase seeds the per-run input vectors; baseline and
 	// randomised campaigns share it so runs are pairwise comparable.
@@ -46,16 +50,31 @@ type Config struct {
 	// Margin is the industrial engineering margin (E5; paper: 20%).
 	Margin float64
 
+	// Workers shards the campaign's runs across this many workers, each
+	// with its own platform instance: 0 (the default) selects
+	// runtime.NumCPU(), 1 selects the legacy strictly sequential
+	// in-process loop. Campaign output — cycles, counters, telemetry
+	// attribution, event ordering — is byte-identical for every worker
+	// count (the engine's determinism invariant).
+	Workers int
+
 	// Telemetry, when non-nil, receives one RunRecord per measured run
 	// (metrics, events and the campaign timeline). A nil campaign
-	// disables recording at zero cost.
+	// disables recording at zero cost. Recording happens during the
+	// canonical-order merge, on the calling goroutine, so worker count
+	// does not change what is recorded.
 	Telemetry *telemetry.Campaign
+	// Stream, when non-nil, receives every merged unit-of-analysis
+	// duration in canonical run order as shards complete: streaming
+	// MBPTA ingestion, ready for Stream.Report once the campaign ends.
+	Stream *mbpta.Stream
 	// Attribution enables the cycle-attribution profiler on every
 	// campaign platform, so each RunResult carries a per-component
 	// cycle split (and Series.Attribution the campaign aggregate).
 	Attribution bool
-	// Progress, when non-nil, is called after every completed run with
-	// the series name, the runs finished so far, and the total.
+	// Progress, when non-nil, is called after every merged run with
+	// the series name, the runs finished so far, and the total; calls
+	// arrive in canonical order from the calling goroutine.
 	Progress func(series string, done, total int)
 }
 
@@ -102,22 +121,38 @@ func (cfg *Config) instrument(plat *platform.Platform) {
 	}
 }
 
-// eventLog returns the campaign's event log (nil when telemetry is
-// disabled; a nil log is the valid no-op log).
-func (cfg *Config) eventLog() *telemetry.EventLog {
+// newCapture returns a per-worker capture log for runtime events, or
+// nil (the valid no-op log) when telemetry is disabled.
+func (cfg *Config) newCapture() *telemetry.EventLog {
 	if cfg.Telemetry == nil {
 		return nil
 	}
-	return cfg.Telemetry.Events
+	return telemetry.NewCaptureLog()
 }
 
-// record books one completed run into the series and the telemetry
-// campaign, and fires the progress callback.
+// schedule returns the campaign's layout-seed schedule.
+func (cfg *Config) schedule() campaign.Schedule {
+	return campaign.NewSchedule(cfg.SeedBase)
+}
+
+// busStream is the Split stream index of the bus-contention seed
+// schedule (kept distinct from the layout stream).
+const busStream = 1
+
+// record books one merged run into the series, the telemetry campaign
+// and the MBPTA stream, and fires the progress callback. It is called
+// only from the engine's canonical-order merge, so writes land in run
+// order on the calling goroutine.
 func (cfg *Config) record(s *Series, i int, seed uint64, res platform.RunResult) {
 	uoa := uoaCycles(res)
-	s.Cycles = append(s.Cycles, uoa)
-	s.Results = append(s.Results, res)
+	// Pre-sized indexed writes, not append: the slices are allocated to
+	// cfg.Runs up front so a merge can never grow a slice another
+	// reader holds, and so indices are explicit rather than implied by
+	// append order.
+	s.Cycles[i] = uoa
+	s.Results[i] = res
 	s.Attribution.Add(res.Attribution)
+	cfg.Stream.Observe(uoa)
 	cfg.Telemetry.RecordRun(telemetry.RunRecord{
 		Series: s.Name, Index: i, Seed: seed,
 		Cycles: res.Cycles, UoA: uoa, Attribution: res.Attribution,
@@ -125,6 +160,42 @@ func (cfg *Config) record(s *Series, i int, seed uint64, res platform.RunResult)
 	if cfg.Progress != nil {
 		cfg.Progress(s.Name, i+1, cfg.Runs)
 	}
+}
+
+// shard is one run's outcome as produced by a campaign worker, before
+// the canonical-order merge.
+type shard struct {
+	seed   uint64
+	res    platform.RunResult
+	events []telemetry.Event
+}
+
+// worker executes one run by canonical index on worker-private state.
+type worker = campaign.RunFunc[shard]
+
+// runSeries shards a series' runs across the campaign engine and
+// merges the results back in canonical run order: replayed runtime
+// events first (exactly where the sequential loop would have emitted
+// them live, at the pre-run campaign-clock position), then the run
+// record itself.
+func (cfg Config) runSeries(name string, newWorker func(w int) (worker, error)) (*Series, error) {
+	s := &Series{
+		Name:    name,
+		Cycles:  make([]float64, cfg.Runs),
+		Results: make([]platform.RunResult, cfg.Runs),
+	}
+	ecfg := campaign.Config{Runs: cfg.Runs, Workers: cfg.Workers}
+	err := campaign.Execute(ecfg, newWorker, func(i int, sh shard) error {
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.Events.ReplayAt(cfg.Telemetry.Now(), sh.events)
+		}
+		cfg.record(s, i, sh.seed, sh.res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // uoaCycles extracts the unit-of-analysis duration from the run's
@@ -141,163 +212,174 @@ func uoaCycles(res platform.RunResult) float64 {
 // sequential layout, fresh input per run, cache flush and memory reload
 // between runs — the paper's COTS configuration.
 func RunBaseline(cfg Config) (*Series, error) {
-	p, err := spaceapp.BuildControl()
-	if err != nil {
-		return nil, err
-	}
-	img, err := loader.Load(p, loader.DefaultSequentialConfig())
-	if err != nil {
-		return nil, err
-	}
-	plat := platform.New(platform.ProximaLEON3())
-	cfg.instrument(plat)
-	plat.LoadImage(img)
-	s := &Series{Name: "No Rand"}
-	for i := 0; i < cfg.Runs; i++ {
-		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
-		plat.Reload()
-		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
-			return nil, err
-		}
-		res, err := plat.Run()
+	return cfg.runSeries("No Rand", func(w int) (worker, error) {
+		p, err := spaceapp.BuildControl()
 		if err != nil {
 			return nil, err
 		}
-		if err := verify(res, in); err != nil {
+		img, err := loader.Load(p, loader.DefaultSequentialConfig())
+		if err != nil {
 			return nil, err
 		}
-		cfg.record(s, i, 0, res)
-	}
-	return s, nil
+		plat := platform.New(platform.ProximaLEON3())
+		cfg.instrument(plat)
+		plat.LoadImage(img)
+		return func(i int) (shard, error) {
+			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+			plat.Reload()
+			if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+				return shard{}, err
+			}
+			res, err := plat.Run()
+			if err != nil {
+				return shard{}, err
+			}
+			if err := verify(res, in); err != nil {
+				return shard{}, err
+			}
+			return shard{res: res}, nil
+		}, nil
+	})
 }
 
-// dsrSeries is the common DSR campaign loop.
-func dsrSeries(cfg Config, name string, opts core.Options) (*Series, error) {
-	p, err := spaceapp.BuildControl()
-	if err != nil {
-		return nil, err
-	}
-	plat := platform.New(platform.ProximaLEON3())
-	cfg.instrument(plat)
-	rt, err := core.NewRuntime(p, plat, opts)
-	if err != nil {
-		return nil, err
-	}
-	rt.SetEventLog(cfg.eventLog())
-	s := &Series{Name: name}
-	for i := 0; i < cfg.Runs; i++ {
-		seed := cfg.SeedBase + uint64(i)
-		if _, err := rt.Reboot(seed); err != nil {
-			return nil, err
-		}
-		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
-		if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
-			return nil, err
-		}
-		res, err := rt.Run()
+// dsrSeries is the common DSR campaign: each worker owns a fresh
+// platform and DSR runtime (newOpts builds worker-private options, in
+// particular a private PRNG source), and every run reboots with its
+// schedule-derived seed.
+func dsrSeries(cfg Config, name string, newOpts func() core.Options) (*Series, error) {
+	sched := cfg.schedule()
+	return cfg.runSeries(name, func(w int) (worker, error) {
+		p, err := spaceapp.BuildControl()
 		if err != nil {
 			return nil, err
 		}
-		if err := verify(res, in); err != nil {
+		plat := platform.New(platform.ProximaLEON3())
+		cfg.instrument(plat)
+		rt, err := core.NewRuntime(p, plat, newOpts())
+		if err != nil {
 			return nil, err
 		}
-		cfg.record(s, i, seed, res)
-	}
-	return s, nil
+		capture := cfg.newCapture()
+		rt.SetEventLog(capture)
+		return func(i int) (shard, error) {
+			seed := sched.Seed(i)
+			if _, err := rt.Reboot(seed); err != nil {
+				return shard{}, err
+			}
+			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+			if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
+				return shard{}, err
+			}
+			res, err := rt.Run()
+			if err != nil {
+				return shard{}, err
+			}
+			if err := verify(res, in); err != nil {
+				return shard{}, err
+			}
+			return shard{seed: seed, res: res, events: capture.Take()}, nil
+		}, nil
+	})
 }
 
 // RunDSR measures the dynamically software-randomised binary: partition
 // reboot with a fresh seed before every run (§IV).
 func RunDSR(cfg Config) (*Series, error) {
-	return dsrSeries(cfg, "Sw Rand", core.Options{})
+	return dsrSeries(cfg, "Sw Rand", func() core.Options { return core.Options{} })
 }
 
 // RunDSRLazy is the A1 ablation: lazy relocation inside the measured
 // window.
 func RunDSRLazy(cfg Config) (*Series, error) {
-	return dsrSeries(cfg, "Sw Rand (lazy)", core.Options{Mode: core.Lazy})
+	return dsrSeries(cfg, "Sw Rand (lazy)", func() core.Options { return core.Options{Mode: core.Lazy} })
 }
 
 // RunDSRWithOffsetBound is the A2 ablation: DSR with a caller-chosen
 // placement offset bound (e.g. the L1 way size instead of the L2's).
 func RunDSRWithOffsetBound(cfg Config, bound int, name string) (*Series, error) {
-	return dsrSeries(cfg, name, core.Options{OffsetBound: bound})
+	return dsrSeries(cfg, name, func() core.Options { return core.Options{OffsetBound: bound} })
 }
 
 // RunDSRWithPRNG is the A3 ablation: DSR drawing from a caller-chosen
-// generator (MWC vs LFSR).
-func RunDSRWithPRNG(cfg Config, src prng.Source, name string) (*Series, error) {
-	return dsrSeries(cfg, name, core.Options{Source: src})
+// generator (MWC vs LFSR). newSrc is a factory rather than an instance
+// because each campaign worker needs its own private source: a Source
+// is not safe for concurrent use, and Seed fully re-initialises state,
+// so factory-fresh instances give identical results at any worker
+// count.
+func RunDSRWithPRNG(cfg Config, newSrc func() prng.Source, name string) (*Series, error) {
+	return dsrSeries(cfg, name, func() core.Options { return core.Options{Source: newSrc()} })
 }
 
 // RunHWRand is the A4 ablation: the unmodified binary on hardware
 // time-randomised caches (random placement and replacement), reseeded
 // per run.
 func RunHWRand(cfg Config) (*Series, error) {
-	p, err := spaceapp.BuildControl()
-	if err != nil {
-		return nil, err
-	}
-	img, err := loader.Load(p, loader.DefaultSequentialConfig())
-	if err != nil {
-		return nil, err
-	}
-	plat := platform.New(platform.HWRandLEON3())
-	cfg.instrument(plat)
-	plat.LoadImage(img)
-	s := &Series{Name: "Hw Rand"}
-	for i := 0; i < cfg.Runs; i++ {
-		seed := cfg.SeedBase + uint64(i)
-		plat.ReseedCaches(seed)
-		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
-		plat.Reload()
-		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
-			return nil, err
-		}
-		res, err := plat.Run()
+	sched := cfg.schedule()
+	return cfg.runSeries("Hw Rand", func(w int) (worker, error) {
+		p, err := spaceapp.BuildControl()
 		if err != nil {
 			return nil, err
 		}
-		if err := verify(res, in); err != nil {
+		img, err := loader.Load(p, loader.DefaultSequentialConfig())
+		if err != nil {
 			return nil, err
 		}
-		cfg.record(s, i, seed, res)
-	}
-	return s, nil
+		plat := platform.New(platform.HWRandLEON3())
+		cfg.instrument(plat)
+		plat.LoadImage(img)
+		return func(i int) (shard, error) {
+			seed := sched.Seed(i)
+			plat.ReseedCaches(seed)
+			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+			plat.Reload()
+			if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+				return shard{}, err
+			}
+			res, err := plat.Run()
+			if err != nil {
+				return shard{}, err
+			}
+			if err := verify(res, in); err != nil {
+				return shard{}, err
+			}
+			return shard{seed: seed, res: res}, nil
+		}, nil
+	})
 }
 
 // RunStatic is the A5 ablation: static software randomisation — one
 // fresh randomised binary per run, zero runtime overhead (TASA-style).
 func RunStatic(cfg Config) (*Series, error) {
-	p, err := spaceapp.BuildControl()
-	if err != nil {
-		return nil, err
-	}
-	s := &Series{Name: "Static Rand"}
-	plat := platform.New(platform.ProximaLEON3())
-	cfg.instrument(plat)
-	for i := 0; i < cfg.Runs; i++ {
-		seed := cfg.SeedBase + uint64(i)
-		img, err := core.StaticBuild(p, loader.DefaultSequentialConfig(), plat.Cfg.L2.WaySize(), seed)
+	sched := cfg.schedule()
+	return cfg.runSeries("Static Rand", func(w int) (worker, error) {
+		p, err := spaceapp.BuildControl()
 		if err != nil {
 			return nil, err
 		}
-		plat.LoadImage(img)
-		plat.Reload()
-		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
-		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
-			return nil, err
-		}
-		res, err := plat.Run()
-		if err != nil {
-			return nil, err
-		}
-		if err := verify(res, in); err != nil {
-			return nil, err
-		}
-		cfg.record(s, i, seed, res)
-	}
-	return s, nil
+		plat := platform.New(platform.ProximaLEON3())
+		cfg.instrument(plat)
+		return func(i int) (shard, error) {
+			seed := sched.Seed(i)
+			img, err := core.StaticBuild(p, loader.DefaultSequentialConfig(), plat.Cfg.L2.WaySize(), seed)
+			if err != nil {
+				return shard{}, err
+			}
+			plat.LoadImage(img)
+			plat.Reload()
+			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+			if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+				return shard{}, err
+			}
+			res, err := plat.Run()
+			if err != nil {
+				return shard{}, err
+			}
+			if err := verify(res, in); err != nil {
+				return shard{}, err
+			}
+			return shard{seed: seed, res: res}, nil
+		}, nil
+	})
 }
 
 // counterRange formats a min-max counter span the way Table I does
@@ -456,39 +538,48 @@ func FormatMargin(mc mbpta.MarginComparison, dsrMOET float64) string {
 // worst-case model every transaction is padded, giving the conventional
 // deterministic upper-bounding treatment for comparison.
 func RunDSRWithContention(cfg Config, cont bus.Contention, name string) (*Series, error) {
-	p, err := spaceapp.BuildControl()
-	if err != nil {
-		return nil, err
-	}
-	plat := platform.New(platform.ProximaLEON3())
-	cfg.instrument(plat)
-	plat.Bus.SetContention(cont)
-	rt, err := core.NewRuntime(p, plat, core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	rt.SetEventLog(cfg.eventLog())
-	s := &Series{Name: name}
-	for i := 0; i < cfg.Runs; i++ {
-		seed := cfg.SeedBase + uint64(i)
-		if _, err := rt.Reboot(seed); err != nil {
-			return nil, err
-		}
-		plat.Bus.ReseedContention(cfg.SeedBase + uint64(i)*31 + 7)
-		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
-		if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
-			return nil, err
-		}
-		res, err := rt.Run()
+	sched := cfg.schedule()
+	busSched := sched.Split(busStream)
+	return cfg.runSeries(name, func(w int) (worker, error) {
+		p, err := spaceapp.BuildControl()
 		if err != nil {
 			return nil, err
 		}
-		if err := verify(res, in); err != nil {
+		plat := platform.New(platform.ProximaLEON3())
+		cfg.instrument(plat)
+		plat.Bus.SetContention(cont)
+		rt, err := core.NewRuntime(p, plat, core.Options{})
+		if err != nil {
 			return nil, err
 		}
-		cfg.record(s, i, seed, res)
-	}
-	return s, nil
+		capture := cfg.newCapture()
+		rt.SetEventLog(capture)
+		return func(i int) (shard, error) {
+			seed := sched.Seed(i)
+			// Reseed before boot too: the relocation pass's bus traffic
+			// must draw from run i's contention stream, not from state
+			// left by whatever run this worker executed before — the
+			// determinism invariant again. The second reseed restores
+			// the measured window's canonical draw sequence.
+			plat.Bus.ReseedContention(busSched.Seed(i))
+			if _, err := rt.Reboot(seed); err != nil {
+				return shard{}, err
+			}
+			plat.Bus.ReseedContention(busSched.Seed(i))
+			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+			if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
+				return shard{}, err
+			}
+			res, err := rt.Run()
+			if err != nil {
+				return shard{}, err
+			}
+			if err := verify(res, in); err != nil {
+				return shard{}, err
+			}
+			return shard{seed: seed, res: res, events: capture.Take()}, nil
+		}, nil
+	})
 }
 
 // RunProcessing measures the image-processing task under DSR with scenes
@@ -499,37 +590,39 @@ func RunDSRWithContention(cfg Config, cont bus.Contention, name string) (*Series
 // lit, litFrac=1) upper-bound the path dimension the way EPC
 // (Ziccardi et al., RTSS'15) would.
 func RunProcessing(cfg Config, litFrac float64, name string) (*Series, error) {
-	p, err := spaceapp.BuildProcessing()
-	if err != nil {
-		return nil, err
-	}
-	plat := platform.New(platform.ProximaLEON3())
-	cfg.instrument(plat)
-	rt, err := core.NewRuntime(p, plat, core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	rt.SetEventLog(cfg.eventLog())
-	s := &Series{Name: name}
-	for i := 0; i < cfg.Runs; i++ {
-		seed := cfg.SeedBase + uint64(i)
-		if _, err := rt.Reboot(seed); err != nil {
-			return nil, err
-		}
-		scene := spaceapp.GenScene(cfg.InputSeedBase+uint64(i), litFrac)
-		if err := spaceapp.ApplyScene(plat.Mem, rt.Image(), scene); err != nil {
-			return nil, err
-		}
-		res, err := rt.Run()
+	sched := cfg.schedule()
+	return cfg.runSeries(name, func(w int) (worker, error) {
+		p, err := spaceapp.BuildProcessing()
 		if err != nil {
 			return nil, err
 		}
-		if want := spaceapp.ProcessingReference(scene).RMSBits; res.ExitValue != want {
-			return nil, fmt.Errorf("experiments: processing mismatch: %#x vs %#x", res.ExitValue, want)
+		plat := platform.New(platform.ProximaLEON3())
+		cfg.instrument(plat)
+		rt, err := core.NewRuntime(p, plat, core.Options{})
+		if err != nil {
+			return nil, err
 		}
-		cfg.record(s, i, seed, res)
-	}
-	return s, nil
+		capture := cfg.newCapture()
+		rt.SetEventLog(capture)
+		return func(i int) (shard, error) {
+			seed := sched.Seed(i)
+			if _, err := rt.Reboot(seed); err != nil {
+				return shard{}, err
+			}
+			scene := spaceapp.GenScene(cfg.InputSeedBase+uint64(i), litFrac)
+			if err := spaceapp.ApplyScene(plat.Mem, rt.Image(), scene); err != nil {
+				return shard{}, err
+			}
+			res, err := rt.Run()
+			if err != nil {
+				return shard{}, err
+			}
+			if want := spaceapp.ProcessingReference(scene).RMSBits; res.ExitValue != want {
+				return shard{}, fmt.Errorf("experiments: processing mismatch: %#x vs %#x", res.ExitValue, want)
+			}
+			return shard{seed: seed, res: res, events: capture.Take()}, nil
+		}, nil
+	})
 }
 
 // ControlLayoutWeights returns the interaction weights of the control
@@ -558,36 +651,36 @@ func ControlLayoutWeights(p *prog.Program) layout.Weights {
 // layout, offers no representativeness argument and must be re-derived
 // at every integration.
 func RunPositioned(cfg Config) (*Series, error) {
-	p, err := spaceapp.BuildControl()
-	if err != nil {
-		return nil, err
-	}
-	plat := platform.New(platform.ProximaLEON3())
-	pl, err := layout.Optimize(p, plat.Cfg.L2, ControlLayoutWeights(p), loader.DefaultSequentialConfig())
-	if err != nil {
-		return nil, err
-	}
-	img, err := loader.BuildImage(p, pl)
-	if err != nil {
-		return nil, err
-	}
-	cfg.instrument(plat)
-	plat.LoadImage(img)
-	s := &Series{Name: "Positioned"}
-	for i := 0; i < cfg.Runs; i++ {
-		in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
-		plat.Reload()
-		if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
-			return nil, err
-		}
-		res, err := plat.Run()
+	return cfg.runSeries("Positioned", func(w int) (worker, error) {
+		p, err := spaceapp.BuildControl()
 		if err != nil {
 			return nil, err
 		}
-		if err := verify(res, in); err != nil {
+		plat := platform.New(platform.ProximaLEON3())
+		pl, err := layout.Optimize(p, plat.Cfg.L2, ControlLayoutWeights(p), loader.DefaultSequentialConfig())
+		if err != nil {
 			return nil, err
 		}
-		cfg.record(s, i, 0, res)
-	}
-	return s, nil
+		img, err := loader.BuildImage(p, pl)
+		if err != nil {
+			return nil, err
+		}
+		cfg.instrument(plat)
+		plat.LoadImage(img)
+		return func(i int) (shard, error) {
+			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+			plat.Reload()
+			if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+				return shard{}, err
+			}
+			res, err := plat.Run()
+			if err != nil {
+				return shard{}, err
+			}
+			if err := verify(res, in); err != nil {
+				return shard{}, err
+			}
+			return shard{res: res}, nil
+		}, nil
+	})
 }

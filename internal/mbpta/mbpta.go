@@ -129,12 +129,23 @@ type Report struct {
 // if the i.i.d. gate rejects; use CheckIID alone to inspect a rejected
 // sample.
 func Analyse(times []float64, opts Options) (*Report, error) {
+	return analyse(times, nil, opts)
+}
+
+// analyse is the shared pipeline behind Analyse and Stream.Report:
+// maxima, when non-nil, are the precomputed block maxima of times
+// (the streaming path maintains them incrementally; nil re-derives
+// them from the series).
+func analyse(times, maxima []float64, opts Options) (*Report, error) {
 	if opts.BlockSize <= 0 {
 		return nil, fmt.Errorf("mbpta: non-positive block size")
 	}
 	if len(times) < 4*opts.BlockSize {
 		return nil, fmt.Errorf("mbpta: need at least %d runs for block size %d, got %d",
 			4*opts.BlockSize, opts.BlockSize, len(times))
+	}
+	if maxima == nil {
+		maxima = evt.BlockMaxima(times, opts.BlockSize)
 	}
 	iid, err := CheckIID(times, opts)
 	if err != nil {
@@ -152,7 +163,7 @@ func Analyse(times []float64, opts Options) (*Report, error) {
 		return rep, fmt.Errorf("%w (Ljung-Box p=%.4f, KS p=%.4f)",
 			ErrNotIID, iid.LjungBox.PValue, iid.KS.PValue)
 	}
-	fit, err := evt.Fit(times, opts.BlockSize)
+	fit, err := evt.FitFromMaxima(maxima, opts.BlockSize, len(times), rep.MOET)
 	if err != nil {
 		return rep, fmt.Errorf("mbpta: %w", err)
 	}
@@ -167,7 +178,7 @@ func Analyse(times []float64, opts Options) (*Report, error) {
 		telemetry.Float("moet", rep.MOET),
 		telemetry.Float("pwcet", rep.PWCET),
 		telemetry.Float("exceedance", opts.TargetExceedance))
-	if pwm, err := evt.FitGumbelPWM(evt.BlockMaxima(times, opts.BlockSize)); err == nil {
+	if pwm, err := evt.FitGumbelPWM(maxima); err == nil {
 		alt := evt.PWCET{Model: pwm, Block: opts.BlockSize, N: len(times), MOET: rep.MOET}
 		rep.PWCETAlt = alt.Quantile(opts.TargetExceedance)
 	}

@@ -93,6 +93,11 @@ type EventLog struct {
 	seq     uint64
 	dropped uint64
 	clock   func() mem.Cycles
+	// unbounded turns the ring into an append-only buffer (capture
+	// mode): nothing is ever dropped, so a shard's events replay into
+	// the campaign log exactly as the sequential path would have emitted
+	// them.
+	unbounded bool
 }
 
 // NewEventLog returns a log retaining at most capacity events (oldest
@@ -102,6 +107,15 @@ func NewEventLog(capacity int) *EventLog {
 		capacity = 4096
 	}
 	return &EventLog{ring: make([]Event, capacity)}
+}
+
+// NewCaptureLog returns an unbounded append-only log. The campaign
+// engine hands one to each worker so runtime events (reboots,
+// relocations) emitted during a shard's runs are captured losslessly;
+// Take drains the capture between runs and ReplayAt re-emits it into
+// the campaign log during the canonical-order merge.
+func NewCaptureLog() *EventLog {
+	return &EventLog{unbounded: true}
 }
 
 // SetClock installs the campaign clock: a function returning the current
@@ -131,6 +145,11 @@ func (l *EventLog) EmitAt(ts mem.Cycles, track, kind string, phase Phase, attrs 
 	}
 	e := Event{Seq: l.seq, TS: ts, Track: track, Kind: kind, Phase: phase, Attrs: attrs}
 	l.seq++
+	if l.unbounded {
+		l.ring = append(l.ring, e)
+		l.n++
+		return
+	}
 	if l.n == len(l.ring) {
 		l.ring[l.start] = e
 		l.start = (l.start + 1) % len(l.ring)
@@ -167,6 +186,38 @@ func (l *EventLog) Events() []Event {
 		out[i] = l.ring[(l.start+i)%len(l.ring)]
 	}
 	return out
+}
+
+// Take returns the retained events oldest-first and resets the log for
+// the next capture window (sequence numbering restarts at zero). It is
+// the per-run drain of a capture log; nil-safe (nil).
+func (l *EventLog) Take() []Event {
+	if l == nil || l.n == 0 {
+		return nil
+	}
+	out := l.Events()
+	if l.unbounded {
+		l.ring = nil
+	}
+	l.start, l.n, l.seq, l.dropped = 0, 0, 0, 0
+	return out
+}
+
+// ReplayAt re-emits captured events into l, offset to the timestamp ts
+// and re-sequenced by l's own counter; tracks, kinds, phases and
+// attributes are preserved. This is the campaign engine's merge
+// primitive: events captured on a worker's shard replay into the
+// campaign log exactly as if they had been emitted live at ts (shard
+// captures carry relative timestamps, normally zero, which ReplayAt
+// shifts onto the campaign clock). Nil-safe.
+func (l *EventLog) ReplayAt(ts mem.Cycles, events []Event) {
+	if l == nil {
+		return
+	}
+	for i := range events {
+		e := &events[i]
+		l.EmitAt(ts+e.TS, e.Track, e.Kind, e.Phase, e.Attrs...)
+	}
 }
 
 // Tracks returns the distinct track names in the log, sorted.

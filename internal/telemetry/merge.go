@@ -1,0 +1,89 @@
+package telemetry
+
+import "fmt"
+
+// Merge folds src's metrics into r, the deterministic reduction of
+// per-worker registries after a sharded campaign:
+//
+//   - counters add,
+//   - histograms add bucket-wise (sum and count included),
+//   - gauges take src's value (last-writer-wins, with the caller's
+//     merge order defining "last" — the campaign engine merges shards
+//     in canonical order, so the result is deterministic).
+//
+// Histogram bucket bounds are fixed per metric name; merging two
+// registries that disagree on a name's bounds is a programming error
+// and returns a non-nil error without partially applying that metric.
+// Nil-safe: merging from or into a nil (disabled) registry is a no-op.
+//
+// Merge locks both registries (r before src); do not call two merges
+// with swapped arguments concurrently.
+func (r *Registry) Merge(src *Registry) error {
+	if r == nil || src == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src.mu.Lock()
+	defer src.mu.Unlock()
+
+	// Validate histogram bounds first so a mismatch leaves r untouched.
+	for name, sb := range src.histBounds {
+		rb, ok := r.histBounds[name]
+		if !ok {
+			continue
+		}
+		if !equalBounds(rb, sb) {
+			return fmt.Errorf("telemetry: Merge: histogram %q bucket bounds differ (%v vs %v)", name, rb, sb)
+		}
+	}
+
+	for k, c := range src.counters {
+		rc, ok := r.counters[k]
+		if !ok {
+			rc = &Counter{}
+			r.counters[k] = rc
+		}
+		rc.v += c.v
+	}
+	for k, g := range src.gauges {
+		rg, ok := r.gauges[k]
+		if !ok {
+			rg = &Gauge{}
+			r.gauges[k] = rg
+		}
+		rg.v = g.v
+	}
+	for name, sb := range src.histBounds {
+		if _, ok := r.histBounds[name]; !ok {
+			r.histBounds[name] = append([]float64(nil), sb...)
+		}
+	}
+	for k, h := range src.histograms {
+		rh, ok := r.histograms[k]
+		if !ok {
+			bb := r.histBounds[k.name]
+			rh = &Histogram{bounds: bb, counts: make([]uint64, len(bb)+1)}
+			r.histograms[k] = rh
+		}
+		for i := range h.counts {
+			rh.counts[i] += h.counts[i]
+		}
+		rh.sum += h.sum
+		rh.n += h.n
+	}
+	return nil
+}
+
+// equalBounds reports whether two bucket-bound slices are identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+
+	"dsr/internal/mem"
+)
+
+func TestRegistryMergeCounters(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("runs", Labels{"series": "dsr"}).Add(3)
+	b.Counter("runs", Labels{"series": "dsr"}).Add(4)
+	b.Counter("runs", Labels{"series": "base"}).Add(2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Counter("runs", Labels{"series": "dsr"}).Value(); got != 7 {
+		t.Errorf("merged dsr counter = %d, want 7", got)
+	}
+	if got := a.Counter("runs", Labels{"series": "base"}).Value(); got != 2 {
+		t.Errorf("merged base counter = %d, want 2", got)
+	}
+	// Source is unchanged.
+	if got := b.Counter("runs", Labels{"series": "dsr"}).Value(); got != 4 {
+		t.Errorf("source counter mutated: %d", got)
+	}
+}
+
+func TestRegistryMergeGaugesLastWriterWins(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge("depth", nil).Set(10)
+	b.Gauge("depth", nil).Set(3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Gauge("depth", nil).Value(); got != 3 {
+		t.Errorf("merged gauge = %g, want src value 3", got)
+	}
+}
+
+func TestRegistryMergeHistograms(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	a, b := NewRegistry(), NewRegistry()
+	for _, v := range []float64{0.5, 5, 50} {
+		a.Histogram("lat", nil, bounds).Observe(v)
+	}
+	for _, v := range []float64{5, 500} {
+		b.Histogram("lat", nil, bounds).Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	h := a.Histogram("lat", nil, bounds)
+	if h.Count() != 5 {
+		t.Errorf("merged count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 0.5+5+50+5+500 {
+		t.Errorf("merged sum = %g", h.Sum())
+	}
+	wantCum := []uint64{1, 3, 4} // cumulative at bounds 1, 10, 100; Count() holds the +Inf total
+	if !reflect.DeepEqual(h.Cumulative(), wantCum) {
+		t.Errorf("merged cumulative counts = %v, want %v", h.Cumulative(), wantCum)
+	}
+}
+
+func TestRegistryMergeBoundsMismatch(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("lat", nil, []float64{1, 2}).Observe(1)
+	b.Histogram("lat", nil, []float64{1, 3}).Observe(1)
+	before := a.Snapshot()
+	if err := a.Merge(b); err == nil {
+		t.Fatal("bounds mismatch did not error")
+	}
+	if !MetricsEqual(before, a.Snapshot()) {
+		t.Error("failed merge partially applied")
+	}
+}
+
+func TestRegistryMergeNilSafe(t *testing.T) {
+	var nilReg *Registry
+	r := NewRegistry()
+	r.Counter("c", nil).Inc()
+	if err := nilReg.Merge(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Merge(nilReg); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counter("c", nil).Value(); got != 1 {
+		t.Errorf("merge with nil changed counter: %d", got)
+	}
+}
+
+// TestRegistryMergeOrderDeterministic checks the campaign reduction
+// property: merging per-worker registries in canonical order always
+// produces the same snapshot.
+func TestRegistryMergeOrderDeterministic(t *testing.T) {
+	build := func() []*Registry {
+		regs := make([]*Registry, 3)
+		for w := range regs {
+			regs[w] = NewRegistry()
+			regs[w].Counter("runs", nil).Add(uint64(w + 1))
+			regs[w].Histogram("lat", nil, []float64{10, 100}).Observe(float64(w) * 42)
+			regs[w].Gauge("last", nil).Set(float64(w))
+		}
+		return regs
+	}
+	merged := func() []Metric {
+		root := NewRegistry()
+		for _, r := range build() {
+			if err := root.Merge(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return root.Snapshot()
+	}
+	first := merged()
+	for i := 0; i < 5; i++ {
+		if !MetricsEqual(first, merged()) {
+			t.Fatal("repeated canonical-order merges disagree")
+		}
+	}
+}
+
+// TestCaptureTakeReplay is the engine's event-merge primitive: events
+// captured on a clockless worker log and replayed at the campaign
+// clock must be indistinguishable from events emitted live into the
+// campaign log.
+func TestCaptureTakeReplay(t *testing.T) {
+	emit := func(l *EventLog) {
+		l.Emit("dsr", "dsr.reboot", PhaseInstant, Uint64("seed", 7))
+		l.Emit("dsr", "dsr.reloc", PhaseInstant, String("func", "f1"))
+		l.Emit("dsr", "dsr.reloc", PhaseInstant, String("func", "f2"))
+	}
+
+	// Live reference: a campaign log with a clock, events emitted
+	// directly.
+	var clock mem.Cycles = 12345
+	live := NewEventLog(0)
+	live.SetClock(func() mem.Cycles { return clock })
+	emit(live)
+
+	// Capture + replay: same events into a worker capture log, then
+	// replayed at the same campaign clock position.
+	replayed := NewEventLog(0)
+	replayed.SetClock(func() mem.Cycles { return clock })
+	capture := NewCaptureLog()
+	emit(capture)
+	replayed.ReplayAt(clock, capture.Take())
+
+	if !reflect.DeepEqual(live.Events(), replayed.Events()) {
+		t.Errorf("replayed events differ from live:\n live   %v\n replay %v",
+			live.Events(), replayed.Events())
+	}
+}
+
+// TestCaptureTakeResets checks Take drains the capture completely so
+// consecutive runs on one worker produce independent captures with
+// per-run sequence numbering.
+func TestCaptureTakeResets(t *testing.T) {
+	c := NewCaptureLog()
+	c.Emit("t", "a", PhaseInstant)
+	c.Emit("t", "b", PhaseInstant)
+	first := c.Take()
+	if len(first) != 2 {
+		t.Fatalf("first take: %d events", len(first))
+	}
+	if c.Len() != 0 {
+		t.Errorf("capture not drained: %d left", c.Len())
+	}
+	c.Emit("t", "c", PhaseInstant)
+	second := c.Take()
+	if len(second) != 1 {
+		t.Fatalf("second take: %d events", len(second))
+	}
+	if second[0].Seq != 0 {
+		t.Errorf("sequence did not restart: %d", second[0].Seq)
+	}
+	if got := c.Take(); got != nil {
+		t.Errorf("empty take returned %v", got)
+	}
+}
+
+// TestCaptureUnbounded checks capture logs never drop, unlike the ring.
+func TestCaptureUnbounded(t *testing.T) {
+	c := NewCaptureLog()
+	const n = 10_000 // far beyond the default ring capacity
+	for i := 0; i < n; i++ {
+		c.Emit("t", "e", PhaseInstant)
+	}
+	if c.Len() != n || c.Dropped() != 0 {
+		t.Errorf("capture len=%d dropped=%d, want %d/0", c.Len(), c.Dropped(), n)
+	}
+}
+
+// TestReplayPreservesRingSemantics checks a replay into a small
+// bounded ring drops the same way live emission would.
+func TestReplayPreservesRingSemantics(t *testing.T) {
+	mk := func() *EventLog { return NewEventLog(4) }
+	live := mk()
+	for i := 0; i < 6; i++ {
+		live.EmitAt(mem.Cycles(i), "t", "e", PhaseInstant, Int("i", i))
+	}
+	replay := mk()
+	c := NewCaptureLog()
+	for i := 0; i < 6; i++ {
+		c.EmitAt(mem.Cycles(i), "t", "e", PhaseInstant, Int("i", i))
+	}
+	replay.ReplayAt(0, c.Take())
+	if !reflect.DeepEqual(live.Events(), replay.Events()) {
+		t.Error("replayed ring contents differ from live emission")
+	}
+	if live.Dropped() != replay.Dropped() {
+		t.Errorf("dropped counts differ: live %d replay %d", live.Dropped(), replay.Dropped())
+	}
+}
+
+// TestReplayNilSafe checks the disabled-log path.
+func TestReplayNilSafe(t *testing.T) {
+	var l *EventLog
+	l.ReplayAt(0, []Event{{Kind: "x"}})
+	if l.Take() != nil {
+		t.Error("nil Take")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package dsr_test
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under -race because instrumentation distorts
+// the sequential/parallel ratio.
+const raceEnabled = false
