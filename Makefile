@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-campaign bench evaluate examples dsrlint telemetry-smoke fuzz clean
+.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint telemetry-smoke fuzz clean
 
 all: build lint test race race-campaign dsrlint telemetry-smoke
 
@@ -63,6 +63,28 @@ evaluate: build
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Perf-regression harness (cmd/benchgate): bench-baseline records the
+# component microbenchmarks (cache / functional memory / TLB / fetch
+# loop) and the campaign benchmarks at pinned iteration counts into
+# BENCH_BASELINE.json; bench-check re-runs the suite and fails on >15%
+# regression of ns/op or throughput (runs/s, instrs/s).
+bench-baseline:
+	$(GO) run ./cmd/benchgate -record BENCH_BASELINE.json
+
+bench-check:
+	$(GO) run ./cmd/benchgate -check BENCH_BASELINE.json -tolerance 0.15
+
+# CPU/heap profiles of a reduced single-worker campaign; artifacts land
+# in profile-out/ (gitignored). Inspect with:
+#   go tool pprof -top profile-out/cpu.pprof
+#   go tool pprof -http=:8080 profile-out/cpu.pprof
+profile:
+	mkdir -p profile-out
+	$(GO) test -run '^$$' -bench 'BenchmarkCampaignWorkers1$$' -benchtime 1x \
+		-cpuprofile profile-out/cpu.pprof -memprofile profile-out/mem.pprof \
+		-o profile-out/dsr.test .
+	$(GO) tool pprof -top -nodecount 15 profile-out/dsr.test profile-out/cpu.pprof
 
 examples: build
 	$(GO) run ./examples/quickstart

@@ -14,6 +14,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dsr/internal/mem"
 	"dsr/internal/prng"
@@ -157,6 +158,17 @@ type line struct {
 
 // Cache is a single cache level. It is not safe for concurrent use: the
 // simulated platform is single-core, as in the paper.
+//
+// The access path is the simulator's per-instruction hot path (every
+// fetch goes through the IL1, every load/store through the DL1), so the
+// geometry is strength-reduced at construction: LineSize and the set
+// count are powers of two (enforced by Config.Validate), which turns
+// the per-access divisions into shifts and masks, and a per-set MRU way
+// hint serves the dominant repeated-line pattern without scanning the
+// ways. Both are pure lookup transformations: hits, misses, victims and
+// latencies are bit-identical to the div/mod implementation (proven by
+// TestSetIndexEquivalence / TestLineAddrEquivalence and the golden
+// cycle files).
 type Cache struct {
 	cfg   Config
 	next  mem.Backend
@@ -164,6 +176,35 @@ type Cache struct {
 	lines []line // sets × ways, row-major
 	clock uint64 // LRU timestamp source
 	ctr   Counters
+
+	// Strength-reduced geometry: addr>>lineShift == addr/LineSize and
+	// line&setMask == line%sets, because both are powers of two.
+	lineShift uint
+	setMask   mem.Addr
+	ways      int
+	hitLat    mem.Cycles
+
+	// mru[set] is the way of the most recent hit or fill in the set — a
+	// pure lookup hint (validated against tag+valid before use), so it
+	// cannot alter replacement decisions.
+	mru []int32
+
+	// mruIdx indexes (into lines) the line of the most recent hit or
+	// fill across the whole cache — the repeated-same-line accelerator,
+	// serving the per-instruction pattern (stack slot reloads,
+	// sequential data) without recomputing the set index (which is a
+	// multiply-xorshift hash under PlacementHashRandom) or scanning
+	// ways. Like mru it is validated (tag + valid bit) before use: a
+	// slot reused by a later fill fails the tag compare and the access
+	// falls back to the full lookup, so the hint can never change hits,
+	// misses or replacement. An index rather than a *line on purpose:
+	// updating a pointer field fires a GC write barrier on every update,
+	// which profiles at ~10% of campaign time; an int32 store is free.
+	// Sentinel -1 when empty.
+	mruIdx int32
+
+	// wt caches cfg.Write == WriteThroughNoAllocate for the store path.
+	wt bool
 
 	hashSeed uint64
 	repl     prng.Source // used only for ReplacementRandom
@@ -180,11 +221,18 @@ func New(cfg Config, next mem.Backend) *Cache {
 		panic(fmt.Sprintf("cache %q: nil next level", cfg.Name))
 	}
 	c := &Cache{
-		cfg:  cfg,
-		next: next,
-		sets: cfg.Sets(),
+		cfg:       cfg,
+		next:      next,
+		sets:      cfg.Sets(),
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		ways:      cfg.Ways,
+		hitLat:    cfg.HitLatency,
 	}
+	c.setMask = mem.Addr(c.sets - 1)
 	c.lines = make([]line, c.sets*cfg.Ways)
+	c.mru = make([]int32, c.sets)
+	c.wt = cfg.Write == WriteThroughNoAllocate
+	c.mruIdx = -1
 	if cfg.Replacement == ReplacementRandom {
 		c.repl = prng.NewMWC(0xC0FFEE)
 	}
@@ -221,11 +269,16 @@ func (c *Cache) ReseedPlacement(seed uint64) {
 	}
 }
 
-func (c *Cache) lineAddr(a mem.Addr) mem.Addr { return a / mem.Addr(c.cfg.LineSize) }
+// lineAddr is addr/LineSize, strength-reduced to a shift (LineSize is a
+// power of two by Config.Validate).
+func (c *Cache) lineAddr(a mem.Addr) mem.Addr { return a >> c.lineShift }
 
+// setIndex maps a line address to its set. The reductions are
+// bit-identical to the div/mod form: x&(sets-1) == x%sets for the
+// power-of-two set counts Validate enforces, including the final
+// reduction of the parametric hash.
 func (c *Cache) setIndex(lineAddr mem.Addr) int {
-	switch c.cfg.Placement {
-	case PlacementHashRandom:
+	if c.cfg.Placement == PlacementHashRandom {
 		// Multiply-xorshift parametric hash (Kosmidis et al. style random
 		// placement): uniform over sets, stable within a run, reseedable.
 		x := uint64(lineAddr) ^ c.hashSeed
@@ -233,14 +286,13 @@ func (c *Cache) setIndex(lineAddr mem.Addr) int {
 		x ^= x >> 29
 		x *= 0xBF58476D1CE4E5B9
 		x ^= x >> 32
-		return int(x % uint64(c.sets))
-	default:
-		return int(lineAddr % mem.Addr(c.sets))
+		return int(x & uint64(c.setMask))
 	}
+	return int(lineAddr & c.setMask)
 }
 
 func (c *Cache) set(idx int) []line {
-	return c.lines[idx*c.cfg.Ways : (idx+1)*c.cfg.Ways]
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
 }
 
 // lookup returns the way holding lineAddr in the set, or -1.
@@ -249,6 +301,21 @@ func (c *Cache) lookup(set []line, lineAddr mem.Addr) int {
 		if set[w].valid && set[w].tag == lineAddr {
 			return w
 		}
+	}
+	return -1
+}
+
+// hitWay is lookup plus the MRU short-circuit: the per-set hint is
+// checked before scanning the ways. Returns the hit way, or -1.
+func (c *Cache) hitWay(idx int, set []line, lineAddr mem.Addr) int {
+	if m := int(c.mru[idx]); m < len(set) {
+		if l := &set[m]; l.valid && l.tag == lineAddr {
+			return m
+		}
+	}
+	if w := c.lookup(set, lineAddr); w >= 0 {
+		c.mru[idx] = int32(w)
+		return w
 	}
 	return -1
 }
@@ -290,11 +357,13 @@ func (c *Cache) fill(lineAddr mem.Addr, dirty bool) mem.Cycles {
 		c.ctr.Evictions++
 		if set[w].dirty {
 			c.ctr.Writebacks++
-			lat += c.next.Write(set[w].tag*mem.Addr(c.cfg.LineSize), c.cfg.LineSize)
+			lat += c.next.Write(set[w].tag<<c.lineShift, c.cfg.LineSize)
 		}
 	}
-	lat += c.next.Read(lineAddr*mem.Addr(c.cfg.LineSize), c.cfg.LineSize)
+	lat += c.next.Read(lineAddr<<c.lineShift, c.cfg.LineSize)
 	set[w] = line{valid: true, dirty: dirty, tag: lineAddr}
+	c.mru[idx] = int32(w)
+	c.mruIdx = int32(idx*c.ways + w)
 	c.touch(set, w)
 	c.ctr.Fills++
 	return lat
@@ -302,32 +371,70 @@ func (c *Cache) fill(lineAddr mem.Addr, dirty bool) mem.Cycles {
 
 // Read implements mem.Backend. A read that straddles a line boundary is
 // charged as two sequential line accesses, as the real hardware would.
+// The single-line hit — the per-instruction common case — is served by
+// a straight-line fast path; the fill/writeback slow path is outlined
+// in readMiss so this function stays small.
 func (c *Cache) Read(addr mem.Addr, size int) mem.Cycles {
 	if size <= 0 {
 		size = 1
 	}
+	first := addr >> c.lineShift
+	last := (addr + mem.Addr(size) - 1) >> c.lineShift
+	if first == last {
+		return c.readLine(first)
+	}
 	var lat mem.Cycles
-	first := c.lineAddr(addr)
-	last := c.lineAddr(addr + mem.Addr(size) - 1)
 	for la := first; la <= last; la++ {
 		lat += c.readLine(la)
 	}
 	return lat
 }
 
+// ReadLine charges a read fully contained in one cache line (the
+// caller guarantees no line straddle — e.g. an aligned word when
+// LineSize >= WordSize). It is behaviourally identical to Read for
+// such accesses but small enough to inline into the CPU's hot paths,
+// skipping one call level per access.
+func (c *Cache) ReadLine(addr mem.Addr) mem.Cycles {
+	return c.readLine(addr >> c.lineShift)
+}
+
+// WriteLine is ReadLine's store twin: a write of size bytes fully
+// contained in one line.
+func (c *Cache) WriteLine(addr mem.Addr, size int) mem.Cycles {
+	return c.writeLine(addr>>c.lineShift, size)
+}
+
 func (c *Cache) readLine(la mem.Addr) mem.Cycles {
 	c.ctr.Accesses++
 	c.ctr.Reads++
+	if i := c.mruIdx; i >= 0 {
+		if l := &c.lines[i]; l.tag == la && l.valid {
+			c.ctr.Hits++
+			c.clock++
+			l.age = c.clock
+			return c.hitLat
+		}
+	}
 	idx := c.setIndex(la)
 	set := c.set(idx)
-	if w := c.lookup(set, la); w >= 0 {
+	if w := c.hitWay(idx, set, la); w >= 0 {
 		c.ctr.Hits++
-		c.touch(set, w)
-		return c.cfg.HitLatency
+		c.clock++
+		set[w].age = c.clock
+		c.mruIdx = int32(idx*c.ways + w)
+		return c.hitLat
 	}
+	return c.readMiss(la)
+}
+
+// readMiss is the outlined read slow path: miss bookkeeping plus fill.
+//
+//go:noinline
+func (c *Cache) readMiss(la mem.Addr) mem.Cycles {
 	c.ctr.Misses++
 	c.ctr.ReadMisses++
-	return c.cfg.HitLatency + c.fill(la, false)
+	return c.hitLat + c.fill(la, false)
 }
 
 // Write implements mem.Backend.
@@ -335,17 +442,16 @@ func (c *Cache) Write(addr mem.Addr, size int) mem.Cycles {
 	if size <= 0 {
 		size = 1
 	}
+	first := addr >> c.lineShift
+	last := (addr + mem.Addr(size) - 1) >> c.lineShift
+	if first == last {
+		return c.writeLine(first, size)
+	}
 	var lat mem.Cycles
-	first := c.lineAddr(addr)
-	last := c.lineAddr(addr + mem.Addr(size) - 1)
 	for la := first; la <= last; la++ {
 		// Charge each touched line; partial sizes matter only for the
 		// write-through traffic, which we approximate per line.
-		n := c.cfg.LineSize
-		if first == last {
-			n = size
-		}
-		lat += c.writeLine(la, n)
+		lat += c.writeLine(la, c.cfg.LineSize)
 	}
 	return lat
 }
@@ -353,14 +459,27 @@ func (c *Cache) Write(addr mem.Addr, size int) mem.Cycles {
 func (c *Cache) writeLine(la mem.Addr, size int) mem.Cycles {
 	c.ctr.Accesses++
 	c.ctr.Writes++
+	if c.wt {
+		// Write-through fast path: an MRU-line hit needs no set lookup.
+		// The store still always propagates (store-buffer-visible cost).
+		if i := c.mruIdx; i >= 0 {
+			if l := &c.lines[i]; l.tag == la && l.valid {
+				c.ctr.Hits++
+				c.clock++
+				l.age = c.clock
+				return c.hitLat + c.next.Write(la<<c.lineShift, size)
+			}
+		}
+	}
 	idx := c.setIndex(la)
 	set := c.set(idx)
-	w := c.lookup(set, la)
-	switch c.cfg.Write {
-	case WriteThroughNoAllocate:
+	w := c.hitWay(idx, set, la)
+	if c.wt {
 		if w >= 0 {
 			c.ctr.Hits++
-			c.touch(set, w)
+			c.clock++
+			set[w].age = c.clock
+			c.mruIdx = int32(idx*c.ways + w)
 		} else {
 			c.ctr.Misses++
 			c.ctr.WriteMisses++
@@ -368,17 +487,27 @@ func (c *Cache) writeLine(la mem.Addr, size int) mem.Cycles {
 		// The store always propagates. LEON3 has a store buffer that hides
 		// part of this latency; the next level's write cost models the
 		// visible portion.
-		return c.cfg.HitLatency + c.next.Write(la*mem.Addr(c.cfg.LineSize), size)
+		return c.hitLat + c.next.Write(la<<c.lineShift, size)
+	}
+	return c.writeBack(la, idx, set, w)
+}
+
+// writeBack is the write-back/allocate path, outlined from writeLine so
+// the write-through DL1 hot path stays small.
+func (c *Cache) writeBack(la mem.Addr, idx int, set []line, w int) mem.Cycles {
+	switch c.cfg.Write {
 	case WriteBackAllocate:
 		if w >= 0 {
 			c.ctr.Hits++
 			set[w].dirty = true
-			c.touch(set, w)
-			return c.cfg.HitLatency
+			c.clock++
+			set[w].age = c.clock
+			c.mruIdx = int32(idx*c.ways + w)
+			return c.hitLat
 		}
 		c.ctr.Misses++
 		c.ctr.WriteMisses++
-		return c.cfg.HitLatency + c.fill(la, true)
+		return c.hitLat + c.fill(la, true)
 	default:
 		panic("cache: unknown write policy")
 	}
@@ -388,6 +517,7 @@ func (c *Cache) writeLine(la mem.Addr, size int) mem.Cycles {
 // returning the cost. PikeOS is configured to flush caches at partition
 // start (§IV), which is what guarantees a canonical initial state.
 func (c *Cache) FlushAll() mem.Cycles {
+	c.mruIdx = -1 // defensive; validation makes stale hints harmless
 	var lat mem.Cycles
 	for i := range c.lines {
 		l := &c.lines[i]

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/bits"
 
+	"dsr/internal/cache"
 	"dsr/internal/isa"
 	"dsr/internal/loader"
 	"dsr/internal/mem"
@@ -111,6 +112,19 @@ type CPU struct {
 	dtlb   *tlb.TLB // may be nil
 	data   *Memory
 
+	// icacheC/dcacheC are the L1 fronts devirtualised: when a front is a
+	// concrete *cache.Cache (the no-attribution configuration) whose
+	// line size is at least a word, the hot paths call its single-line
+	// entry points (ReadLine/WriteLine) directly — the CPU's accesses
+	// are aligned words and single bytes, which then never straddle a
+	// line — so the hit fast path inlines instead of paying a
+	// mem.Backend interface dispatch per access. They are nil whenever
+	// the front is anything else — in particular a telemetry.Probe
+	// chain, which must stay on the interface path so every access is
+	// booked. Rebound by bindFronts.
+	icacheC *cache.Cache
+	dcacheC *cache.Cache
+
 	// Integer register file: globals plus the windowed banks. outs[w]
 	// holds the out registers of window w; the ins of window w are
 	// outs[(w+1)%NumWindows]. locals[w] are private to window w.
@@ -118,6 +132,7 @@ type CPU struct {
 	outs    [][8]uint32
 	locals  [][8]uint32
 	cwp     int
+	insIdx  int // (cwp+1)%NumWindows, maintained on every window rotate
 	liveWin int // unspilled frames resident in the register file
 
 	fregs [isa.NumFRegs]float32
@@ -132,6 +147,23 @@ type CPU struct {
 	trace  []TracePoint
 
 	curFn *loader.PlacedFunc // fetch cache
+
+	// Fetch fast-path window: while fetchLo <= pc < fetchHi, the
+	// instruction at pc is a guaranteed zero-cycle fetch — same IL1
+	// line, same page and same function as a fetch that already ran the
+	// full translate+read path — so fetch skips re-translation and
+	// re-lookup entirely. The window is the intersection of the IL1
+	// line, the page and curFn's code range, armed by fetchSlow and
+	// torn down (fetchHi=0) whenever something could invalidate it:
+	// Reset, SetImage, SetMemoryFronts, and after every call hook (the
+	// DSR runtime invalidates IL1 ranges mid-run). fetchZero gates the
+	// whole mechanism: it is set only when skipping is provably
+	// cycle-exact (IL1 and ITLB hit latencies both zero, as on the
+	// modelled LEON3).
+	fetchLo   mem.Addr
+	fetchHi   mem.Addr
+	fetchLine mem.Addr // IL1 line size (bytes); 0 if fetchZero is false
+	fetchZero bool
 
 	// callHook, when set, fires on every Call/CallR with the resolved
 	// target address before control transfers. The DSR runtime uses it
@@ -163,8 +195,56 @@ func New(cfg Config, img *loader.Image, icache, dcache mem.Backend, itlb, dtlb *
 	}
 	c.outs = make([][8]uint32, cfg.NumWindows)
 	c.locals = make([][8]uint32, cfg.NumWindows)
+	c.bindFronts()
 	c.Reset(0)
 	return c
+}
+
+// bindFronts (re)derives everything the hot paths precompute from the
+// memory fronts: the devirtualised concrete-cache pointers and the
+// fetch fast-path gate. The gate requires proof that a skipped fetch
+// would have charged zero cycles: the IL1 behind the front (possibly
+// behind a probe chain, discovered via Unwrap) must have hit latency
+// zero, and so must the ITLB if present. Anything unprovable — an
+// unknown backend type, non-zero latencies — leaves the gate closed and
+// every fetch on the exact slow path.
+func (c *CPU) bindFronts() {
+	c.icacheC, c.dcacheC = nil, nil
+	if cc, ok := c.icache.(*cache.Cache); ok && cc.Config().LineSize >= mem.WordSize {
+		c.icacheC = cc
+	}
+	if cc, ok := c.dcache.(*cache.Cache); ok && cc.Config().LineSize >= mem.WordSize {
+		c.dcacheC = cc
+	}
+	c.fetchLo, c.fetchHi = 0, 0
+	c.fetchZero, c.fetchLine = false, 0
+	il1 := unwrapCache(c.icache)
+	if il1 == nil || il1.Config().HitLatency != 0 {
+		return
+	}
+	if c.itlb != nil && c.itlb.Config().HitLatency != 0 {
+		return
+	}
+	c.fetchZero = true
+	c.fetchLine = mem.Addr(il1.Config().LineSize)
+}
+
+// unwrapCache walks a chain of Unwrap-able interposers (telemetry
+// probes) down to a concrete *cache.Cache, or nil if the chain bottoms
+// out in anything else. Used only to read timing configuration — the
+// access paths never bypass the interposers.
+func unwrapCache(b mem.Backend) *cache.Cache {
+	for b != nil {
+		if cc, ok := b.(*cache.Cache); ok {
+			return cc
+		}
+		u, ok := b.(interface{ Unwrap() mem.Backend })
+		if !ok {
+			return nil
+		}
+		b = u.Unwrap()
+	}
+	return nil
 }
 
 // Reset prepares the core for a run: registers cleared, window state
@@ -178,6 +258,7 @@ func (c *CPU) Reset(stackTop uint32) {
 	}
 	c.fregs = [isa.NumFRegs]float32{}
 	c.cwp = c.cfg.NumWindows - 1
+	c.insIdx = 0 // (cwp+1) % NumWindows
 	c.liveWin = 1
 	c.iccZ, c.iccN = false, false
 	c.fcc = 0
@@ -187,6 +268,7 @@ func (c *CPU) Reset(stackTop uint32) {
 	c.ctr = Counters{}
 	c.trace = c.trace[:0]
 	c.curFn = nil
+	c.fetchLo, c.fetchHi = 0, 0
 	c.setReg(isa.SP, stackTop)
 }
 
@@ -196,6 +278,7 @@ func (c *CPU) SetImage(img *loader.Image) {
 	c.img = img
 	c.pc = img.Entry
 	c.curFn = nil
+	c.fetchLo, c.fetchHi = 0, 0
 }
 
 // Cycles returns the execution-time register (cycle counter).
@@ -226,6 +309,7 @@ func (c *CPU) SetAttribution(a *telemetry.Attribution) { c.att = a }
 // probes are interposed after construction).
 func (c *CPU) SetMemoryFronts(icache, dcache mem.Backend) {
 	c.icache, c.dcache = icache, dcache
+	c.bindFronts()
 }
 
 // charge adds n cycles and books them to comp (or the active override).
@@ -282,7 +366,7 @@ func (c *CPU) reg(r isa.Reg) uint32 {
 	case r < isa.I0:
 		return c.locals[c.cwp][r-isa.L0]
 	default:
-		return c.outs[(c.cwp+1)%c.cfg.NumWindows][r-isa.I0]
+		return c.outs[c.insIdx][r-isa.I0]
 	}
 }
 
@@ -297,7 +381,7 @@ func (c *CPU) setReg(r isa.Reg, v uint32) {
 	case r < isa.I0:
 		c.locals[c.cwp][r-isa.L0] = v
 	default:
-		c.outs[(c.cwp+1)%c.cfg.NumWindows][r-isa.I0] = v
+		c.outs[c.insIdx][r-isa.I0] = v
 	}
 }
 
@@ -317,11 +401,24 @@ func (c *CPU) src2(in *isa.Instr) uint32 {
 	return c.reg(in.Rs2)
 }
 
-// fetch translates and reads the instruction at pc, returning the decoded
-// instruction and charging fetch latency.
-func (c *CPU) fetch() (*isa.Instr, error) {
+// fetchSlow is the exact fetch path: ITLB translation, IL1 read, curFn
+// lookup and alignment check. On success it re-arms the fast-path
+// window around pc when the fetchZero gate is open. The fast path
+// itself lives inline in Step: while pc stays inside the armed window —
+// same IL1 line, same page, same function as the last slow fetch — the
+// fetch is a guaranteed zero-cycle IL1/ITLB hit and the instruction is
+// served by one bounds compare and an index into curFn.Code. Skipping
+// the hierarchy there is cycle- and attribution-exact: a hit would
+// charge 0 cycles (so no booking), and the skipped LRU/age touches are
+// contiguous repeats of the line/page the slow fetch just touched,
+// which cannot change any future victim choice.
+func (c *CPU) fetchSlow() (*isa.Instr, error) {
 	c.translate(c.itlb, c.pc, telemetry.CompITLBWalk)
-	c.cycles += c.icache.Read(c.pc, isa.InstrBytes)
+	if c.icacheC != nil {
+		c.cycles += c.icacheC.ReadLine(c.pc)
+	} else {
+		c.cycles += c.icache.Read(c.pc, isa.InstrBytes)
+	}
 	if c.curFn == nil || c.pc < c.curFn.Base || c.pc >= c.curFn.End() {
 		c.curFn = c.img.FuncAt(c.pc)
 		if c.curFn == nil {
@@ -332,24 +429,55 @@ func (c *CPU) fetch() (*isa.Instr, error) {
 	if off%isa.InstrBytes != 0 {
 		return nil, fmt.Errorf("cpu: misaligned pc %#x", c.pc)
 	}
+	if c.fetchZero {
+		// Window = IL1 line ∩ page ∩ function. The line is resident
+		// after the read above; lines are aligned and no larger than a
+		// page, but clamp to the page anyway so the invariant never
+		// depends on that configuration detail.
+		lo := c.pc &^ (c.fetchLine - 1)
+		hi := lo + c.fetchLine
+		if pageEnd := (c.pc | (mem.PageSize - 1)) + 1; hi > pageEnd {
+			hi = pageEnd
+		}
+		if lo < c.curFn.Base {
+			lo = c.curFn.Base
+		}
+		if end := c.curFn.End(); hi > end {
+			hi = end
+		}
+		c.fetchLo, c.fetchHi = lo, hi
+	}
 	return &c.curFn.Code[off/isa.InstrBytes], nil
 }
 
-// dataAddr computes and validates an effective address.
+// dataAddr computes and validates an effective address. The alignment
+// reduction ea&(align-1) is exact for the power-of-two alignments the
+// ISA uses (1 and WordSize); the error construction is outlined so the
+// common case stays small.
 func (c *CPU) dataAddr(in *isa.Instr, align mem.Addr) (mem.Addr, error) {
 	ea := mem.Addr(c.reg(in.Rs1) + uint32(in.Imm))
-	if align > 1 && ea%align != 0 {
-		return 0, fmt.Errorf("cpu: misaligned %s at %#x (pc %#x)", in.Op, ea, c.pc)
+	if align > 1 && ea&(align-1) != 0 {
+		return 0, c.misalignedData(in, ea)
 	}
 	return ea, nil
 }
 
-// loadWord performs a timed word load.
+//go:noinline
+func (c *CPU) misalignedData(in *isa.Instr, ea mem.Addr) error {
+	return fmt.Errorf("cpu: misaligned %s at %#x (pc %#x)", in.Op, ea, c.pc)
+}
+
+// loadWord performs a timed word load. The DL1 read goes through the
+// devirtualised front when available so the hit fast path inlines.
 func (c *CPU) loadWord(ea mem.Addr) uint32 {
 	c.ctr.Loads++
 	c.translate(c.dtlb, ea, telemetry.CompDTLBWalk)
 	c.charge(telemetry.CompLoadStore, c.cfg.LoadUse)
-	c.cycles += c.dcache.Read(ea, mem.WordSize)
+	if c.dcacheC != nil {
+		c.cycles += c.dcacheC.ReadLine(ea)
+	} else {
+		c.cycles += c.dcache.Read(ea, mem.WordSize)
+	}
 	return c.data.LoadWord(ea)
 }
 
@@ -370,6 +498,8 @@ func (c *CPU) storeAccess(ea mem.Addr, size int) {
 		}
 		c.att.Rebate(eff, hidden)
 		c.att.ClearOverride(prev)
+	} else if c.dcacheC != nil {
+		lat = c.dcacheC.WriteLine(ea, size)
 	} else {
 		lat = c.dcache.Write(ea, size)
 	}
@@ -437,6 +567,7 @@ func (c *CPU) save(frame, offset uint32) error {
 		c.liveWin--
 	}
 	c.cwp = (c.cwp - 1 + n) % n
+	c.insIdx = (c.cwp + 1) % n
 	c.liveWin++
 	c.setReg(isa.SP, newSP)
 	return nil
@@ -453,6 +584,7 @@ func (c *CPU) restore() {
 		c.liveWin++
 	}
 	c.cwp = (c.cwp + 1) % n
+	c.insIdx = (c.cwp + 1) % n
 	c.liveWin--
 }
 
@@ -477,6 +609,9 @@ func (c *CPU) runCallHook(target mem.Addr) {
 	if c.callHook == nil {
 		return
 	}
+	// The hook may invalidate IL1 ranges (lazy relocation), so the
+	// fetch fast-path window cannot survive it.
+	c.fetchLo, c.fetchHi = 0, 0
 	if c.att == nil {
 		c.callHook(target)
 		return
@@ -495,15 +630,22 @@ func (c *CPU) Step() error {
 	if c.halted {
 		return errors.New("cpu: step after halt")
 	}
-	in, err := c.fetch()
-	if err != nil {
-		return err
+	// Fetch: the fast-path window check is inlined here so the common
+	// case (straight-line code within one IL1 line) costs no call.
+	var in *isa.Instr
+	if pc := c.pc; pc >= c.fetchLo && pc < c.fetchHi && pc&(isa.InstrBytes-1) == 0 {
+		in = &c.curFn.Code[(pc-c.curFn.Base)/isa.InstrBytes]
+	} else {
+		var err error
+		if in, err = c.fetchSlow(); err != nil {
+			return err
+		}
 	}
 	c.ctr.Instrs++
 	c.charge(telemetry.CompBaseIssue, 1) // base cycle
-	if in.Op.IsFPU() {
-		c.ctr.FPUOps++
-	}
+	// FPUOps is counted inside the FPU opcode cases below (the set
+	// matched by isa.Op.IsFPU) rather than testing every instruction
+	// here — the dispatch switch already discriminates the opcode.
 	next := c.pc + isa.InstrBytes
 
 	switch in.Op {
@@ -559,7 +701,11 @@ func (c *CPU) Step() error {
 		c.ctr.Loads++
 		c.translate(c.dtlb, ea, telemetry.CompDTLBWalk)
 		c.charge(telemetry.CompLoadStore, c.cfg.LoadUse)
-		c.cycles += c.dcache.Read(ea, 1)
+		if c.dcacheC != nil {
+			c.cycles += c.dcacheC.ReadLine(ea)
+		} else {
+			c.cycles += c.dcache.Read(ea, 1)
+		}
 		c.setReg(in.Rd, c.data.LoadByte(ea))
 	case isa.St:
 		ea, err := c.dataAddr(in, mem.WordSize)
@@ -588,23 +734,29 @@ func (c *CPU) Step() error {
 		c.storeWord(ea, math.Float32bits(c.fregs[in.FRs2]))
 
 	case isa.Fadd:
+		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		c.fregs[in.FRd] = c.fregs[in.FRs1] + c.fregs[in.FRs2]
 	case isa.Fsub:
+		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		c.fregs[in.FRd] = c.fregs[in.FRs1] - c.fregs[in.FRs2]
 	case isa.Fmul:
+		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FMulLatency)
 		c.fregs[in.FRd] = c.fregs[in.FRs1] * c.fregs[in.FRs2]
 	case isa.Fdiv:
+		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FDivLatency)
 		c.charge(telemetry.CompFPUJitter, c.fpJitter(c.fregs[in.FRs2]))
 		c.fregs[in.FRd] = c.fregs[in.FRs1] / c.fregs[in.FRs2]
 	case isa.Fsqrt:
+		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FSqrtLatency)
 		c.charge(telemetry.CompFPUJitter, c.fpJitter(c.fregs[in.FRs2]))
 		c.fregs[in.FRd] = float32(math.Sqrt(float64(c.fregs[in.FRs2])))
 	case isa.Fcmp:
+		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		a, b := c.fregs[in.FRs1], c.fregs[in.FRs2]
 		switch {
@@ -620,9 +772,11 @@ func (c *CPU) Step() error {
 			c.fcc = 1
 		}
 	case isa.Fitos:
+		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		c.fregs[in.FRd] = float32(int32(math.Float32bits(c.fregs[in.FRs2])))
 	case isa.Fstoi:
+		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FAddLatency)
 		c.fregs[in.FRd] = math.Float32frombits(uint32(int32(c.fregs[in.FRs2])))
 

@@ -9,49 +9,163 @@ import (
 // pageWords is the number of 32-bit words per functional-memory page.
 const pageWords = mem.PageSize / mem.WordSize
 
+// Address decomposition of the 32-bit simulated physical space:
+// 10 root bits, 10 leaf bits, 12 offset bits (4KB pages).
+const (
+	pageShift = 12
+	leafBits  = 10
+	rootBits  = 10
+	leafSize  = 1 << leafBits
+	rootSize  = 1 << rootBits
+	leafMask  = leafSize - 1
+	rootMask  = rootSize - 1
+)
+
+// Compile-time guards: the shift decomposition must cover exactly the
+// configured page size and the 32-bit space.
+var (
+	_ [0]struct{} = [mem.PageSize - 1<<pageShift]struct{}{}
+	_ [0]struct{} = [(1 << 32 >> pageShift) - rootSize*leafSize]struct{}{}
+)
+
+type memPage [pageWords]uint32
+
 // Memory is the functional (value-holding) data store of the simulated
 // machine, separate from the timing model: caches decide how long an
-// access takes, Memory decides what it returns. Sparse paged storage
-// keeps the 32-bit address space cheap. SPARC is big-endian; byte
-// accesses honour that.
+// access takes, Memory decides what it returns. SPARC is big-endian;
+// byte accesses honour that.
+//
+// Storage is a flat two-level page table over the 32-bit physical space
+// (10+10+12 bit split) fronted by a last-page cache, because the page
+// lookup sits on the per-instruction hot path (every load and store
+// resolves here). The previous map-backed implementation cost a hash +
+// probe per access; the table walk is two indexed loads and the
+// last-page hit is one compare. Addresses above 4GB cannot occur on the
+// modelled LEON3 (the address space is 32-bit), but mem.Addr is 64-bit
+// to keep intermediate arithmetic from wrapping, so out-of-range
+// addresses fall back to a spill map rather than corrupting the table.
 type Memory struct {
-	pages map[mem.Addr]*[pageWords]uint32
+	// lastPN/lastPage cache the most recently touched resident page;
+	// lastPN is the sentinel ^0 when empty.
+	lastPN   mem.Addr
+	lastPage *memPage
+
+	root [rootSize]*[leafSize]*memPage
+
+	// spill holds pages above the 32-bit space (defensive; unreachable
+	// under the LEON3 memory map). Allocated lazily.
+	spill map[mem.Addr]*memPage
+
+	npages int
 }
 
 // NewMemory returns an empty memory; all bytes read as zero.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[mem.Addr]*[pageWords]uint32)}
+	return &Memory{lastPN: ^mem.Addr(0)}
 }
 
-func (m *Memory) page(a mem.Addr, create bool) *[pageWords]uint32 {
-	pn := mem.Page(a)
-	p := m.pages[pn]
-	if p == nil && create {
-		p = new([pageWords]uint32)
-		m.pages[pn] = p
+// lookupPage returns the page with number pn, or nil. It does not
+// update the last-page cache.
+func (m *Memory) lookupPage(pn mem.Addr) *memPage {
+	if pn < rootSize*leafSize {
+		leaf := m.root[(pn>>leafBits)&rootMask]
+		if leaf == nil {
+			return nil
+		}
+		return leaf[pn&leafMask]
+	}
+	return m.spill[pn]
+}
+
+// createPage returns the page with number pn, allocating it (and its
+// leaf) on first touch.
+func (m *Memory) createPage(pn mem.Addr) *memPage {
+	if pn < rootSize*leafSize {
+		ri := (pn >> leafBits) & rootMask
+		leaf := m.root[ri]
+		if leaf == nil {
+			leaf = new([leafSize]*memPage)
+			m.root[ri] = leaf
+		}
+		p := leaf[pn&leafMask]
+		if p == nil {
+			p = new(memPage)
+			leaf[pn&leafMask] = p
+			m.npages++
+		}
+		return p
+	}
+	p := m.spill[pn]
+	if p == nil {
+		p = new(memPage)
+		if m.spill == nil {
+			m.spill = make(map[mem.Addr]*memPage)
+		}
+		m.spill[pn] = p
+		m.npages++
 	}
 	return p
 }
 
+// misaligned is the outlined alignment trap, hoisted off the hit path
+// so LoadWord/StoreWord stay inlinable.
+//
+//go:noinline
+func misaligned(op string, a mem.Addr) {
+	panic(fmt.Sprintf("cpu: misaligned word %s at %#x", op, a))
+}
+
 // LoadWord returns the word at a. a must be word-aligned; the SPARC
 // alignment trap is modelled as an error by the CPU before calling here.
+// The in-range walk is inlined — two indexed loads — so even a
+// page-alternating access pattern pays no cache-thrash penalty.
 func (m *Memory) LoadWord(a mem.Addr) uint32 {
-	if a%mem.WordSize != 0 {
-		panic(fmt.Sprintf("cpu: misaligned word load at %#x", a))
+	if a&(mem.WordSize-1) != 0 {
+		misaligned("load", a)
 	}
-	p := m.page(a, false)
+	if a>>pageShift < rootSize*leafSize {
+		leaf := m.root[a>>(pageShift+leafBits)]
+		if leaf == nil {
+			return 0
+		}
+		p := leaf[(a>>pageShift)&leafMask]
+		if p == nil {
+			return 0
+		}
+		return p[(a&(mem.PageSize-1))>>2]
+	}
+	return m.loadSpill(a)
+}
+
+// loadSpill serves the (unreachable on LEON3) above-4GB addresses.
+//
+//go:noinline
+func (m *Memory) loadSpill(a mem.Addr) uint32 {
+	p := m.spill[a>>pageShift]
 	if p == nil {
 		return 0
 	}
-	return p[(a%mem.PageSize)/mem.WordSize]
+	return p[(a&(mem.PageSize-1))>>2]
 }
 
 // StoreWord writes the word at a (word-aligned).
 func (m *Memory) StoreWord(a mem.Addr, v uint32) {
-	if a%mem.WordSize != 0 {
-		panic(fmt.Sprintf("cpu: misaligned word store at %#x", a))
+	if a&(mem.WordSize-1) != 0 {
+		misaligned("store", a)
 	}
-	m.page(a, true)[(a%mem.PageSize)/mem.WordSize] = v
+	if pn := a >> pageShift; pn == m.lastPN {
+		m.lastPage[(a&(mem.PageSize-1))>>2] = v
+		return
+	}
+	m.storeSlow(a, v)
+}
+
+//go:noinline
+func (m *Memory) storeSlow(a mem.Addr, v uint32) {
+	pn := a >> pageShift
+	p := m.createPage(pn)
+	m.lastPN, m.lastPage = pn, p
+	p[(a&(mem.PageSize-1))>>2] = v
 }
 
 // LoadByte returns the byte at a, zero-extended, big-endian within words.
@@ -72,8 +186,12 @@ func (m *Memory) StoreByte(a mem.Addr, v uint32) {
 
 // Clear drops all contents (partition reboot).
 func (m *Memory) Clear() {
-	m.pages = make(map[mem.Addr]*[pageWords]uint32)
+	m.root = [rootSize]*[leafSize]*memPage{}
+	m.spill = nil
+	m.lastPN = ^mem.Addr(0)
+	m.lastPage = nil
+	m.npages = 0
 }
 
 // PagesAllocated returns how many distinct pages hold data (tests).
-func (m *Memory) PagesAllocated() int { return len(m.pages) }
+func (m *Memory) PagesAllocated() int { return m.npages }

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The cycle-exactness contract: performance work on the simulator core
+// (cache hit fast paths, functional-memory page tables, fetch
+// short-circuits, devirtualisation) must not change a single reported
+// cycle. The determinism suite proves worker-count independence; this
+// golden file pins the absolute numbers across *code* changes. It was
+// recorded before the PR 4 hot-path optimisations and must never be
+// regenerated to make a failure pass — a mismatch means an
+// "optimisation" changed simulated behaviour.
+//
+// Regenerate (only when the timing model itself is deliberately
+// changed) with:
+//
+//	go test ./internal/experiments -run TestGoldenCycles -update-golden
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_cycles.json from the current binary")
+
+const goldenPath = "testdata/golden_cycles.json"
+
+// goldenRecord is the pinned observable output of one campaign variant.
+type goldenRecord struct {
+	// Cycles is the full execution-time series, in run order.
+	Cycles []uint64 `json:"cycles"`
+	// AttributionTotal is the summed per-run attribution (== sum of
+	// Cycles when the conservation invariant holds).
+	AttributionTotal uint64 `json:"attribution_total"`
+	// TelemetrySHA256 is the hash of the campaign telemetry JSONL dump.
+	TelemetrySHA256 string `json:"telemetry_sha256"`
+	// PMCsSHA256 is the hash of the JSON-encoded per-run PMC snapshots.
+	PMCsSHA256 string `json:"pmcs_sha256"`
+}
+
+// goldenCapture runs one series with full observability and reduces it
+// to a goldenRecord.
+func goldenCapture(t *testing.T, sr seriesRun) goldenRecord {
+	t.Helper()
+	out := runCampaign(t, sr, 1)
+	rec := goldenRecord{Cycles: make([]uint64, len(out.series.Cycles))}
+	for i, c := range out.series.Cycles {
+		rec.Cycles[i] = uint64(c)
+	}
+	var attTotal uint64
+	for _, r := range out.series.Results {
+		attTotal += uint64(r.Attribution.Total())
+	}
+	rec.AttributionTotal = attTotal
+	tsum := sha256.Sum256(out.telemetry)
+	rec.TelemetrySHA256 = hex.EncodeToString(tsum[:])
+	pmcs := make([]interface{}, len(out.series.Results))
+	for i, r := range out.series.Results {
+		pmcs[i] = r.PMCs
+	}
+	pj, err := json.Marshal(pmcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psum := sha256.Sum256(pj)
+	rec.PMCsSHA256 = hex.EncodeToString(psum[:])
+	return rec
+}
+
+// TestGoldenCycles compares every series constructor against the
+// pre-optimisation golden record: cycles, attribution, PMCs and the
+// telemetry export must all be byte-identical.
+func TestGoldenCycles(t *testing.T) {
+	if *updateGolden {
+		recs := map[string]goldenRecord{}
+		for _, sr := range determinismSeries() {
+			recs[sr.name] = goldenCapture(t, sr)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d golden series to %s", len(recs), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (record with -update-golden): %v", err)
+	}
+	var want map[string]goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("golden file corrupt: %v", err)
+	}
+	for _, sr := range determinismSeries() {
+		sr := sr
+		t.Run(sr.name, func(t *testing.T) {
+			t.Parallel()
+			w, ok := want[sr.name]
+			if !ok {
+				t.Fatalf("series %q missing from golden file; re-record", sr.name)
+			}
+			got := goldenCapture(t, sr)
+			if len(got.Cycles) != len(w.Cycles) {
+				t.Fatalf("run count %d, golden %d", len(got.Cycles), len(w.Cycles))
+			}
+			for i := range got.Cycles {
+				if got.Cycles[i] != w.Cycles[i] {
+					t.Errorf("run %d: cycles %d, golden %d", i, got.Cycles[i], w.Cycles[i])
+				}
+			}
+			if got.AttributionTotal != w.AttributionTotal {
+				t.Errorf("attribution total %d, golden %d", got.AttributionTotal, w.AttributionTotal)
+			}
+			if got.PMCsSHA256 != w.PMCsSHA256 {
+				t.Errorf("PMC snapshots diverge from golden (sha %s vs %s)",
+					got.PMCsSHA256, w.PMCsSHA256)
+			}
+			if got.TelemetrySHA256 != w.TelemetrySHA256 {
+				t.Errorf("telemetry export diverges from golden (sha %s vs %s)",
+					got.TelemetrySHA256, w.TelemetrySHA256)
+			}
+		})
+	}
+}

@@ -204,18 +204,40 @@ func (s *Space) FindByAddr(a Addr) *Object {
 // PagesTouched returns the sorted set of distinct page numbers covered by
 // the placed objects. The DSR pool allocator uses page diversity to
 // randomise TLB contents (§III.B.5).
+//
+// Each object covers one contiguous page range, so instead of hashing
+// every page into a set and sorting the keys (the previous
+// implementation: O(pages) map inserts plus an O(p log p) sort), the
+// object ranges are sorted — O(n log n) in the object count, which is
+// much smaller than the page count — and the pages emitted in one
+// ascending merge that skips overlaps.
 func (s *Space) PagesTouched() []Addr {
-	seen := map[Addr]bool{}
-	for _, o := range s.objs {
-		for p := Page(o.Base); p <= Page(o.End()-1); p++ {
-			seen[p] = true
+	if len(s.objs) == 0 {
+		return nil
+	}
+	type pageRange struct{ lo, hi Addr } // inclusive
+	ranges := make([]pageRange, len(s.objs))
+	total := 0
+	for i, o := range s.objs {
+		r := pageRange{Page(o.Base), Page(o.End() - 1)}
+		ranges[i] = r
+		total += int(r.hi - r.lo + 1)
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].lo < ranges[j].lo })
+	pages := make([]Addr, 0, total) // upper bound; overlaps emit once
+	next := ranges[0].lo            // first page not yet emitted
+	for _, r := range ranges {
+		lo := r.lo
+		if lo < next {
+			lo = next // skip the part an earlier range already emitted
+		}
+		for p := lo; p <= r.hi; p++ {
+			pages = append(pages, p)
+		}
+		if r.hi >= next {
+			next = r.hi + 1
 		}
 	}
-	pages := make([]Addr, 0, len(seen))
-	for p := range seen {
-		pages = append(pages, p)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	return pages
 }
 

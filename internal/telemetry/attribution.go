@@ -321,6 +321,14 @@ func NewProbe(next mem.Backend, att *Attribution, comp Component) *Probe {
 	return &Probe{next: next, att: att, comp: comp}
 }
 
+// Unwrap returns the backend the probe interposes on. It exists so the
+// CPU can discover the concrete timing parameters of the level behind a
+// probe chain (e.g. "is the IL1 hit latency zero?") when deciding
+// whether its fetch fast path is cycle-exact. It must never be used to
+// bypass the probe on an access path — that would break the
+// attribution conservation invariant.
+func (p *Probe) Unwrap() mem.Backend { return p.next }
+
 // Read implements mem.Backend.
 func (p *Probe) Read(addr mem.Addr, size int) mem.Cycles {
 	start := p.att.total

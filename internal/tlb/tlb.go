@@ -35,7 +35,10 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// Counters are the TLB performance events.
+// Counters are the TLB performance events. Accesses is always
+// Hits+Misses; the TLB maintains only the latter two internally and
+// derives Accesses in snapshots, which keeps the translation fast path
+// to a single counter increment.
 type Counters struct {
 	Accesses uint64
 	Hits     uint64
@@ -56,6 +59,22 @@ type entry struct {
 	age   uint64
 }
 
+// hintSize is the number of direct-mapped lookup hints (page → entry
+// index) kept alongside the entry array. Hints are pure accelerators:
+// always validated against the entry before use, so staleness after an
+// eviction is harmless. 16 slots cover the hot working sets seen by the
+// data TLB (stack page + a handful of data pages) without measurable
+// cost on misses.
+const (
+	hintSize = 16
+	hintMask = hintSize - 1
+)
+
+type hint struct {
+	page mem.Addr // sentinel ^0 when empty
+	idx  int32
+}
+
 // TLB is a fully associative, LRU-replaced translation buffer. The SRMMU
 // TLB is fully associative, which is why software randomisation affects
 // it only through the *number* of distinct pages touched, not their
@@ -66,6 +85,40 @@ type TLB struct {
 	entries []entry
 	clock   uint64
 	ctr     Counters
+	// mruPage/mru cache the most recently hit/inserted translation:
+	// mruPage is the page number (sentinel ^0 when empty) and mru the
+	// index of its entry. Translation streams have strong page locality,
+	// so comparing against mruPage first turns the common
+	// same-page-as-last-time case into one compare instead of a linear
+	// scan. The pair is a lookup accelerator only — it is updated
+	// together on every scan hit and insert, so it can never disagree
+	// with the entry array, and a failed compare degrades to the scan.
+	// Counters, ages and replacement are bit-identical either way. mru
+	// is an index rather than an *entry so updates avoid the GC write
+	// barrier a pointer-field store would pay on the hot path.
+	//
+	// hitsMark defers the fast path's clock tick and age write: a
+	// fast-path hit only increments ctr.Hits, and settle() — run on
+	// entry to every slow path — advances the clock by the number of
+	// hits taken since the last settle (ctr.Hits - hitsMark) and writes
+	// the MRU entry's age once. This is exact because clock and entry
+	// ages are consumed only inside the slow paths (scan-hit age
+	// updates, insert's LRU victim scan), which all pass through
+	// settle() first: at that moment clock holds exactly the value the
+	// last fast-path hit would have left, and no other age was written
+	// in between (every other write also goes through a slow path). The
+	// deferral is what brings Translate under the inlining budget, so
+	// the common same-page translation costs one compare and one
+	// increment with no call.
+	mruPage  mem.Addr
+	mru      int32
+	hitsMark uint64
+	// hitLat mirrors cfg.HitLatency; a direct field keeps the
+	// fast-path selector chain (and its inlining cost) minimal.
+	hitLat mem.Cycles
+	// hints is the direct-mapped page→entry-index accelerator (see
+	// the hint type); indexed by page & hintMask.
+	hints [hintSize]hint
 	// walkBase is a fixed region where the page tables live; walks read
 	// from it so that walk traffic perturbs the data cache hierarchy the
 	// way real walks do.
@@ -80,12 +133,16 @@ func New(cfg Config, walkMem mem.Backend, walkBase mem.Addr) *TLB {
 	if walkMem == nil {
 		panic(fmt.Sprintf("tlb %q: nil walk backend", cfg.Name))
 	}
-	return &TLB{
+	t := &TLB{
 		cfg:      cfg,
 		walkMem:  walkMem,
 		entries:  make([]entry, cfg.Entries),
+		mruPage:  ^mem.Addr(0), // sentinel: no translation cached yet
+		hitLat:   cfg.HitLatency,
 		walkBase: walkBase,
 	}
+	t.clearHints()
+	return t
 }
 
 // Config returns the TLB's configuration.
@@ -101,24 +158,83 @@ func (t *TLB) SetWalkMem(walkMem mem.Backend) {
 }
 
 // Counters returns a snapshot of the event counters.
-func (t *TLB) Counters() Counters { return t.ctr }
+func (t *TLB) Counters() Counters {
+	c := t.ctr
+	c.Accesses = c.Hits + c.Misses
+	return c
+}
 
 // ResetCounters zeroes the event counters without touching contents.
-func (t *TLB) ResetCounters() { t.ctr = Counters{} }
+// Deferred fast-path bookkeeping is settled first so the LRU clock
+// stays aligned with the reference implementation across the reset.
+func (t *TLB) ResetCounters() {
+	t.settle()
+	t.ctr = Counters{}
+	t.hitsMark = 0
+}
 
 // Translate looks up the page containing addr, charging a walk on a miss,
-// and returns the total latency.
+// and returns the total latency. The MRU translation is checked first —
+// one compare on the same-page-as-last-time fast path, which is small
+// enough to inline into the CPU's access routines — before falling back
+// to the hint table and then the scan; all paths perform identical
+// counter and age updates, so the accelerators never change behaviour.
 func (t *TLB) Translate(addr mem.Addr) mem.Cycles {
-	t.ctr.Accesses++
-	page := mem.Page(addr)
+	if addr/mem.PageSize == t.mruPage {
+		t.ctr.Hits++ // clock/age deferred; see hitsMark
+		return t.hitLat
+	}
+	return t.translateScan(addr / mem.PageSize)
+}
+
+// settle applies the fast path's deferred bookkeeping: the clock
+// advances by one per deferred hit and the MRU entry's age is written
+// once, landing on exactly the values an eager implementation would
+// have produced (see the hitsMark field comment). Runs on entry to
+// every slow path and before counter resets.
+func (t *TLB) settle() {
+	if d := t.ctr.Hits - t.hitsMark; d != 0 {
+		t.clock += d
+		t.entries[t.mru].age = t.clock
+		t.hitsMark = t.ctr.Hits
+	}
+}
+
+// translateScan resolves a non-MRU page: first via the direct-mapped
+// hint table (covers small multi-page working sets, e.g. stack/data
+// alternation in the DTLB), then the full scan. Hints are validated
+// against the entry array before use — a stale hint (its entry was
+// evicted) fails the compare and degrades to the scan.
+func (t *TLB) translateScan(page mem.Addr) mem.Cycles {
+	t.settle()
+	if h := &t.hints[page&hintMask]; h.page == page {
+		if e := &t.entries[h.idx]; e.valid && e.page == page {
+			t.ctr.Hits++
+			t.clock++
+			e.age = t.clock
+			t.hitsMark = t.ctr.Hits // eager hit: clock already ticked
+			t.mruPage, t.mru = page, h.idx
+			return t.cfg.HitLatency
+		}
+	}
 	for i := range t.entries {
 		if t.entries[i].valid && t.entries[i].page == page {
 			t.ctr.Hits++
 			t.clock++
 			t.entries[i].age = t.clock
+			t.hitsMark = t.ctr.Hits // eager hit: clock already ticked
+			t.mruPage, t.mru = page, int32(i)
+			t.hints[page&hintMask] = hint{page: page, idx: int32(i)}
 			return t.cfg.HitLatency
 		}
 	}
+	return t.translateMiss(page)
+}
+
+// translateMiss is the outlined walk path, keeping the hit path compact.
+//
+//go:noinline
+func (t *TLB) translateMiss(page mem.Addr) mem.Cycles {
 	t.ctr.Misses++
 	lat := t.cfg.HitLatency
 	// Page-table walk, modelled after the SRMMU's multi-level tables:
@@ -157,13 +273,25 @@ func (t *TLB) insert(page mem.Addr) {
 place:
 	t.clock++
 	t.entries[victim] = entry{valid: true, page: page, age: t.clock}
+	t.mruPage, t.mru = page, int32(victim)
+	t.hints[page&hintMask] = hint{page: page, idx: int32(victim)}
+}
+
+// clearHints empties the MRU and hint accelerators.
+func (t *TLB) clearHints() {
+	t.mruPage, t.mru = ^mem.Addr(0), 0
+	for i := range t.hints {
+		t.hints[i] = hint{page: ^mem.Addr(0)}
+	}
 }
 
 // Flush invalidates all entries (partition start, as with the caches).
 func (t *TLB) Flush() {
+	t.settle() // keep the LRU clock aligned across the flush
 	for i := range t.entries {
 		t.entries[i] = entry{}
 	}
+	t.clearHints()
 }
 
 // ValidEntries returns the number of valid entries (test convenience).
