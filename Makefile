@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint telemetry-smoke fuzz clean
+.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check telemetry-smoke fuzz clean
 
-all: build lint test race race-campaign dsrlint telemetry-smoke
+all: build lint test race race-campaign dsrlint wcet-check telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,22 @@ dsrlint: build
 	$(GO) run ./cmd/dsrlint -q internal/asm/testdata/uoa.s
 	$(GO) run ./cmd/dsrlint -q -builtin control
 	$(GO) run ./cmd/dsrlint -q -builtin processing
+
+# Soundness gate for the static WCET analyzer: (1) dsrwcet must produce
+# a finite bound for every shipped program in every layout mode, and
+# (2) the bound must dominate the observed cycles of every run of a
+# 200-run randomised campaign (deterministic and DSR layouts, plus the
+# processing app) — the invariant the analysis exists to provide.
+wcet-check: build
+	$(GO) run ./cmd/dsrwcet -q internal/asm/testdata/uoa.s
+	$(GO) run ./cmd/dsrwcet -q -builtin control
+	$(GO) run ./cmd/dsrwcet -q -mode dsr-eager -builtin control
+	$(GO) run ./cmd/dsrwcet -q -mode dsr-lazy -builtin control
+	$(GO) run ./cmd/dsrwcet -q -builtin processing
+	$(GO) run ./cmd/dsrwcet -q -mode dsr-eager -builtin processing
+	$(GO) run ./cmd/dsrwcet -q cmd/dsrlint/testdata/clean.s
+	WCET_RUNS=200 $(GO) test -run 'TestWCETSound' -count=1 -v ./internal/experiments
+	$(GO) test -run FuzzWCETSound -count=1 ./internal/analysis/wcet
 
 # Telemetry end-to-end smoke: run a reduced campaign with the recorder
 # on, then exercise every dsrstat path over the produced artefacts —
@@ -100,6 +116,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDurations -fuzztime=20s -fuzzminimizetime=5s ./internal/rvs
 	$(GO) test -run=^$$ -fuzz=FuzzVerifyTransform -fuzztime=20s -fuzzminimizetime=5s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzSeedSchedule -fuzztime=20s -fuzzminimizetime=5s ./internal/campaign
+	$(GO) test -run=^$$ -fuzz=FuzzWCETSound -fuzztime=20s -fuzzminimizetime=5s ./internal/analysis/wcet
 
 clean:
 	$(GO) clean ./...

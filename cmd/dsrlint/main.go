@@ -10,17 +10,25 @@
 //	                               processing)
 //	dsrlint -dsr prog.s            also verify the DSR transformation
 //	dsrlint -stack prog.s          print the static stack bounds
+//	dsrlint -wcet prog.s           also run the static WCET analyzer
+//	dsrlint -json prog.s           emit diagnostics as a stable JSON
+//	                               document (schema: analysis.ReportJSON)
+//	dsrlint -Werror prog.s         treat warnings as errors for the exit
+//	                               status
 //
-// Exit status: 0 when no Error-level diagnostic was produced, 1
-// otherwise, 2 on usage or input errors — so it can gate a build.
+// Exit status: 0 when no Error-level diagnostic was produced (under
+// -Werror: no Warning either), 1 otherwise, 2 on usage or input errors
+// — so it can gate a build.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dsr/internal/analysis"
+	"dsr/internal/analysis/wcet"
 	"dsr/internal/asm"
 	"dsr/internal/core"
 	"dsr/internal/loader"
@@ -29,22 +37,34 @@ import (
 	"dsr/internal/spaceapp"
 )
 
-func main() {
-	var (
-		builtin     = flag.String("builtin", "", "lint a built-in program instead of a source file: control | processing")
-		dsr         = flag.Bool("dsr", true, "run the DSR transform verifier over the core.Transform output")
-		maxOverhead = flag.Float64("max-overhead", 0, "reject DSR static instruction overhead above this fraction (0 disables; the paper's budget is 0.02)")
-		l2          = flag.Bool("l2", true, "run the static L2 layout conflict lint on the sequential placement")
-		l2MinFrac   = flag.Float64("l2-minfrac", 0.5, "report L2 conflicts above this overlap fraction")
-		stack       = flag.Bool("stack", false, "print the static call-depth/stack/window bounds")
-		quiet       = flag.Bool("q", false, "suppress info-level diagnostics")
-	)
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-	p, lines, err := loadProgram(*builtin)
+// run is the whole tool behind a testable seam: flags and positional
+// arguments in, diagnostics out on the writers, and the process exit
+// status as the return value (0 clean, 1 findings, 2 usage/input).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsrlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		builtin     = fs.String("builtin", "", "lint a built-in program instead of a source file: control | processing")
+		dsr         = fs.Bool("dsr", true, "run the DSR transform verifier over the core.Transform output")
+		maxOverhead = fs.Float64("max-overhead", 0, "reject DSR static instruction overhead above this fraction (0 disables; the paper's budget is 0.02)")
+		l2          = fs.Bool("l2", true, "run the static L2 layout conflict lint on the sequential placement")
+		l2MinFrac   = fs.Float64("l2-minfrac", 0.5, "report L2 conflicts above this overlap fraction")
+		stack       = fs.Bool("stack", false, "print the static call-depth/stack/window bounds")
+		runWcet     = fs.Bool("wcet", false, "run the static WCET analyzer and report its bound and diagnostics")
+		jsonOut     = fs.Bool("json", false, "emit diagnostics as a stable JSON document on stdout")
+		werror      = fs.Bool("Werror", false, "treat warnings as errors for the exit status")
+		quiet       = fs.Bool("q", false, "suppress info-level diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	p, lines, err := loadProgram(*builtin, fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsrlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dsrlint:", err)
+		return 2
 	}
 
 	diags := analysis.Run(p, analysis.DefaultPasses(), lines)
@@ -72,7 +92,13 @@ func main() {
 		}
 	}
 
-	if *stack {
+	var wcetRep *wcet.Report
+	if *runWcet {
+		wcetRep = wcet.Analyze(p, wcet.Config{Lines: lines})
+		diags = append(diags, wcetRep.Diags...)
+	}
+
+	if *stack && !*jsonOut {
 		sb, err := analysis.AnalyzeStack(p, analysis.StackOptions{
 			NumWindows: platform.ProximaLEON3().CPU.NumWindows,
 		})
@@ -81,30 +107,66 @@ func main() {
 				Pass: "stack", Sev: analysis.Error, Index: -1, Msg: err.Error(),
 			})
 		} else {
-			fmt.Printf("%s: call depth ≤ %d, window depth ≤ %d, stack ≤ %d bytes, spilled windows ≤ %d\n",
+			fmt.Fprintf(stdout, "%s: call depth ≤ %d, window depth ≤ %d, stack ≤ %d bytes, spilled windows ≤ %d\n",
 				p.Name, sb.MaxCallDepth, sb.MaxWindowDepth, sb.MaxStackBytes, sb.WindowSpillBound)
-			fmt.Printf("  worst chain: %v\n", sb.WorstChain)
+			fmt.Fprintf(stdout, "  worst chain: %v\n", sb.WorstChain)
 		}
 	}
 
-	errs := 0
+	errs, warns := 0, 0
+	for _, d := range diags {
+		switch d.Sev {
+		case analysis.Error:
+			errs++
+		case analysis.Warning:
+			warns++
+		}
+	}
+	failed := errs > 0 || (*werror && warns > 0)
+
+	if *jsonOut {
+		rep := analysis.NewReportJSON(p.Name, diags)
+		if wcetRep != nil {
+			if raw, err := wcetRep.JSON(); err == nil {
+				rep.WCET = raw
+			}
+		}
+		out, err := rep.Marshal()
+		if err != nil {
+			fmt.Fprintln(stderr, "dsrlint:", err)
+			return 2
+		}
+		stdout.Write(out)
+		fmt.Fprintln(stdout)
+		if failed {
+			return 1
+		}
+		return 0
+	}
+
 	for _, d := range diags {
 		if d.Sev == analysis.Info && *quiet {
 			continue
 		}
-		if d.Sev == analysis.Error {
-			errs++
+		fmt.Fprintln(stdout, d)
+	}
+	if wcetRep != nil && wcetRep.Bounded {
+		fmt.Fprintf(stdout, "dsrlint: wcet bound %d cycles (%s mode, %d loops)\n",
+			wcetRep.BoundCycles, wcetRep.Mode, len(wcetRep.Loops))
+	}
+	if failed {
+		if *werror && errs == 0 {
+			fmt.Fprintf(stderr, "dsrlint: %d warning(s) in %s promoted by -Werror\n", warns, p.Name)
+		} else {
+			fmt.Fprintf(stderr, "dsrlint: %d error(s) in %s\n", errs, p.Name)
 		}
-		fmt.Println(d)
+		return 1
 	}
-	if errs > 0 {
-		fmt.Fprintf(os.Stderr, "dsrlint: %d error(s) in %s\n", errs, p.Name)
-		os.Exit(1)
-	}
-	fmt.Printf("dsrlint: %s clean (%d diagnostics)\n", p.Name, len(diags))
+	fmt.Fprintf(stdout, "dsrlint: %s clean (%d diagnostics)\n", p.Name, len(diags))
+	return 0
 }
 
-func loadProgram(builtin string) (*prog.Program, analysis.LineResolver, error) {
+func loadProgram(builtin string, args []string) (*prog.Program, analysis.LineResolver, error) {
 	switch builtin {
 	case "control":
 		p, err := spaceapp.BuildControl()
@@ -113,10 +175,10 @@ func loadProgram(builtin string) (*prog.Program, analysis.LineResolver, error) {
 		p, err := spaceapp.BuildProcessing()
 		return p, nil, err
 	case "":
-		if flag.NArg() != 1 {
+		if len(args) != 1 {
 			return nil, nil, fmt.Errorf("usage: dsrlint [flags] prog.s | dsrlint -builtin control|processing")
 		}
-		src, err := os.ReadFile(flag.Arg(0))
+		src, err := os.ReadFile(args[0])
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden JSON files")
+
+// runTool invokes the tool exactly as main does, capturing both streams.
+func runTool(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestExitCodes pins the documented contract: 0 clean (warnings do not
+// fail), 1 on errors or -Werror'd warnings, 2 on usage/input problems.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{"testdata/clean.s"}, 0},
+		{"warnings are not errors", []string{"testdata/warn.s"}, 0},
+		{"werror promotes warnings", []string{"-Werror", "testdata/warn.s"}, 1},
+		{"error finding", []string{"testdata/error.s"}, 1},
+		{"error finding json", []string{"-json", "testdata/error.s"}, 1},
+		{"missing file", []string{"testdata/nope.s"}, 2},
+		{"unknown builtin", []string{"-builtin", "nope"}, 2},
+		{"no input", []string{}, 2},
+		{"builtin control", []string{"-builtin", "control"}, 0},
+		{"clean with wcet", []string{"-wcet", "testdata/clean.s"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runTool(t, tc.args...)
+			if code != tc.want {
+				t.Fatalf("dsrlint %v: exit %d, want %d\nstderr:\n%s", tc.args, code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestJSONGolden locks the -json output byte-for-byte against golden
+// files: the document is a published schema (analysis.ReportJSON) that
+// downstream tooling parses, so any change must be a conscious one
+// (run with -update to accept it).
+func TestJSONGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		// -dsr=false and -l2=false keep the fixture reports focused on
+		// the file's own findings rather than layout-dependent ones.
+		{"clean+wcet", []string{"-json", "-wcet", "-dsr=false", "-l2=false", "testdata/clean.s"}, "clean_wcet.json"},
+		{"warn", []string{"-json", "-dsr=false", "-l2=false", "testdata/warn.s"}, "warn.json"},
+		{"error", []string{"-json", "-dsr=false", "-l2=false", "testdata/error.s"}, "error.json"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stdout, stderr := runTool(t, tc.args...)
+			if stderr != "" {
+				t.Fatalf("unexpected stderr:\n%s", stderr)
+			}
+			if !json.Valid([]byte(stdout)) {
+				t.Fatalf("output is not valid JSON:\n%s", stdout)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.WriteFile(path, []byte(stdout), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./cmd/dsrlint -update` to create goldens)", err)
+			}
+			if string(want) != stdout {
+				t.Fatalf("golden mismatch for %s\n--- want\n%s--- got\n%s", tc.golden, want, stdout)
+			}
+		})
+	}
+}
+
+// TestJSONStableAcrossRuns guards the determinism claim directly: the
+// same input must serialise identically on repeated invocations.
+func TestJSONStableAcrossRuns(t *testing.T) {
+	args := []string{"-json", "-wcet", "testdata/clean.s"}
+	_, first, _ := runTool(t, args...)
+	for i := 0; i < 3; i++ {
+		_, again, _ := runTool(t, args...)
+		if again != first {
+			t.Fatalf("run %d differs from first:\n%s\nvs\n%s", i+2, again, first)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+; dsrlint test fixture: lints clean and the WCET analyzer produces a
+; finite bound (one counted loop, one annotated-equivalent trip count).
+.program clean
+.entry main
+
+.data buf size=64 align=8
+.word 1 2 3 4
+
+.func main frame=96
+    save 96
+    set buf, %l0
+    mov 0, %l1           ; i
+    mov 0, %l2           ; sum
+loop:
+    sll %l1, 2, %l3
+    add %l0, %l3, %l4
+    ld [%l4+0], %o0
+    add %l2, %o0, %l2
+    add %l1, 1, %l1
+    cmp %l1, 8
+    bl loop
+    st %l2, [%l0+0]
+    halt

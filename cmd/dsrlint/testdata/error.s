@@ -1,0 +1,10 @@
+; dsrlint test fixture: an Error-level finding that still assembles —
+; a store into the register-window save area at the bottom of the frame.
+.program error
+.entry main
+
+.func main frame=96
+    save 96
+    mov 5, %l0
+    st %l0, [%sp+8]      ; clobbers the window spill area [0,64)
+    halt

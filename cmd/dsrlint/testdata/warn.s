@@ -1,0 +1,25 @@
+; dsrlint test fixture: warning-only findings (a dead register store),
+; so the exit status is 0 by default and 1 under -Werror.
+.program warn
+.entry main
+
+.data buf size=64 align=8
+.word 1 2 3 4
+
+.func main frame=96
+    save 96
+    set buf, %l0
+    mov 7, %l5           ; dead store: overwritten before any read
+    mov 0, %l5
+    mov 0, %l1
+    mov 0, %l2
+loop:
+    sll %l1, 2, %l3
+    add %l0, %l3, %l4
+    ld [%l4+0], %o0
+    add %l2, %o0, %l2
+    add %l1, 1, %l1
+    cmp %l1, 8
+    bl loop
+    st %l2, [%l0+0]
+    halt

@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dsr/internal/analysis/wcet"
 	"dsr/internal/bus"
 	"dsr/internal/experiments"
 	"dsr/internal/mbpta"
@@ -154,6 +155,13 @@ func main() {
 		_, _, moetRef := base.MinMeanMax()
 		mc := mbpta.CompareWithMargin(rep, moetRef, cfg.Margin)
 		fmt.Print(experiments.FormatMargin(mc, rep.MOET))
+		// The analytical counterpart: where the static WCET bounds sit
+		// relative to the measured maxima and the EVT extrapolation.
+		det, errDet := experiments.StaticWCET(wcet.ModeDet)
+		eager, errEager := experiments.StaticWCET(wcet.ModeDSREager)
+		if errDet == nil && errEager == nil {
+			fmt.Print(experiments.FormatStaticReference(det, eager, moetRef, rep.MOET, rep.PWCET))
+		}
 		fmt.Println()
 	}
 

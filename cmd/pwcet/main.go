@@ -6,6 +6,13 @@
 //
 //	pwcet -trace trace.bin
 //	pwcet -times times.txt -block 50 -target 1e-15
+//	pwcet -times times.txt -static control:dsr-eager
+//	pwcet -times times.txt -static 6054473
+//
+// -static prints a reference line comparing the measurement-based pWCET
+// estimate against the static WCET bound (internal/analysis/wcet). The
+// argument is either an absolute cycle bound or app:mode, where app is
+// control or processing and mode is det, dsr-eager or dsr-lazy.
 package main
 
 import (
@@ -17,8 +24,11 @@ import (
 	"strconv"
 	"strings"
 
+	"dsr/internal/analysis/wcet"
 	"dsr/internal/mbpta"
+	"dsr/internal/prog"
 	"dsr/internal/rvs"
+	"dsr/internal/spaceapp"
 )
 
 func main() {
@@ -29,8 +39,15 @@ func main() {
 		exit      = flag.Int("exit", int(rvs.UoAExit), "UoA exit instrumentation point id")
 		block     = flag.Int("block", 50, "EVT block-maxima size")
 		target    = flag.Float64("target", 1e-15, "target exceedance probability")
+		static    = flag.String("static", "", "static WCET reference: a cycle bound, or app:mode (control|processing : det|dsr-eager|dsr-lazy)")
 	)
 	flag.Parse()
+
+	staticBound, staticLabel, err := resolveStatic(*static)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pwcet:", err)
+		os.Exit(1)
+	}
 
 	times, err := loadTimes(*traceFile, *timesFile, int32(*enter), int32(*exit))
 	if err != nil {
@@ -65,9 +82,84 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pwcet:", err)
 		os.Exit(1)
 	}
+	if staticBound > 0 {
+		printStatic(rep, staticBound, staticLabel)
+	}
 	if analyseErr != nil {
 		fmt.Fprintln(os.Stderr, "pwcet:", analyseErr)
 		os.Exit(1)
+	}
+}
+
+// resolveStatic turns the -static argument into a cycle bound: either a
+// literal number, or app:mode analysed on the spot with the same
+// wiring the soundness gate uses (wcet.AnalyzeMode).
+func resolveStatic(spec string) (float64, string, error) {
+	if spec == "" {
+		return 0, "", nil
+	}
+	if v, err := strconv.ParseFloat(spec, 64); err == nil {
+		if v <= 0 {
+			return 0, "", fmt.Errorf("-static bound must be positive, got %v", v)
+		}
+		return v, "given bound", nil
+	}
+	app, modeName, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, "", fmt.Errorf("-static wants a cycle count or app:mode, got %q", spec)
+	}
+	var (
+		p   *prog.Program
+		err error
+	)
+	switch app {
+	case "control":
+		p, err = spaceapp.BuildControl()
+	case "processing":
+		p, err = spaceapp.BuildProcessing()
+	default:
+		return 0, "", fmt.Errorf("-static app %q: want control or processing", app)
+	}
+	if err != nil {
+		return 0, "", err
+	}
+	var mode wcet.Mode
+	switch modeName {
+	case "det":
+		mode = wcet.ModeDet
+	case "dsr-eager":
+		mode = wcet.ModeDSREager
+	case "dsr-lazy":
+		mode = wcet.ModeDSRLazy
+	default:
+		return 0, "", fmt.Errorf("-static mode %q: want det, dsr-eager or dsr-lazy", modeName)
+	}
+	rep, err := wcet.AnalyzeMode(p, mode, wcet.Config{})
+	if err != nil {
+		return 0, "", err
+	}
+	if !rep.Bounded {
+		return 0, "", fmt.Errorf("static analysis refused %s under %s", app, modeName)
+	}
+	return float64(rep.BoundCycles), spec, nil
+}
+
+// printStatic is the static-vs-probabilistic reference line: where the
+// analytical bound sits relative to the MOET and the pWCET estimate.
+func printStatic(rep *mbpta.Report, bound float64, label string) {
+	fmt.Printf("static WCET reference (%s): %.0f cycles\n", label, bound)
+	if rep == nil {
+		return
+	}
+	if rep.MOET > 0 {
+		fmt.Printf("  MOET %.0f  -> static/MOET x%.2f\n", rep.MOET, bound/rep.MOET)
+	}
+	if rep.PWCET > 0 {
+		verdict := "pWCET exceeds the static bound — EVT extrapolation is pessimistic there"
+		if rep.PWCET <= bound {
+			verdict = "pWCET is below the static bound, as expected for a sound bound"
+		}
+		fmt.Printf("  pWCET %.0f -> static/pWCET x%.2f (%s)\n", rep.PWCET, bound/rep.PWCET, verdict)
 	}
 }
 

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dsr/internal/isa"
+	"dsr/internal/prog"
+)
+
+// TestAnalyzeStackRejectsMutualRecursion covers the cycle detector on a
+// cycle longer than one edge: main → ping → pong → ping. Direct
+// recursion is covered elsewhere; this pins the onPath bookkeeping.
+func TestAnalyzeStackRejectsMutualRecursion(t *testing.T) {
+	p := &prog.Program{Name: "mutual", Entry: "main"}
+	ping := prog.NewFunc("ping", prog.MinFrame).Prologue().Call("pong").Epilogue().MustBuild()
+	pong := prog.NewFunc("pong", prog.MinFrame).Prologue().Call("ping").Epilogue().MustBuild()
+	main := prog.NewFunc("main", prog.MinFrame).Prologue().Call("ping").Halt().MustBuild()
+	for _, f := range []*prog.Function{main, ping, pong} {
+		if err := p.AddFunction(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := AnalyzeStack(p, StackOptions{})
+	if err == nil {
+		t.Fatal("mutual recursion accepted; want an error")
+	}
+	if !strings.Contains(err.Error(), "recursion") {
+		t.Fatalf("error %q does not name recursion", err)
+	}
+}
+
+// TestResolveDispatchMalformedShapes feeds the canonical-dispatch
+// resolver every near-miss of the two-instruction pattern; each must be
+// counted unresolved, never mis-attributed to a callee.
+func TestResolveDispatchMalformedShapes(t *testing.T) {
+	info := TransformInfo{FTableSym: "__dsr_ftable", OffsetsSym: "__dsr_offsets",
+		Funcs: []string{"main", "callee"}}
+	resolve := ResolveDispatch(info)
+
+	callSeq := func(pre ...isa.Instr) *prog.Function {
+		code := []isa.Instr{{Op: isa.Save, Imm: prog.MinFrame}}
+		code = append(code, pre...)
+		code = append(code, isa.Instr{Op: isa.CallR, Rs1: isa.G6}, isa.Instr{Op: isa.Ret})
+		return &prog.Function{Name: "main", FrameSize: prog.MinFrame, Code: code}
+	}
+
+	cases := []struct {
+		name string
+		fn   *prog.Function
+	}{
+		{"callr at function start", &prog.Function{Name: "main", FrameSize: prog.MinFrame,
+			Code: []isa.Instr{{Op: isa.CallR, Rs1: isa.G6}, {Op: isa.Ret}}}},
+		{"wrong table symbol", callSeq(
+			isa.Instr{Op: isa.Set, Rd: isa.G6, Sym: "not_the_table"},
+			isa.Instr{Op: isa.Ld, Rd: isa.G6, Rs1: isa.G6, Imm: 4})},
+		{"no load between set and call", callSeq(
+			isa.Instr{Op: isa.Set, Rd: isa.G6, Sym: "__dsr_ftable"},
+			isa.Instr{Op: isa.Add, Rd: isa.G6, Rs1: isa.G6, Imm: 4})},
+		{"misaligned table offset", callSeq(
+			isa.Instr{Op: isa.Set, Rd: isa.G6, Sym: "__dsr_ftable"},
+			isa.Instr{Op: isa.Ld, Rd: isa.G6, Rs1: isa.G6, Imm: 6})},
+		{"table index out of range", callSeq(
+			isa.Instr{Op: isa.Set, Rd: isa.G6, Sym: "__dsr_ftable"},
+			isa.Instr{Op: isa.Ld, Rd: isa.G6, Rs1: isa.G6, Imm: 4 * 99})},
+		{"negative table index", callSeq(
+			isa.Instr{Op: isa.Set, Rd: isa.G6, Sym: "__dsr_ftable"},
+			isa.Instr{Op: isa.Ld, Rd: isa.G6, Rs1: isa.G6, Imm: -4})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			callee := &prog.Function{Name: "callee", Leaf: true, Code: []isa.Instr{{Op: isa.RetL}}}
+			p := &prog.Program{Name: "t", Entry: "main"}
+			p.Functions = append(p.Functions, tc.fn, callee)
+			cg := BuildCallGraph(p, resolve)
+			if got := cg.Callees["main"]; len(got) != 0 {
+				t.Fatalf("malformed dispatch resolved to %v; must stay unresolved", got)
+			}
+			if cg.UnresolvedIndirect["main"] != 1 {
+				t.Fatalf("unresolved=%d, want 1", cg.UnresolvedIndirect["main"])
+			}
+		})
+	}
+}
+
+// TestBuildCallGraphDeduplicatesCallees pins first-use ordering and
+// de-duplication: two calls to the same callee yield one edge.
+func TestBuildCallGraphDeduplicatesCallees(t *testing.T) {
+	p := &prog.Program{Name: "dup", Entry: "main"}
+	leaf := prog.NewLeaf("leaf").RetLeaf().MustBuild()
+	other := prog.NewLeaf("other").RetLeaf().MustBuild()
+	main := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		Call("leaf").Call("other").Call("leaf").
+		Halt().
+		MustBuild()
+	for _, f := range []*prog.Function{main, leaf, other} {
+		if err := p.AddFunction(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cg := BuildCallGraph(p, nil)
+	got := cg.Callees["main"]
+	if len(got) != 2 || got[0] != "leaf" || got[1] != "other" {
+		t.Fatalf("callees=%v, want [leaf other]", got)
+	}
+}

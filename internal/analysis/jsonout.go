@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"encoding/json"
+)
+
+// DiagJSON is the stable machine-readable form of one Diagnostic. The
+// field set and names are a compatibility contract for tools consuming
+// `dsrlint -json` (golden-tested); extend it, never rename.
+type DiagJSON struct {
+	Pass     string `json:"pass"`
+	Severity string `json:"severity"`
+	Fn       string `json:"fn,omitempty"`
+	Index    int    `json:"index"` // -1 when not tied to an instruction
+	Line     int    `json:"line,omitempty"`
+	Msg      string `json:"msg"`
+}
+
+// ReportJSON is the top-level document emitted by `dsrlint -json`.
+type ReportJSON struct {
+	Program  string     `json:"program"`
+	Errors   int        `json:"errors"`
+	Warnings int        `json:"warnings"`
+	Infos    int        `json:"infos"`
+	Diags    []DiagJSON `json:"diags"`
+	// WCET carries the static WCET report when the analysis ran
+	// (dsrlint -wcet); it is the wcet.Report marshalled as-is.
+	WCET json.RawMessage `json:"wcet,omitempty"`
+}
+
+// NewReportJSON converts diagnostics into the stable JSON document,
+// preserving their order.
+func NewReportJSON(program string, diags []Diagnostic) *ReportJSON {
+	r := &ReportJSON{Program: program, Diags: make([]DiagJSON, 0, len(diags))}
+	for _, d := range diags {
+		switch d.Sev {
+		case Error:
+			r.Errors++
+		case Warning:
+			r.Warnings++
+		default:
+			r.Infos++
+		}
+		r.Diags = append(r.Diags, DiagJSON{
+			Pass: d.Pass, Severity: d.Sev.String(),
+			Fn: d.Fn, Index: d.Index, Line: d.Line, Msg: d.Msg,
+		})
+	}
+	return r
+}
+
+// Marshal renders the document with stable two-space indentation.
+func (r *ReportJSON) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

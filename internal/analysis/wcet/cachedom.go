@@ -1,0 +1,379 @@
+// Abstract cache analysis (Ferdinand-style must/may domains) for the L1
+// instruction and data caches.
+//
+// The *must* domain proves always-hit: it maps line addresses to an
+// upper bound on their LRU age, keeping only lines guaranteed resident
+// in every concrete execution reaching the program point. Join is
+// intersection with age maximum. The *may* domain over-approximates the
+// possible cache contents and proves always-miss (report-only — the
+// bound never relies on a predicted miss being cheap, since on this
+// platform a miss is always the expensive outcome).
+//
+// Soundness gates, enforced by the caller (wcet.go):
+//
+//   - deterministic layout only: under DSR the line→set mapping of every
+//     object changes per run, so a per-set age argument is meaningless
+//     (the analyzer then falls back to distinct-line counting, which is
+//     placement-independent);
+//   - modulo placement + LRU replacement only: the hardware-randomised
+//     caches of the A4 ablation defeat both domains by design, which is
+//     exactly the paper's point about hardware vs software randomisation;
+//   - the data-cache domain additionally requires a window-safe program:
+//     register-window spill/fill traps issue stores and loads that the
+//     access plan cannot see.
+//
+// Transfer functions follow the platform's policies: the DL1 is
+// write-through no-allocate, so a store never installs a line, but a
+// store *hit* refreshes the line's LRU age — the analysis conservatively
+// ages all other same-set lines on every known store, and treats
+// unknown-address accesses as ageing every tracked line by one (a single
+// access perturbs at most one set by at most one step, so this is a
+// superset of every concrete behaviour). Calls clear the domain: the
+// callee's cache footprint is handled interprocedurally by the
+// persistence analysis in cost.go, not here.
+package wcet
+
+import (
+	"dsr/internal/cache"
+	"dsr/internal/mem"
+)
+
+// cacheDom is the abstract-domain geometry of one cache.
+type cacheDom struct {
+	lineSz mem.Addr
+	sets   mem.Addr
+	ways   int
+}
+
+func newCacheDom(cfg cache.Config) *cacheDom {
+	return &cacheDom{
+		lineSz: mem.Addr(cfg.LineSize),
+		sets:   mem.Addr(cfg.Sets()),
+		ways:   cfg.Ways,
+	}
+}
+
+// lineOf returns the line address (addr / lineSize) of a byte address.
+func (c *cacheDom) lineOf(a mem.Addr) mem.Addr { return a / c.lineSz }
+
+// setOf returns the modulo set index of a line address.
+func (c *cacheDom) setOf(line mem.Addr) mem.Addr { return line % c.sets }
+
+// mustState maps resident line address -> maximum LRU age (0 = MRU).
+// Absent means "not guaranteed resident".
+type mustState map[mem.Addr]int
+
+func copyMust(s mustState) mustState {
+	n := make(mustState, len(s))
+	for k, v := range s {
+		n[k] = v
+	}
+	return n
+}
+
+// mustJoin intersects a and b with age maximum (in place into a copy).
+func mustJoin(a, b mustState) mustState {
+	n := mustState{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb > va {
+				va = vb
+			}
+			n[k] = va
+		}
+	}
+	return n
+}
+
+func mustEqual(a, b mustState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || vb != va {
+			return false
+		}
+	}
+	return true
+}
+
+// mustAccess applies a known-address access. install=true for reads
+// (the line is resident afterwards); install=false for stores on the
+// write-through no-allocate DL1, where residency is only refreshed if
+// the line was already resident.
+func (c *cacheDom) mustAccess(st mustState, line mem.Addr, install bool) {
+	prevAge, present := st[line]
+	s := c.setOf(line)
+	for l, age := range st {
+		if l == line || c.setOf(l) != s {
+			continue
+		}
+		if !present || age < prevAge || !install {
+			// The accessed line moves to the front; lines younger than
+			// its previous age (or every same-set line, when we cannot
+			// bound that age) slip one step towards eviction.
+			age++
+			if age >= c.ways {
+				delete(st, l)
+			} else {
+				st[l] = age
+			}
+		}
+	}
+	if install || present {
+		st[line] = 0
+	}
+}
+
+// mustUnknown applies an access with statically unknown address: every
+// tracked line may have aged one step.
+func (c *cacheDom) mustUnknown(st mustState) {
+	for l, age := range st {
+		age++
+		if age >= c.ways {
+			delete(st, l)
+		} else {
+			st[l] = age
+		}
+	}
+}
+
+// mayState over-approximates the possible cache contents.
+type mayState struct {
+	lines  map[mem.Addr]bool
+	allTop bool // any line may be resident
+}
+
+func newMay() *mayState { return &mayState{lines: map[mem.Addr]bool{}} }
+
+func (m *mayState) copyMay() *mayState {
+	n := &mayState{lines: make(map[mem.Addr]bool, len(m.lines)), allTop: m.allTop}
+	for k := range m.lines {
+		n.lines[k] = true
+	}
+	return n
+}
+
+// mayJoin unions b into m, reporting change.
+func (m *mayState) mayJoin(b *mayState) bool {
+	changed := false
+	if b.allTop && !m.allTop {
+		m.allTop = true
+		changed = true
+	}
+	for k := range b.lines {
+		if !m.lines[k] {
+			m.lines[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (m *mayState) mayAccess(line mem.Addr, install bool) {
+	if install {
+		m.lines[line] = true
+	}
+}
+
+func (m *mayState) mayUnknown(install bool) {
+	if install {
+		m.allTop = true
+	}
+}
+
+// contains reports whether line may be resident.
+func (m *mayState) contains(line mem.Addr) bool {
+	return m.allTop || m.lines[line]
+}
+
+// accInfo is the per-instruction data-access summary handed to the
+// domain by the address analysis (wcet.go).
+type accInfo struct {
+	load  bool // Ld/Ldub/FLd
+	store bool // St/Stb/FSt
+	// lineKnown marks a deterministic-layout access whose entire byte
+	// range falls inside one cache line of the *data* cache.
+	lineKnown bool
+	line      mem.Addr
+}
+
+// accessPlan is the full memory behaviour of one function under a
+// deterministic layout.
+type accessPlan struct {
+	// fetchLine[i] is the IL1 line of instruction i's fetch address.
+	fetchLine []mem.Addr
+	// data[i] summarises instruction i's data access (zero value: none).
+	data []accInfo
+	// call[i] marks a Call/CallR at i (clears both domains).
+	call []bool
+}
+
+// classification is the outcome of the must/may fixpoint.
+type classification struct {
+	// fetchHit[i]: instruction i's fetch is an always-hit in the IL1.
+	fetchHit []bool
+	// loadHit[i]: instruction i's data load is an always-hit in the DL1.
+	loadHit []bool
+
+	AlwaysHit     int
+	AlwaysMiss    int
+	NotClassified int
+}
+
+// classify runs the must and may fixpoints over g for the instruction
+// and data caches (independently gated by doIL1/doDL1) and re-walks the
+// converged states to classify every access site.
+func classify(g *cfgView, plan *accessPlan, il1, dl1 *cacheDom, doIL1, doDL1 bool) *classification {
+	n := len(plan.data)
+	cl := &classification{fetchHit: make([]bool, n), loadHit: make([]bool, n)}
+	if !doIL1 && !doDL1 {
+		for b := range g.Blocks {
+			if !g.Reachable[b] {
+				continue
+			}
+			for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
+				cl.NotClassified++ // fetch
+				if plan.data[i].load || plan.data[i].store {
+					cl.NotClassified++
+				}
+			}
+		}
+		return cl
+	}
+
+	nb := len(g.Blocks)
+	type domState struct {
+		mustI, mustD mustState
+		mayI, mayD   *mayState
+	}
+	in := make([]*domState, nb)
+	seen := make([]bool, nb)
+	// Entry convention: cold cache — must empty (proves nothing extra),
+	// may empty (per-function always-miss classification is relative to
+	// the function's own entry; documented report-only).
+	in[0] = &domState{mustI: mustState{}, mustD: mustState{}, mayI: newMay(), mayD: newMay()}
+	seen[0] = true
+
+	// step applies instruction i to st.
+	step := func(i int, st *domState) {
+		if doIL1 {
+			il1.mustAccess(st.mustI, plan.fetchLine[i], true)
+			st.mayI.mayAccess(plan.fetchLine[i], true)
+		}
+		if doDL1 {
+			d := plan.data[i]
+			switch {
+			case !d.load && !d.store:
+			case d.lineKnown:
+				dl1.mustAccess(st.mustD, d.line, d.load)
+				st.mayD.mayAccess(d.line, d.load)
+			default:
+				dl1.mustUnknown(st.mustD)
+				st.mayD.mayUnknown(d.load)
+			}
+		}
+		if plan.call[i] {
+			// The callee's accesses are invisible here; drop everything.
+			st.mustI = mustState{}
+			st.mustD = mustState{}
+			st.mayI.allTop = true
+			st.mayD.allTop = true
+		}
+	}
+
+	work := []int{0}
+	inWork := make([]bool, nb)
+	inWork[0] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		st := &domState{
+			mustI: copyMust(in[b].mustI), mustD: copyMust(in[b].mustD),
+			mayI: in[b].mayI.copyMay(), mayD: in[b].mayD.copyMay(),
+		}
+		for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
+			step(i, st)
+		}
+		for _, s := range g.Blocks[b].Succs {
+			changed := false
+			if !seen[s] {
+				in[s] = &domState{
+					mustI: copyMust(st.mustI), mustD: copyMust(st.mustD),
+					mayI: st.mayI.copyMay(), mayD: st.mayD.copyMay(),
+				}
+				seen[s] = true
+				changed = true
+			} else {
+				if ni := mustJoin(in[s].mustI, st.mustI); !mustEqual(ni, in[s].mustI) {
+					in[s].mustI = ni
+					changed = true
+				}
+				if nd := mustJoin(in[s].mustD, st.mustD); !mustEqual(nd, in[s].mustD) {
+					in[s].mustD = nd
+					changed = true
+				}
+				if in[s].mayI.mayJoin(st.mayI) {
+					changed = true
+				}
+				if in[s].mayD.mayJoin(st.mayD) {
+					changed = true
+				}
+			}
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+
+	// Classification re-walk from the converged entry states.
+	for b := range g.Blocks {
+		if !g.Reachable[b] || !seen[b] {
+			continue
+		}
+		st := &domState{
+			mustI: copyMust(in[b].mustI), mustD: copyMust(in[b].mustD),
+			mayI: in[b].mayI.copyMay(), mayD: in[b].mayD.copyMay(),
+		}
+		for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
+			if doIL1 {
+				switch {
+				case st.mustI[plan.fetchLine[i]] < il1.ways && hasKey(st.mustI, plan.fetchLine[i]):
+					cl.fetchHit[i] = true
+					cl.AlwaysHit++
+				case !st.mayI.contains(plan.fetchLine[i]):
+					cl.AlwaysMiss++
+				default:
+					cl.NotClassified++
+				}
+			} else {
+				cl.NotClassified++
+			}
+			d := plan.data[i]
+			if d.load || d.store {
+				switch {
+				case !doDL1:
+					cl.NotClassified++
+				case d.lineKnown && hasKey(st.mustD, d.line):
+					if d.load {
+						cl.loadHit[i] = true
+					}
+					cl.AlwaysHit++
+				case d.lineKnown && !st.mayD.contains(d.line):
+					cl.AlwaysMiss++
+				default:
+					cl.NotClassified++
+				}
+			}
+			step(i, st)
+		}
+	}
+	return cl
+}
+
+func hasKey(s mustState, k mem.Addr) bool {
+	_, ok := s[k]
+	return ok
+}

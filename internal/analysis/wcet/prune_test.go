@@ -1,0 +1,77 @@
+package wcet
+
+import (
+	"strings"
+	"testing"
+
+	"dsr/internal/analysis"
+	"dsr/internal/isa"
+	"dsr/internal/prog"
+)
+
+// TestUnreachableFunctionPruned: a function never called from the
+// entry must not influence the bound — even when it is unanalysable
+// (here: an unbounded loop). The pruning is reported as an Info
+// diagnostic and keeps the dead function out of every report table.
+func TestUnreachableFunctionPruned(t *testing.T) {
+	dead := prog.NewFunc("dead", prog.MinFrame).
+		Prologue().
+		Label("spin").
+		AddI(isa.L0, isa.L0, 1).
+		Ba("spin"). // no exit: would be rejected if analysed
+		Halt().
+		MustBuild()
+	p := mustProgram(t, "pruned", countedLoop(10), dead)
+
+	r := Analyze(p, Config{})
+	if !r.Bounded {
+		t.Fatalf("dead code made the program unbounded:\n%s", diagText(r))
+	}
+
+	// The bound equals the bound of the live part alone.
+	alone := Analyze(mustProgram(t, "alone", countedLoop(10)), Config{})
+	if !alone.Bounded || r.BoundCycles != alone.BoundCycles {
+		t.Fatalf("bound with dead fn %d != bound without %d", r.BoundCycles, alone.BoundCycles)
+	}
+
+	if _, ok := r.FuncCycles["dead"]; ok {
+		t.Error("pruned function appears in FuncCycles")
+	}
+	for _, l := range r.Loops {
+		if l.Fn == "dead" {
+			t.Errorf("pruned function contributes loop entry %+v", l)
+		}
+	}
+	found := false
+	for _, d := range r.Diags {
+		if d.Sev == analysis.Info && strings.Contains(d.Msg, "unreachable") && strings.Contains(d.Msg, "dead") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no Info diagnostic names the pruned function:\n%s", diagText(r))
+	}
+
+	// Soundness is unaffected: the simulator never reaches dead either.
+	if sim := simulate(t, p); r.BoundCycles < sim {
+		t.Fatalf("bound %d < simulated %d", r.BoundCycles, sim)
+	}
+}
+
+// TestMutualRecursionRejected mirrors the stack analysis edge case at
+// the WCET level: cycles through more than one function must be
+// refused with a diagnostic, not unrolled or bounded.
+func TestMutualRecursionRejected(t *testing.T) {
+	ping := prog.NewFunc("ping", prog.MinFrame).Prologue().Call("pong").Epilogue().MustBuild()
+	pong := prog.NewFunc("pong", prog.MinFrame).Prologue().Call("ping").Epilogue().MustBuild()
+	main := prog.NewFunc("main", prog.MinFrame).Prologue().Call("ping").Halt().MustBuild()
+	p := mustProgram(t, "mutual", main, ping, pong)
+
+	r := Analyze(p, Config{})
+	if r.Bounded {
+		t.Fatal("mutually recursive program accepted")
+	}
+	if !r.HasErrors() || !strings.Contains(diagText(r), "recursion") {
+		t.Fatalf("want a recursion Error diagnostic, got:\n%s", diagText(r))
+	}
+}

@@ -1,0 +1,406 @@
+// Symbolic register dataflow for the WCET analyzer: an abstract
+// interpretation over the integer register file that tracks, for every
+// program point, whether a register holds a known constant range or an
+// address into a named object (global data or the current stack frame).
+//
+// The lattice per register is
+//
+//	Top (unknown)  >  Sym(obj, [lo,hi])  |  Int([lo,hi])
+//
+// with meet = hull on ranges of the same shape and Top otherwise. The
+// analysis is deliberately cheap — constants, address arithmetic
+// (add/sub/shift/mask/multiply by constants) and copies — because that
+// is exactly the shape compiler-generated induction and addressing code
+// takes. Everything else goes to Top, which the consumers treat as "not
+// statically known" (refusing loop-bound inference or cache-footprint
+// membership, never guessing).
+//
+// Loop induction registers are handled by two devices wired in by the
+// loop analysis (loops.go):
+//
+//   - a *pin* replaces the transfer function of the unique increment
+//     instruction of an inferred counted loop with the loop's full
+//     iteration range, so the fixpoint converges in one pass instead of
+//     widening to Top; and
+//   - a back-edge *refinement* intersects the induction register with
+//     the branch's continue-condition on the back edge, so the header
+//     state excludes the exit value (the classic one-past-the-end
+//     overshoot that would otherwise push address ranges out of their
+//     object).
+//
+// Termination without pins is guaranteed by widening: a register whose
+// incoming range grows more than growLimit times at the same block is
+// forced to Top.
+package wcet
+
+import (
+	"dsr/internal/isa"
+	"dsr/internal/prog"
+)
+
+type valKind uint8
+
+const (
+	vUnknown valKind = iota // Top
+	vInt                    // integer in [lo, hi]
+	vSym                    // address of sym + offset in [lo, hi]
+)
+
+// value is one abstract register value.
+type value struct {
+	kind   valKind
+	sym    string
+	lo, hi int64
+}
+
+// rangeCap bounds the magnitude of tracked ranges; anything wilder is
+// Top (it could not index a real object anyway).
+const rangeCap = int64(1) << 45
+
+func top() value           { return value{} }
+func vConst(c int64) value { return value{kind: vInt, lo: c, hi: c} }
+func vRange(lo, hi int64) value {
+	if lo > hi || lo < -rangeCap || hi > rangeCap {
+		return top()
+	}
+	return value{kind: vInt, lo: lo, hi: hi}
+}
+func vSymOff(sym string, lo, hi int64) value {
+	if lo > hi || lo < -rangeCap || hi > rangeCap {
+		return top()
+	}
+	return value{kind: vSym, sym: sym, lo: lo, hi: hi}
+}
+
+func (v value) isConst() bool   { return v.kind == vInt && v.lo == v.hi }
+func (v value) constVal() int64 { return v.lo }
+
+// meet is the lattice meet (hull of same-shaped values, Top otherwise).
+func meet(a, b value) value {
+	if a.kind == vUnknown || b.kind == vUnknown || a.kind != b.kind {
+		return top()
+	}
+	if a.kind == vSym && a.sym != b.sym {
+		return top()
+	}
+	lo, hi := a.lo, a.hi
+	if b.lo < lo {
+		lo = b.lo
+	}
+	if b.hi > hi {
+		hi = b.hi
+	}
+	if a.kind == vSym {
+		return vSymOff(a.sym, lo, hi)
+	}
+	return vRange(lo, hi)
+}
+
+// grows reports whether nv strictly widens ov (used for widening).
+func grows(ov, nv value) bool {
+	if ov.kind != nv.kind || ov.kind == vUnknown {
+		return false
+	}
+	return nv.lo < ov.lo || nv.hi > ov.hi
+}
+
+func vAdd(a, b value) value {
+	switch {
+	case a.kind == vInt && b.kind == vInt:
+		return vRange(a.lo+b.lo, a.hi+b.hi)
+	case a.kind == vSym && b.kind == vInt:
+		return vSymOff(a.sym, a.lo+b.lo, a.hi+b.hi)
+	case a.kind == vInt && b.kind == vSym:
+		return vSymOff(b.sym, b.lo+a.lo, b.hi+a.hi)
+	}
+	return top()
+}
+
+func vSub(a, b value) value {
+	switch {
+	case a.kind == vInt && b.kind == vInt:
+		return vRange(a.lo-b.hi, a.hi-b.lo)
+	case a.kind == vSym && b.kind == vInt:
+		return vSymOff(a.sym, a.lo-b.hi, a.hi-b.lo)
+	case a.kind == vSym && b.kind == vSym && a.sym == b.sym:
+		return vRange(a.lo-b.hi, a.hi-b.lo)
+	}
+	return top()
+}
+
+func vMul(a, b value) value {
+	if a.kind != vInt || b.kind != vInt {
+		return top()
+	}
+	p := [4]int64{a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi}
+	lo, hi := p[0], p[0]
+	for _, v := range p[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return vRange(lo, hi)
+}
+
+func vSll(a, b value) value {
+	if a.kind != vInt || !b.isConst() || b.lo < 0 || b.lo > 31 {
+		return top()
+	}
+	return vRange(a.lo<<uint(b.lo), a.hi<<uint(b.lo))
+}
+
+func vSrl(a, b value) value {
+	// Sound only for non-negative ranges, where the logical and
+	// arithmetic shifts agree and the shift is monotonic.
+	if a.kind != vInt || a.lo < 0 || !b.isConst() || b.lo < 0 || b.lo > 31 {
+		return top()
+	}
+	return vRange(a.lo>>uint(b.lo), a.hi>>uint(b.lo))
+}
+
+func vAnd(a, b value) value {
+	if a.isConst() && b.isConst() {
+		return vConst(a.lo & b.lo)
+	}
+	// x & mask lies in [0, mask] for a non-negative constant mask,
+	// whatever x is — the idiom behind power-of-two ring indexing.
+	if b.isConst() && b.lo >= 0 {
+		return vRange(0, b.lo)
+	}
+	if a.isConst() && a.lo >= 0 {
+		return vRange(0, a.lo)
+	}
+	return top()
+}
+
+// regState is the abstract register file. %g0 reads as constant zero.
+type regState [isa.NumRegs]value
+
+func (s *regState) get(r isa.Reg) value {
+	if r == isa.G0 {
+		return vConst(0)
+	}
+	return s[r]
+}
+
+func (s *regState) set(r isa.Reg, v value) {
+	if r != isa.G0 {
+		s[r] = v
+	}
+}
+
+func (s *regState) clobberAll() {
+	for i := range s {
+		s[i] = top()
+	}
+}
+
+// stackSym names the pseudo-object standing for fn's stack frame: the
+// region [new %sp, new %sp + FrameSize) established by the prologue.
+// Its base is 8-byte aligned in every mode (deterministic frames are
+// double-word aligned; the DSR offsets are drawn 8-aligned), which is
+// what the relative cache-footprint accounting relies on.
+func stackSym(fn string) string { return "\x00stack:" + fn }
+
+// callClobber describes how a call site disturbs the register file,
+// precomputed per callee by the analyzer.
+type callClobber struct {
+	// regs lists the integer registers whose caller values die across
+	// the call.
+	regs []isa.Reg
+	// all forces a full clobber (unresolved callees).
+	all bool
+}
+
+// edgeKey identifies a CFG edge for back-edge refinements.
+type edgeKey struct{ from, to int }
+
+// dataflow runs the symbolic analysis over one function.
+type dataflow struct {
+	fn *prog.Function
+	g  *cfgView
+	in []regState // converged block entry states
+	// pins overrides the destination value of the instruction at the
+	// given index (inferred loop increments).
+	pins map[int]value
+	// refine transforms the state propagated along a specific edge
+	// (back-edge continue-condition intersection).
+	refine map[edgeKey]func(*regState)
+	// clobbers maps call-instruction index to its clobber effect.
+	clobbers map[int]callClobber
+	// prologue is the index of the first Save/SaveX, which establishes
+	// the frame (only it binds %sp to the stack pseudo-object).
+	prologue int
+}
+
+// growLimit is the number of times a register's incoming range may
+// widen at one block before it is forced to Top.
+const growLimit = 3
+
+func newDataflow(fn *prog.Function, g *cfgView) *dataflow {
+	d := &dataflow{
+		fn: fn, g: g,
+		pins:     map[int]value{},
+		refine:   map[edgeKey]func(*regState){},
+		clobbers: map[int]callClobber{},
+		prologue: -1,
+	}
+	for i := range fn.Code {
+		if op := fn.Code[i].Op; op == isa.Save || op == isa.SaveX {
+			d.prologue = i
+			break
+		}
+	}
+	return d
+}
+
+func (d *dataflow) src2(in *isa.Instr, st *regState) value {
+	if in.UseImm {
+		return vConst(int64(in.Imm))
+	}
+	return st.get(in.Rs2)
+}
+
+// step applies one instruction's transfer function to st.
+func (d *dataflow) step(i int, st *regState) {
+	in := &d.fn.Code[i]
+	defer func() {
+		if pv, ok := d.pins[i]; ok {
+			// Pinned destination: the loop analysis proved this range.
+			st.set(in.Rd, pv)
+		}
+	}()
+	switch in.Op {
+	case isa.Add:
+		st.set(in.Rd, vAdd(st.get(in.Rs1), d.src2(in, st)))
+	case isa.Sub:
+		st.set(in.Rd, vSub(st.get(in.Rs1), d.src2(in, st)))
+	case isa.Mul:
+		st.set(in.Rd, vMul(st.get(in.Rs1), d.src2(in, st)))
+	case isa.Sll:
+		st.set(in.Rd, vSll(st.get(in.Rs1), d.src2(in, st)))
+	case isa.Srl:
+		st.set(in.Rd, vSrl(st.get(in.Rs1), d.src2(in, st)))
+	case isa.And:
+		st.set(in.Rd, vAnd(st.get(in.Rs1), d.src2(in, st)))
+	case isa.Or, isa.Xor, isa.Sra, isa.Div:
+		a, b := st.get(in.Rs1), d.src2(in, st)
+		if a.isConst() && b.isConst() {
+			switch in.Op {
+			case isa.Or:
+				st.set(in.Rd, vConst(a.lo|b.lo))
+			case isa.Xor:
+				st.set(in.Rd, vConst(a.lo^b.lo))
+			default:
+				st.set(in.Rd, top())
+			}
+		} else {
+			st.set(in.Rd, top())
+		}
+	case isa.Set:
+		if in.Sym != "" {
+			st.set(in.Rd, vSymOff(in.Sym, 0, 0))
+		} else {
+			st.set(in.Rd, vConst(int64(in.Imm)))
+		}
+	case isa.Mov:
+		st.set(in.Rd, d.src2(in, st))
+	case isa.Ld, isa.Ldub:
+		st.set(in.Rd, top())
+	case isa.Call, isa.CallR:
+		cb := d.clobbers[i]
+		if cb.all {
+			st.clobberAll()
+			return
+		}
+		for _, r := range cb.regs {
+			st.set(r, top())
+		}
+		st.set(isa.O7, top())
+	case isa.Save, isa.SaveX:
+		st.clobberAll()
+		if i == d.prologue {
+			st.set(isa.SP, vSymOff(stackSym(d.fn.Name), 0, 0))
+		}
+	case isa.Restore, isa.Ret, isa.RetL:
+		st.clobberAll()
+	default:
+		// Cmp, branches, stores, FP ops, Nop, Halt, IPoint: no integer
+		// register writes.
+	}
+}
+
+// run iterates to a fixpoint with per-(block,register) widening.
+func (d *dataflow) run() {
+	n := len(d.g.Blocks)
+	d.in = make([]regState, n)
+	seen := make([]bool, n)
+	growCnt := make([][isa.NumRegs]uint8, n)
+
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	seen[0] = true // entry state: all Top
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		st := d.in[b]
+		for i := d.g.Blocks[b].Start; i < d.g.Blocks[b].End; i++ {
+			d.step(i, &st)
+		}
+		for _, s := range d.g.Blocks[b].Succs {
+			out := st
+			if f, ok := d.refine[edgeKey{b, s}]; ok {
+				f(&out)
+			}
+			changed := false
+			if !seen[s] {
+				d.in[s] = out
+				seen[s] = true
+				changed = true
+			} else {
+				for r := 0; r < int(isa.NumRegs); r++ {
+					nv := meet(d.in[s][r], out[r])
+					if nv == d.in[s][r] {
+						continue
+					}
+					if grows(d.in[s][r], nv) {
+						growCnt[s][r]++
+						if growCnt[s][r] > growLimit {
+							nv = top()
+						}
+					}
+					if nv != d.in[s][r] {
+						d.in[s][r] = nv
+						changed = true
+					}
+				}
+			}
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+}
+
+// replay walks every reachable block from its converged entry state,
+// invoking visit with the state *before* each instruction.
+func (d *dataflow) replay(visit func(i int, st *regState)) {
+	for b := range d.g.Blocks {
+		if !d.g.Reachable[b] {
+			continue
+		}
+		st := d.in[b]
+		for i := d.g.Blocks[b].Start; i < d.g.Blocks[b].End; i++ {
+			visit(i, &st)
+			d.step(i, &st)
+		}
+	}
+}

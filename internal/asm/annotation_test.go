@@ -1,0 +1,117 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoopBoundAnnotation checks the two attachment forms: on the same
+// line as an instruction, and on a standalone comment line (binding to
+// the next instruction).
+func TestLoopBoundAnnotation(t *testing.T) {
+	src := `
+.func main frame=96
+ save 96
+ mov 0, %l0
+loop:
+ add %l0, 1, %l0   ! dsr:loop-bound 16
+ cmp %l0, 16
+ bl loop
+ ; dsr:loop-bound 3
+ nop
+ halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	f := p.Function("main")
+	if f == nil {
+		t.Fatal("main missing")
+	}
+	// Instruction indices: 0 save, 1 mov, 2 add, 3 cmp, 4 bl, 5 nop, 6 halt.
+	if got := f.LoopBounds[2]; got != 16 {
+		t.Errorf("same-line annotation: LoopBounds[2]=%d, want 16", got)
+	}
+	if got := f.LoopBounds[5]; got != 3 {
+		t.Errorf("standalone annotation: LoopBounds[5]=%d, want 3", got)
+	}
+	if len(f.LoopBounds) != 2 {
+		t.Errorf("LoopBounds=%v, want exactly 2 entries", f.LoopBounds)
+	}
+}
+
+// TestLoopBoundAnnotationSurvivesOtherCommentText ensures the tag is
+// found inside ordinary prose comments.
+func TestLoopBoundAnnotationSurvivesOtherCommentText(t *testing.T) {
+	src := ".func main frame=96\n save 96\n nop ! rows loop, dsr:loop-bound 24 by construction\n halt\n"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if got := p.Function("main").LoopBounds[1]; got != 24 {
+		t.Errorf("LoopBounds[1]=%d, want 24", got)
+	}
+}
+
+// TestLoopBoundErrors exercises every malformed-annotation path with
+// line-number-accurate messages.
+func TestLoopBoundErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantLine string
+	}{
+		{
+			name:     "missing value",
+			src:      ".func f\n save 96\n nop ! dsr:loop-bound\n halt\n",
+			wantLine: "line 3",
+		},
+		{
+			name:     "malformed value",
+			src:      ".func f\n save 96\n nop ! dsr:loop-bound sixteen\n halt\n",
+			wantLine: "line 3",
+		},
+		{
+			name:     "zero value",
+			src:      ".func f\n save 96\n nop ! dsr:loop-bound 0\n halt\n",
+			wantLine: "line 3",
+		},
+		{
+			name:     "negative value",
+			src:      ".func f\n save 96\n nop ! dsr:loop-bound -4\n halt\n",
+			wantLine: "line 3",
+		},
+		{
+			name:     "glued form",
+			src:      ".func f\n save 96\n nop ! dsr:loop-bound=16\n halt\n",
+			wantLine: "line 3",
+		},
+		{
+			name:     "dangling at end of function",
+			src:      ".func f\n save 96\n halt\n ! dsr:loop-bound 8\n",
+			wantLine: "line 4",
+		},
+		{
+			name:     "dangling before next function",
+			src:      ".func f\n save 96\n halt\n ! dsr:loop-bound 8\n.func g\n save 96\n halt\n",
+			wantLine: "line 4",
+		},
+		{
+			name:     "duplicate pending annotation",
+			src:      ".func f\n save 96\n ! dsr:loop-bound 8\n ! dsr:loop-bound 9\n nop\n halt\n",
+			wantLine: "line 4",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Assemble(tc.src)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) {
+			t.Errorf("%s: error %q does not carry %q", tc.name, err, tc.wantLine)
+		}
+		if !strings.Contains(err.Error(), "loop-bound") {
+			t.Errorf("%s: error %q does not mention loop-bound", tc.name, err)
+		}
+	}
+}

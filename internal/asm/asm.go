@@ -30,6 +30,7 @@ package asm
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dsr/internal/mem"
@@ -123,11 +124,20 @@ type assembler struct {
 
 	// current data object (for .word accumulation)
 	data *prog.DataObject
+
+	// pendingBound carries a `dsr:loop-bound N` annotation until the
+	// next instruction is emitted; pendingBoundLine is where it was
+	// written, for accurate dangling-annotation errors.
+	pendingBound     int
+	pendingBoundLine int
 }
 
 // line processes one source line.
 func (a *assembler) line(n int, raw string) error {
-	text := stripComment(raw)
+	text, comment := splitComment(raw)
+	if err := a.scanAnnotations(n, comment); err != nil {
+		return err
+	}
 	// Peel leading labels ("name:") off the line; several may stack.
 	for {
 		trimmed := strings.TrimSpace(text)
@@ -162,16 +172,76 @@ func (a *assembler) line(n int, raw string) error {
 	}
 	a.fn.Code = append(a.fn.Code, in)
 	a.fnLines = append(a.fnLines, n)
+	if a.pendingBound > 0 {
+		if a.fn.LoopBounds == nil {
+			a.fn.LoopBounds = map[int]int{}
+		}
+		a.fn.LoopBounds[len(a.fn.Code)-1] = a.pendingBound
+		a.pendingBound = 0
+	}
 	return nil
 }
 
-func stripComment(s string) string {
+// splitComment cuts s at the first comment character, returning the code
+// part and the comment text (without its introducing character).
+func splitComment(s string) (code, comment string) {
+	cut := len(s)
 	for _, c := range []string{";", "!", "#"} {
-		if i := strings.Index(s, c); i >= 0 {
-			s = s[:i]
+		if i := strings.Index(s, c); i >= 0 && i < cut {
+			cut = i
 		}
 	}
-	return s
+	if cut == len(s) {
+		return s, ""
+	}
+	return s[:cut], s[cut+1:]
+}
+
+// boundTag introduces a loop-bound annotation inside a comment:
+//
+//	add %l0, %l0, 1    ! dsr:loop-bound 16
+//
+// binds the innermost natural loop containing the annotated instruction
+// (the one on the same line, or the next instruction when the comment
+// stands alone) to at most 16 iterations per entry. The static WCET
+// analyzer relies on these when a loop's trip count cannot be inferred.
+const boundTag = "dsr:loop-bound"
+
+// scanAnnotations parses machine-readable annotations out of a comment.
+// Malformed values are hard errors with the annotation's line number —
+// a silently dropped bound would let an unbounded loop masquerade as
+// bounded analysis input.
+func (a *assembler) scanAnnotations(n int, comment string) error {
+	if !strings.Contains(comment, boundTag) {
+		return nil
+	}
+	fields := strings.Fields(comment)
+	for i := 0; i < len(fields); i++ {
+		if fields[i] != boundTag {
+			// Catch near-misses like "dsr:loop-bound=16" so typos fail
+			// loudly instead of being ignored as prose.
+			if strings.HasPrefix(fields[i], boundTag) {
+				return errf(n, "malformed %s annotation %q: want %q followed by a count", boundTag, fields[i], boundTag+" N")
+			}
+			continue
+		}
+		if a.pendingBound > 0 {
+			return errf(n, "duplicate %s annotation: previous one on line %d is not attached to an instruction yet", boundTag, a.pendingBoundLine)
+		}
+		if i+1 >= len(fields) {
+			return errf(n, "%s: missing iteration count", boundTag)
+		}
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil {
+			return errf(n, "%s: malformed iteration count %q", boundTag, fields[i+1])
+		}
+		if v < 1 {
+			return errf(n, "%s: iteration count %d must be >= 1", boundTag, v)
+		}
+		a.pendingBound, a.pendingBoundLine = v, n
+		i++
+	}
+	return nil
 }
 
 func isIdent(s string) bool {
@@ -295,6 +365,9 @@ func (a *assembler) dataDirective(n int, fields []string) error {
 
 // endFunc resolves the current function's label fixups and commits it.
 func (a *assembler) endFunc() error {
+	if a.pendingBound > 0 {
+		return errf(a.pendingBoundLine, "%s annotation is not attached to any instruction", boundTag)
+	}
 	if a.fn == nil {
 		return nil
 	}

@@ -168,5 +168,17 @@ func transformFunction(f *prog.Function, meta *Metadata, stats *PassStats) ([]is
 		tgt := i + int(f.Code[i].Disp)
 		out[newPos[i]].Disp = int32(newPos[tgt] - newPos[i])
 	}
+
+	// Loop-bound annotations ride along: an annotation on old index i
+	// moves to newPos[i] (for expanded sites, the start of the expansion
+	// — still inside the same loop, so the innermost-loop binding is
+	// preserved).
+	if f.LoopBounds != nil {
+		remapped := make(map[int]int, len(f.LoopBounds))
+		for i, n := range f.LoopBounds {
+			remapped[newPos[i]] = n
+		}
+		f.LoopBounds = remapped
+	}
 	return out, nil
 }

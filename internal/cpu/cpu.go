@@ -16,40 +16,28 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/bits"
 
 	"dsr/internal/cache"
 	"dsr/internal/isa"
 	"dsr/internal/loader"
 	"dsr/internal/mem"
 	"dsr/internal/telemetry"
+	"dsr/internal/timing"
 	"dsr/internal/tlb"
 )
 
-// Config is the core's timing model. NewDefaultConfig documents the
-// values used for the PROXIMA LEON3 reproduction.
+// Config is the core's configuration. The per-instruction timing
+// constants live in the embedded timing.Model — the single table shared
+// with the static WCET analyzer (internal/analysis/wcet), so simulator
+// and analyzer cannot drift. NewDefaultConfig documents the values used
+// for the PROXIMA LEON3 reproduction.
 type Config struct {
 	NumWindows int // SPARC register windows (LEON3: 8)
 
-	BranchTaken mem.Cycles // extra cycles for a taken branch
-	LoadUse     mem.Cycles // extra cycles for any load
-	StoreBase   mem.Cycles // base cycles for any store
-	// StoreHidden is the portion of the write-through path the LEON3
-	// store buffer hides: the charged store stall is
-	// StoreBase + max(0, hierarchy latency - StoreHidden).
-	StoreHidden  mem.Cycles
-	MulLatency   mem.Cycles
-	DivLatency   mem.Cycles
-	FAddLatency  mem.Cycles // fadd/fsub/fcmp/fitos/fstoi
-	FMulLatency  mem.Cycles
-	FDivLatency  mem.Cycles
-	FSqrtLatency mem.Cycles
-	// FPJitterMax is the value-dependent extra latency of fdiv and fsqrt,
-	// the two jittery FPU instruction types (§VI: "only two types of
-	// those instructions have a maximum jitter of 3 cycles").
-	FPJitterMax  mem.Cycles
-	TrapOverhead mem.Cycles // window overflow/underflow trap entry/exit
-	IPointCost   mem.Cycles // instrumentation point (timestamp store)
+	// Model is the shared per-instruction timing table; its fields
+	// (BranchTaken, LoadUse, ... IPointCost) are promoted, so existing
+	// cfg.BranchTaken-style accesses keep working.
+	timing.Model
 
 	// MaxInstrs aborts runaway programs; 0 means no limit.
 	MaxInstrs uint64
@@ -59,21 +47,9 @@ type Config struct {
 // platform (see DESIGN.md §5).
 func NewDefaultConfig() Config {
 	return Config{
-		NumWindows:   8,
-		BranchTaken:  1,
-		LoadUse:      1,
-		StoreBase:    1,
-		StoreHidden:  12,
-		MulLatency:   4,
-		DivLatency:   20,
-		FAddLatency:  3,
-		FMulLatency:  4,
-		FDivLatency:  15,
-		FSqrtLatency: 22,
-		FPJitterMax:  3,
-		TrapOverhead: 3,
-		IPointCost:   2,
-		MaxInstrs:    50_000_000,
+		NumWindows: 8,
+		Model:      timing.Default(),
+		MaxInstrs:  50_000_000,
 	}
 }
 
@@ -588,18 +564,6 @@ func (c *CPU) restore() {
 	c.liveWin--
 }
 
-// fpJitter is the deterministic value-dependent extra latency of the two
-// jittery FPU instruction types: iterative dividers terminate early
-// depending on operand bit patterns, modelled as a function of the
-// operand mantissa.
-func (c *CPU) fpJitter(v float32) mem.Cycles {
-	if c.cfg.FPJitterMax == 0 {
-		return 0
-	}
-	m := math.Float32bits(v) & 0x7FFFFF
-	return mem.Cycles(bits.OnesCount32(m)) % (c.cfg.FPJitterMax + 1)
-}
-
 // runCallHook fires the DSR call hook. With attribution enabled, probe
 // bookings are suspended for the duration (the hook's own cache traffic
 // is part of the modelled runtime routine, not application stalls) and
@@ -748,12 +712,12 @@ func (c *CPU) Step() error {
 	case isa.Fdiv:
 		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FDivLatency)
-		c.charge(telemetry.CompFPUJitter, c.fpJitter(c.fregs[in.FRs2]))
+		c.charge(telemetry.CompFPUJitter, c.cfg.Jitter(c.fregs[in.FRs2]))
 		c.fregs[in.FRd] = c.fregs[in.FRs1] / c.fregs[in.FRs2]
 	case isa.Fsqrt:
 		c.ctr.FPUOps++
 		c.charge(telemetry.CompFPUBase, c.cfg.FSqrtLatency)
-		c.charge(telemetry.CompFPUJitter, c.fpJitter(c.fregs[in.FRs2]))
+		c.charge(telemetry.CompFPUJitter, c.cfg.Jitter(c.fregs[in.FRs2]))
 		c.fregs[in.FRd] = float32(math.Sqrt(float64(c.fregs[in.FRs2])))
 	case isa.Fcmp:
 		c.ctr.FPUOps++

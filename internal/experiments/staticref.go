@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dsr/internal/analysis/wcet"
+	"dsr/internal/mem"
+	"dsr/internal/spaceapp"
+)
+
+// StaticWCET analyses the control application in the given mode with
+// exactly the wiring the runtime uses (wcet.AnalyzeMode) and returns
+// the static bound. It is the reference line the measurement-based
+// results are compared against: for a sound analysis, every campaign
+// observation and every pWCET estimate at a believable exceedance
+// probability must sit below it.
+func StaticWCET(mode wcet.Mode) (mem.Cycles, error) {
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		return 0, err
+	}
+	rep, err := wcet.AnalyzeMode(p, mode, wcet.Config{})
+	if err != nil {
+		return 0, err
+	}
+	if !rep.Bounded {
+		return 0, fmt.Errorf("experiments: static analysis refused the control app in mode %s", mode)
+	}
+	return rep.BoundCycles, nil
+}
+
+// FormatStaticReference renders the static-bound reference block shown
+// with the E5 margin comparison: the deterministic and DSR bounds next
+// to the corresponding measured maxima and the EVT extrapolation.
+func FormatStaticReference(det, dsrBound mem.Cycles, moetRef, dsrMOET, pwcetEst float64) string {
+	s := "static WCET reference (internal/analysis/wcet):\n" +
+		fmt.Sprintf("  det bound:       %10d cycles (x%.2f over non-randomised MOET)\n",
+			det, float64(det)/moetRef) +
+		fmt.Sprintf("  dsr-eager bound: %10d cycles (x%.2f over DSR MOET)\n",
+			dsrBound, float64(dsrBound)/dsrMOET)
+	if pwcetEst > 0 {
+		rel := "below"
+		if pwcetEst > float64(dsrBound) {
+			rel = "above"
+		}
+		s += fmt.Sprintf("  pWCET @ target:  %10.0f cycles (%s the static DSR bound, x%.2f)\n",
+			pwcetEst, rel, float64(dsrBound)/pwcetEst)
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"dsr/internal/analysis/wcet"
+	"dsr/internal/mem"
+	"dsr/internal/prog"
+	"dsr/internal/spaceapp"
+)
+
+// wcetRuns is the campaign length for the soundness gate. The default
+// keeps `go test ./...` quick; CI runs `make wcet-check`, which sets
+// WCET_RUNS=200 to satisfy the >=200-run acceptance bar.
+func wcetRuns(t *testing.T) int {
+	t.Helper()
+	if s := os.Getenv("WCET_RUNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad WCET_RUNS=%q: %v", s, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 12
+	}
+	return 60
+}
+
+// staticBound runs the analyzer in the given mode and fails the test on
+// any refusal: every shipped spaceapp program must get a finite bound.
+func staticBound(t *testing.T, p *prog.Program, mode wcet.Mode) mem.Cycles {
+	t.Helper()
+	rep, err := wcet.AnalyzeMode(p, mode, wcet.Config{})
+	if err != nil {
+		t.Fatalf("AnalyzeMode(%s): %v", mode, err)
+	}
+	if !rep.Bounded {
+		t.Fatalf("AnalyzeMode(%s): not bounded:\n%v", mode, rep.Diags)
+	}
+	if rep.Saturated {
+		t.Fatalf("AnalyzeMode(%s): bound saturated", mode)
+	}
+	return rep.BoundCycles
+}
+
+// assertSound checks the tentpole invariant over a whole campaign:
+// every simulated run's cycle count is <= the static bound claimed for
+// the binary that ran. It logs the over-estimation factor against the
+// campaign MOET so EXPERIMENTS.md numbers stay reproducible.
+func assertSound(t *testing.T, s *Series, bound mem.Cycles) {
+	t.Helper()
+	var moet mem.Cycles
+	for i := range s.Results {
+		c := s.Results[i].Cycles
+		if c > moet {
+			moet = c
+		}
+		if c > bound {
+			t.Fatalf("%s run %d: UNSOUND: simulated %d cycles > static bound %d",
+				s.Name, i, c, bound)
+		}
+	}
+	t.Logf("%s: %d runs, MOET %d <= bound %d (x%.2f over-estimation)",
+		s.Name, len(s.Results), moet, bound, float64(bound)/float64(moet))
+}
+
+// TestWCETSoundOverCampaigns is the soundness gate required by the
+// analyzer's contract: for the control application under the
+// deterministic layout and both DSR modes, and for the processing
+// application under DSR, static bound >= observed cycles on every run
+// of a randomised campaign. `make wcet-check` runs this with
+// WCET_RUNS=200.
+func TestWCETSoundOverCampaigns(t *testing.T) {
+	runs := wcetRuns(t)
+	cfg := DefaultConfig()
+	cfg.Runs = runs
+	cfg.Workers = 4
+
+	control, err := spaceapp.BuildControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := staticBound(t, control, wcet.ModeDet)
+	eager := staticBound(t, control, wcet.ModeDSREager)
+	lazy := staticBound(t, control, wcet.ModeDSRLazy)
+
+	// The modes form a refinement chain: the deterministic layout is
+	// one of the placements the eager join covers, and lazy adds the
+	// in-window relocation charge on top of the eager model.
+	if det > eager {
+		t.Fatalf("mode ordering violated: det %d > dsr-eager %d", det, eager)
+	}
+	if eager > lazy {
+		t.Fatalf("mode ordering violated: dsr-eager %d > dsr-lazy %d", eager, lazy)
+	}
+
+	base, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSound(t, base, det)
+
+	dsr, err := RunDSR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSound(t, dsr, eager)
+
+	lz, err := RunDSRLazy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSound(t, lz, lazy)
+}
+
+// TestWCETSoundProcessing extends the gate to the second spaceapp
+// program (input-dependent control flow: the bound must cover every
+// generated scene, including the all-lit worst case).
+func TestWCETSoundProcessing(t *testing.T) {
+	runs := wcetRuns(t)
+	cfg := DefaultConfig()
+	cfg.Runs = runs
+	cfg.Workers = 4
+
+	processing, err := spaceapp.BuildProcessing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := staticBound(t, processing, wcet.ModeDSREager)
+
+	for _, litFrac := range []float64{0.1, 0.9} {
+		s, err := RunProcessing(cfg, litFrac, "proc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSound(t, s, bound)
+	}
+}

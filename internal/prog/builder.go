@@ -15,6 +15,10 @@ type Builder struct {
 	labels   map[string]int
 	fixups   []fixup
 	buildErr error
+
+	// pendingBound, when >0, is a loop-bound annotation waiting for the
+	// next emitted instruction (see LoopBound).
+	pendingBound int
 }
 
 type fixup struct {
@@ -43,7 +47,32 @@ func NewLeaf(name string) *Builder {
 
 // Emit appends a raw instruction.
 func (b *Builder) Emit(in isa.Instr) *Builder {
+	if b.pendingBound > 0 {
+		if b.fn.LoopBounds == nil {
+			b.fn.LoopBounds = map[int]int{}
+		}
+		b.fn.LoopBounds[len(b.fn.Code)] = b.pendingBound
+		b.pendingBound = 0
+	}
 	b.fn.Code = append(b.fn.Code, in)
+	return b
+}
+
+// LoopBound attaches a `dsr:loop-bound n` annotation to the NEXT emitted
+// instruction: the innermost natural loop containing that instruction
+// iterates at most n times per entry. The static WCET analyzer uses it
+// when the loop's trip count cannot be inferred from its induction
+// pattern. n must be >= 1.
+func (b *Builder) LoopBound(n int) *Builder {
+	if n < 1 {
+		b.fail("loop bound %d must be >= 1", n)
+		return b
+	}
+	if b.pendingBound > 0 {
+		b.fail("loop bound %d not attached to any instruction before the next LoopBound", b.pendingBound)
+		return b
+	}
+	b.pendingBound = n
 	return b
 }
 
@@ -73,6 +102,10 @@ func (b *Builder) branch(op isa.Op, label string) *Builder {
 func (b *Builder) Build() (*Function, error) {
 	if b.buildErr != nil {
 		return nil, b.buildErr
+	}
+	if b.pendingBound > 0 {
+		return nil, fmt.Errorf("builder %s: dangling loop bound %d (no instruction follows it)",
+			b.fn.Name, b.pendingBound)
 	}
 	for _, fx := range b.fixups {
 		tgt, ok := b.labels[fx.label]

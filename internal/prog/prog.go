@@ -37,6 +37,13 @@ type Function struct {
 	FrameSize int32
 	Leaf      bool
 	Code      []isa.Instr
+
+	// LoopBounds carries `dsr:loop-bound N` annotations: instruction
+	// index -> maximum iteration count of the innermost natural loop
+	// containing that instruction. The static WCET analyzer
+	// (internal/analysis/wcet) consumes these when it cannot infer a
+	// bound from the loop's induction pattern. nil when unannotated.
+	LoopBounds map[int]int
 }
 
 // SizeBytes returns the function's code size.
@@ -216,6 +223,16 @@ func (p *Program) validateFunction(f *Function) error {
 			}
 		}
 	}
+	for i, n := range f.LoopBounds {
+		if i < 0 || i >= len(f.Code) {
+			return fmt.Errorf("prog %s: %q loop-bound annotation at instruction %d, outside [0,%d)",
+				p.Name, f.Name, i, len(f.Code))
+		}
+		if n < 1 {
+			return fmt.Errorf("prog %s: %q loop bound %d at instruction %d must be >= 1",
+				p.Name, f.Name, n, i)
+		}
+	}
 	return nil
 }
 
@@ -236,6 +253,12 @@ func (p *Program) Clone() *Program {
 	for _, f := range p.Functions {
 		nf := &Function{Name: f.Name, FrameSize: f.FrameSize, Leaf: f.Leaf}
 		nf.Code = append([]isa.Instr(nil), f.Code...)
+		if f.LoopBounds != nil {
+			nf.LoopBounds = make(map[int]int, len(f.LoopBounds))
+			for i, n := range f.LoopBounds {
+				nf.LoopBounds[i] = n
+			}
+		}
 		q.Functions = append(q.Functions, nf)
 	}
 	for _, d := range p.Data {

@@ -1,0 +1,126 @@
+// Package timing is the single source of truth for per-instruction
+// latencies. Both the cycle-approximate simulator (internal/cpu) and the
+// static WCET analyzer (internal/analysis/wcet) cost instructions from
+// the Model defined here, so the two cannot drift: a latency changed in
+// one place changes in both, and the drift test in this package steps
+// the simulator instruction-by-instruction and asserts that every
+// opcode's observed cycle delta equals OpLatency.
+//
+// The Model covers only the *core* component of an instruction's cost —
+// base issue, integer/FPU latencies, taken-branch penalty, trap
+// overhead. Memory-hierarchy stalls (cache misses, TLB walks, bus and
+// DRAM latency) are charged by the components that model them and, on
+// the static side, bounded by the analyzer's abstract cache/TLB
+// domains.
+package timing
+
+import (
+	"math"
+	"math/bits"
+
+	"dsr/internal/isa"
+	"dsr/internal/mem"
+)
+
+// Model holds the core timing constants. It is embedded in cpu.Config,
+// so simulator users see the same field names they always had.
+type Model struct {
+	BranchTaken mem.Cycles // extra cycles for a taken branch
+	LoadUse     mem.Cycles // extra cycles for any load
+	StoreBase   mem.Cycles // base cycles for any store
+	// StoreHidden is the portion of the write-through path the LEON3
+	// store buffer hides: the charged store stall is
+	// StoreBase + max(0, hierarchy latency - StoreHidden).
+	StoreHidden  mem.Cycles
+	MulLatency   mem.Cycles
+	DivLatency   mem.Cycles
+	FAddLatency  mem.Cycles // fadd/fsub/fcmp/fitos/fstoi
+	FMulLatency  mem.Cycles
+	FDivLatency  mem.Cycles
+	FSqrtLatency mem.Cycles
+	// FPJitterMax is the value-dependent extra latency of fdiv and fsqrt,
+	// the two jittery FPU instruction types (§VI: "only two types of
+	// those instructions have a maximum jitter of 3 cycles").
+	FPJitterMax  mem.Cycles
+	TrapOverhead mem.Cycles // window overflow/underflow trap entry/exit
+	IPointCost   mem.Cycles // instrumentation point (timestamp store)
+}
+
+// Default returns the timing constants of the PROXIMA LEON3
+// reproduction platform (see DESIGN.md §5).
+func Default() Model {
+	return Model{
+		BranchTaken:  1,
+		LoadUse:      1,
+		StoreBase:    1,
+		StoreHidden:  12,
+		MulLatency:   4,
+		DivLatency:   20,
+		FAddLatency:  3,
+		FMulLatency:  4,
+		FDivLatency:  15,
+		FSqrtLatency: 22,
+		FPJitterMax:  3,
+		TrapOverhead: 3,
+		IPointCost:   2,
+	}
+}
+
+// Jitter is the deterministic value-dependent extra latency of the two
+// jittery FPU instruction types (fdiv, fsqrt): iterative dividers
+// terminate early depending on operand bit patterns, modelled as a
+// function of the operand mantissa. The result is always in
+// [0, FPJitterMax].
+func (m *Model) Jitter(v float32) mem.Cycles {
+	if m.FPJitterMax == 0 {
+		return 0
+	}
+	mant := math.Float32bits(v) & 0x7FFFFF
+	return mem.Cycles(bits.OnesCount32(mant)) % (m.FPJitterMax + 1)
+}
+
+// OpLatency returns the core-component cost of executing op once: the
+// base issue cycle plus the opcode-class latency. taken selects the
+// taken-branch penalty for branch opcodes (ignored otherwise); jitter
+// is the value-dependent FPU jitter for fdiv/fsqrt (ignored otherwise —
+// pass Jitter(operand) when simulating, FPJitterMax when bounding).
+//
+// Memory stalls are NOT included: loads add LoadUse plus the hierarchy
+// latency, stores add StoreBase plus max(0, hierarchy-StoreHidden), and
+// window traps add TrapOverhead plus 16 store/load accesses; those
+// components are charged where they are modelled.
+func (m *Model) OpLatency(op isa.Op, taken bool, jitter mem.Cycles) mem.Cycles {
+	lat := mem.Cycles(1) // base issue cycle, charged for every instruction
+	switch op {
+	case isa.Mul:
+		lat += m.MulLatency
+	case isa.Div:
+		lat += m.DivLatency
+	case isa.Ld, isa.Ldub, isa.FLd:
+		lat += m.LoadUse
+	case isa.St, isa.Stb, isa.FSt:
+		lat += m.StoreBase
+	case isa.Fadd, isa.Fsub, isa.Fcmp, isa.Fitos, isa.Fstoi:
+		lat += m.FAddLatency
+	case isa.Fmul:
+		lat += m.FMulLatency
+	case isa.Fdiv:
+		lat += m.FDivLatency + jitter
+	case isa.Fsqrt:
+		lat += m.FSqrtLatency + jitter
+	case isa.IPoint:
+		lat += m.IPointCost
+	default:
+		if op.IsBranch() && taken {
+			lat += m.BranchTaken
+		}
+	}
+	return lat
+}
+
+// WorstOpLatency returns the largest core-component cost op can incur:
+// branch taken, maximal FPU jitter. This is what the static WCET
+// analyzer charges per instruction before adding memory-stall bounds.
+func (m *Model) WorstOpLatency(op isa.Op) mem.Cycles {
+	return m.OpLatency(op, true, m.FPJitterMax)
+}
