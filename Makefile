@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check telemetry-smoke fuzz clean
+.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check leak-check telemetry-smoke fuzz clean
 
-all: build lint test race race-campaign dsrlint wcet-check telemetry-smoke
+all: build lint test race race-campaign dsrlint wcet-check leak-check telemetry-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,23 @@ wcet-check: build
 	$(GO) run ./cmd/dsrwcet -q cmd/dsrlint/testdata/clean.s
 	WCET_RUNS=200 $(GO) test -run 'TestWCETSound' -count=1 -v ./internal/experiments
 	$(GO) test -run FuzzWCETSound -count=1 ./internal/analysis/wcet
+
+# Leakage-soundness gate for the side-channel analyzer: (1) dsrleak must
+# produce finite channel bounds for every shipped program in every
+# layout mode, and (2) over a 200-run campaign under the simulated
+# prime+probe and evict+time attackers, the measured leakage (log2 of
+# distinct observations) must stay below the static bounds, with the
+# det >= lazy >= eager monotonicity chain and a strictly positive DSR
+# benefit on the access channel (E8's two verdicts).
+leak-check: build
+	$(GO) run ./cmd/dsrleak -q -builtin control
+	$(GO) run ./cmd/dsrleak -q -mode dsr-eager -builtin control
+	$(GO) run ./cmd/dsrleak -q -mode dsr-lazy -builtin control
+	$(GO) run ./cmd/dsrleak -q -builtin processing
+	$(GO) run ./cmd/dsrleak -q -mode dsr-eager -builtin processing
+	$(GO) run ./cmd/dsrleak -q cmd/dsrlint/testdata/clean.s
+	LEAK_RUNS=200 $(GO) test -run 'TestLeakSound' -count=1 -v ./internal/experiments
+	$(GO) test -run FuzzLeakSound -count=1 ./internal/analysis/leak
 
 # Telemetry end-to-end smoke: run a reduced campaign with the recorder
 # on, then exercise every dsrstat path over the produced artefacts —
@@ -117,6 +134,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzVerifyTransform -fuzztime=20s -fuzzminimizetime=5s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzSeedSchedule -fuzztime=20s -fuzzminimizetime=5s ./internal/campaign
 	$(GO) test -run=^$$ -fuzz=FuzzWCETSound -fuzztime=20s -fuzzminimizetime=5s ./internal/analysis/wcet
+	$(GO) test -run=^$$ -fuzz=FuzzLeakSound -fuzztime=20s -fuzzminimizetime=5s ./internal/analysis/leak
 
 clean:
 	$(GO) clean ./...

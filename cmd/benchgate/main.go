@@ -49,6 +49,7 @@ var suites = []suite{
 	{Pkg: "./internal/cpu", Bench: "^BenchmarkMemory", BenchTime: "2000000x"},
 	{Pkg: "./internal/cpu", Bench: "^BenchmarkFetchLoop", BenchTime: "100x"},
 	{Pkg: "./internal/cpu", Bench: "^BenchmarkChargeDisabled", BenchTime: "20000000x"},
+	{Pkg: "./internal/analysis/leak", Bench: "^BenchmarkLeakAnalyze$", BenchTime: "100x"},
 }
 
 // result is one benchmark's parsed output: ns/op plus named metrics.

@@ -11,6 +11,8 @@
 //	dsrlint -dsr prog.s            also verify the DSR transformation
 //	dsrlint -stack prog.s          print the static stack bounds
 //	dsrlint -wcet prog.s           also run the static WCET analyzer
+//	dsrlint -leak prog.s           also run the static side-channel
+//	                               leakage analyzer
 //	dsrlint -json prog.s           emit diagnostics as a stable JSON
 //	                               document (schema: analysis.ReportJSON)
 //	dsrlint -Werror prog.s         treat warnings as errors for the exit
@@ -28,6 +30,7 @@ import (
 	"os"
 
 	"dsr/internal/analysis"
+	"dsr/internal/analysis/leak"
 	"dsr/internal/analysis/wcet"
 	"dsr/internal/asm"
 	"dsr/internal/core"
@@ -53,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		l2MinFrac   = fs.Float64("l2-minfrac", 0.5, "report L2 conflicts above this overlap fraction")
 		stack       = fs.Bool("stack", false, "print the static call-depth/stack/window bounds")
 		runWcet     = fs.Bool("wcet", false, "run the static WCET analyzer and report its bound and diagnostics")
+		runLeak     = fs.Bool("leak", false, "run the static side-channel leakage analyzer and report its channel bounds")
 		jsonOut     = fs.Bool("json", false, "emit diagnostics as a stable JSON document on stdout")
 		werror      = fs.Bool("Werror", false, "treat warnings as errors for the exit status")
 		quiet       = fs.Bool("q", false, "suppress info-level diagnostics")
@@ -98,6 +102,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diags = append(diags, wcetRep.Diags...)
 	}
 
+	var leakRep *leak.Report
+	if *runLeak {
+		leakRep = leak.Analyze(p, leak.Config{Lines: lines})
+		diags = append(diags, leakRep.Diags...)
+	}
+
 	if *stack && !*jsonOut {
 		sb, err := analysis.AnalyzeStack(p, analysis.StackOptions{
 			NumWindows: platform.ProximaLEON3().CPU.NumWindows,
@@ -131,6 +141,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				rep.WCET = raw
 			}
 		}
+		if leakRep != nil {
+			if raw, err := leakRep.JSON(); err == nil {
+				rep.Leak = raw
+			}
+		}
 		out, err := rep.Marshal()
 		if err != nil {
 			fmt.Fprintln(stderr, "dsrlint:", err)
@@ -153,6 +168,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if wcetRep != nil && wcetRep.Bounded {
 		fmt.Fprintf(stdout, "dsrlint: wcet bound %d cycles (%s mode, %d loops)\n",
 			wcetRep.BoundCycles, wcetRep.Mode, len(wcetRep.Loops))
+	}
+	if leakRep != nil && leakRep.Bounded {
+		fmt.Fprintf(stdout, "dsrlint: leak bound %.1f access + %.1f trace bits (%s mode)\n",
+			leakRep.AccessBits, leakRep.TraceBits, leakRep.Mode)
 	}
 	if failed {
 		if *werror && errs == 0 {

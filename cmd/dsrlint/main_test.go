@@ -37,6 +37,7 @@ func TestExitCodes(t *testing.T) {
 		{"no input", []string{}, 2},
 		{"builtin control", []string{"-builtin", "control"}, 0},
 		{"clean with wcet", []string{"-wcet", "testdata/clean.s"}, 0},
+		{"clean with leak", []string{"-leak", "testdata/clean.s"}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -61,6 +62,7 @@ func TestJSONGolden(t *testing.T) {
 		// -dsr=false and -l2=false keep the fixture reports focused on
 		// the file's own findings rather than layout-dependent ones.
 		{"clean+wcet", []string{"-json", "-wcet", "-dsr=false", "-l2=false", "testdata/clean.s"}, "clean_wcet.json"},
+		{"clean+leak", []string{"-json", "-leak", "-dsr=false", "-l2=false", "testdata/clean.s"}, "clean_leak.json"},
 		{"warn", []string{"-json", "-dsr=false", "-l2=false", "testdata/warn.s"}, "warn.json"},
 		{"error", []string{"-json", "-dsr=false", "-l2=false", "testdata/error.s"}, "error.json"},
 	}

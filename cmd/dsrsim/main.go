@@ -8,6 +8,7 @@
 //	dsrsim -iid         the i.i.d. verification (Ljung-Box + KS)
 //	dsrsim -margin      pWCET vs the MOET+20% industrial margin
 //	dsrsim -ablations   the A1-A5 ablation campaigns
+//	dsrsim -leakage     E8: side-channel leakage vs timing analysability
 //	dsrsim -all         everything above
 //
 // -runs N sets the campaign size (default 1000, as in the paper).
@@ -54,6 +55,7 @@ func main() {
 		iid       = flag.Bool("iid", false, "i.i.d. verification")
 		margin    = flag.Bool("margin", false, "pWCET vs industrial margin")
 		ablations = flag.Bool("ablations", false, "A1-A5 ablation campaigns")
+		leakage   = flag.Bool("leakage", false, "E8: cache side-channel leakage vs timing analysability")
 		multicore = flag.Bool("multicore", false, "future-work study: DSR under bus contention (§VII)")
 		paths     = flag.Bool("paths", false, "future-work study: worst-path coverage of the processing task (§VII)")
 		telemDir  = flag.String("telemetry", "", "record the campaign and export telemetry files to this directory")
@@ -61,10 +63,10 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*platFlag, *table1, *fig2, *fig3, *iid, *margin, *ablations, *multicore, *paths =
-			true, true, true, true, true, true, true, true, true
+		*platFlag, *table1, *fig2, *fig3, *iid, *margin, *ablations, *leakage, *multicore, *paths =
+			true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*platFlag || *table1 || *fig2 || *fig3 || *iid || *margin || *ablations || *multicore || *paths) {
+	if !(*platFlag || *table1 || *fig2 || *fig3 || *iid || *margin || *ablations || *leakage || *multicore || *paths) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -167,6 +169,13 @@ func main() {
 
 	if *ablations {
 		runAblations(cfg)
+	}
+	if *leakage {
+		fmt.Fprintf(os.Stderr, "running 3x%d leakage measurement runs (prime+probe / evict+time)...\n", cfg.Runs)
+		e8, err := experiments.RunE8(cfg)
+		die(err)
+		fmt.Print(experiments.FormatE8(e8))
+		fmt.Println()
 	}
 	if *multicore {
 		runMulticore(cfg)

@@ -1,0 +1,414 @@
+// Package cachedom is the shared Ferdinand-style abstract cache domain
+// (must/may analysis) used by the static analyzers: the WCET analyzer
+// (internal/analysis/wcet) consumes the always-hit classification for
+// its miss-count bounds, and the leakage analyzer (internal/analysis/leak)
+// consumes the per-access classification for its trace-channel counting.
+//
+// The *must* domain proves always-hit: it maps line addresses to an
+// upper bound on their LRU age, keeping only lines guaranteed resident
+// in every concrete execution reaching the program point. Join is
+// intersection with age maximum. The *may* domain over-approximates the
+// possible cache contents and proves always-miss (report-only — a WCET
+// bound never relies on a predicted miss being cheap, since on this
+// platform a miss is always the expensive outcome; the leak analyzer
+// uses always-miss to fix an access's trace outcome).
+//
+// Soundness gates, enforced by the callers:
+//
+//   - deterministic layout only: under DSR the line→set mapping of every
+//     object changes per run, so a per-set age argument is meaningless
+//     (callers then fall back to placement-independent counting);
+//   - modulo placement + LRU replacement only: the hardware-randomised
+//     caches of the A4 ablation defeat both domains by design, which is
+//     exactly the paper's point about hardware vs software randomisation;
+//   - the data-cache domain additionally requires a window-safe program:
+//     register-window spill/fill traps issue stores and loads that the
+//     access plan cannot see.
+//
+// Transfer functions follow the platform's policies: the DL1 is
+// write-through no-allocate, so a store never installs a line, but a
+// store *hit* refreshes the line's LRU age — the analysis conservatively
+// ages all other same-set lines on every known store, and treats
+// unknown-address accesses as ageing every tracked line by one (a single
+// access perturbs at most one set by at most one step, so this is a
+// superset of every concrete behaviour). Calls clear the domain: the
+// callee's cache footprint is handled interprocedurally by the callers
+// (persistence analysis in wcet, per-site counting in leak), not here.
+package cachedom
+
+import (
+	"dsr/internal/analysis"
+	"dsr/internal/cache"
+	"dsr/internal/mem"
+)
+
+// Dom is the abstract-domain geometry of one cache.
+type Dom struct {
+	LineSz mem.Addr
+	NSets  mem.Addr
+	NWays  int
+}
+
+// New derives the domain geometry from a cache configuration.
+func New(cfg cache.Config) *Dom {
+	return &Dom{
+		LineSz: mem.Addr(cfg.LineSize),
+		NSets:  mem.Addr(cfg.Sets()),
+		NWays:  cfg.Ways,
+	}
+}
+
+// LineOf returns the line address (addr / lineSize) of a byte address.
+func (c *Dom) LineOf(a mem.Addr) mem.Addr { return a / c.LineSz }
+
+// SetOf returns the modulo set index of a line address.
+func (c *Dom) SetOf(line mem.Addr) mem.Addr { return line % c.NSets }
+
+// MustState maps resident line address -> maximum LRU age (0 = MRU).
+// Absent means "not guaranteed resident".
+type MustState map[mem.Addr]int
+
+// CopyMust deep-copies a must state.
+func CopyMust(s MustState) MustState {
+	n := make(MustState, len(s))
+	for k, v := range s {
+		n[k] = v
+	}
+	return n
+}
+
+// MustJoin intersects a and b with age maximum (into a fresh state).
+func MustJoin(a, b MustState) MustState {
+	n := MustState{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb > va {
+				va = vb
+			}
+			n[k] = va
+		}
+	}
+	return n
+}
+
+// MustEqual reports whether two must states are identical.
+func MustEqual(a, b MustState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || vb != va {
+			return false
+		}
+	}
+	return true
+}
+
+// MustAccess applies a known-address access. install=true for reads
+// (the line is resident afterwards); install=false for stores on the
+// write-through no-allocate DL1, where residency is only refreshed if
+// the line was already resident.
+func (c *Dom) MustAccess(st MustState, line mem.Addr, install bool) {
+	prevAge, present := st[line]
+	s := c.SetOf(line)
+	for l, age := range st {
+		if l == line || c.SetOf(l) != s {
+			continue
+		}
+		if !present || age < prevAge || !install {
+			// The accessed line moves to the front; lines younger than
+			// its previous age (or every same-set line, when we cannot
+			// bound that age) slip one step towards eviction.
+			age++
+			if age >= c.NWays {
+				delete(st, l)
+			} else {
+				st[l] = age
+			}
+		}
+	}
+	if install || present {
+		st[line] = 0
+	}
+}
+
+// MustUnknown applies an access with statically unknown address: every
+// tracked line may have aged one step.
+func (c *Dom) MustUnknown(st MustState) {
+	for l, age := range st {
+		age++
+		if age >= c.NWays {
+			delete(st, l)
+		} else {
+			st[l] = age
+		}
+	}
+}
+
+// MayState over-approximates the possible cache contents.
+type MayState struct {
+	Lines  map[mem.Addr]bool
+	AllTop bool // any line may be resident
+}
+
+// NewMay returns an empty may state.
+func NewMay() *MayState { return &MayState{Lines: map[mem.Addr]bool{}} }
+
+// Copy deep-copies a may state.
+func (m *MayState) Copy() *MayState {
+	n := &MayState{Lines: make(map[mem.Addr]bool, len(m.Lines)), AllTop: m.AllTop}
+	for k := range m.Lines {
+		n.Lines[k] = true
+	}
+	return n
+}
+
+// Join unions b into m, reporting change.
+func (m *MayState) Join(b *MayState) bool {
+	changed := false
+	if b.AllTop && !m.AllTop {
+		m.AllTop = true
+		changed = true
+	}
+	for k := range b.Lines {
+		if !m.Lines[k] {
+			m.Lines[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Access applies a known-address access to the may state.
+func (m *MayState) Access(line mem.Addr, install bool) {
+	if install {
+		m.Lines[line] = true
+	}
+}
+
+// Unknown applies an unknown-address access to the may state.
+func (m *MayState) Unknown(install bool) {
+	if install {
+		m.AllTop = true
+	}
+}
+
+// Contains reports whether line may be resident.
+func (m *MayState) Contains(line mem.Addr) bool {
+	return m.AllTop || m.Lines[line]
+}
+
+// AccessInfo is the per-instruction data-access summary handed to the
+// domain by the address analysis.
+type AccessInfo struct {
+	Load  bool // Ld/Ldub/FLd
+	Store bool // St/Stb/FSt
+	// LineKnown marks a deterministic-layout access whose entire byte
+	// range falls inside one cache line of the *data* cache.
+	LineKnown bool
+	Line      mem.Addr
+}
+
+// AccessPlan is the full memory behaviour of one function under a
+// deterministic layout.
+type AccessPlan struct {
+	// FetchLine[i] is the IL1 line of instruction i's fetch address.
+	FetchLine []mem.Addr
+	// Data[i] summarises instruction i's data access (zero value: none).
+	Data []AccessInfo
+	// Call[i] marks a Call/CallR at i (clears both domains).
+	Call []bool
+}
+
+// Class is the per-access outcome proven by the fixpoint.
+type Class uint8
+
+const (
+	// ClassUnknown: neither always-hit nor always-miss was proven.
+	ClassUnknown Class = iota
+	// ClassHit: the access hits in every execution reaching it.
+	ClassHit
+	// ClassMiss: the access misses in every execution reaching it
+	// (relative to the function's own entry; report-only for WCET).
+	ClassMiss
+)
+
+// Classification is the outcome of the must/may fixpoint.
+type Classification struct {
+	// FetchHit[i]: instruction i's fetch is an always-hit in the IL1.
+	FetchHit []bool
+	// LoadHit[i]: instruction i's data load is an always-hit in the DL1.
+	LoadHit []bool
+	// FetchClass[i] / DataClass[i] record the full per-access outcome
+	// (hit / miss / unknown) for the leakage analyzer's trace channel.
+	FetchClass []Class
+	DataClass  []Class
+
+	AlwaysHit     int
+	AlwaysMiss    int
+	NotClassified int
+}
+
+// Classify runs the must and may fixpoints over g for the instruction
+// and data caches (independently gated by doIL1/doDL1) and re-walks the
+// converged states to classify every access site.
+func Classify(g *analysis.CFG, plan *AccessPlan, il1, dl1 *Dom, doIL1, doDL1 bool) *Classification {
+	n := len(plan.Data)
+	cl := &Classification{
+		FetchHit: make([]bool, n), LoadHit: make([]bool, n),
+		FetchClass: make([]Class, n), DataClass: make([]Class, n),
+	}
+	if !doIL1 && !doDL1 {
+		for b := range g.Blocks {
+			if !g.Reachable[b] {
+				continue
+			}
+			for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
+				cl.NotClassified++ // fetch
+				if plan.Data[i].Load || plan.Data[i].Store {
+					cl.NotClassified++
+				}
+			}
+		}
+		return cl
+	}
+
+	nb := len(g.Blocks)
+	type domState struct {
+		mustI, mustD MustState
+		mayI, mayD   *MayState
+	}
+	in := make([]*domState, nb)
+	seen := make([]bool, nb)
+	// Entry convention: cold cache — must empty (proves nothing extra),
+	// may empty (per-function always-miss classification is relative to
+	// the function's own entry; documented report-only).
+	in[0] = &domState{mustI: MustState{}, mustD: MustState{}, mayI: NewMay(), mayD: NewMay()}
+	seen[0] = true
+
+	// step applies instruction i to st.
+	step := func(i int, st *domState) {
+		if doIL1 {
+			il1.MustAccess(st.mustI, plan.FetchLine[i], true)
+			st.mayI.Access(plan.FetchLine[i], true)
+		}
+		if doDL1 {
+			d := plan.Data[i]
+			switch {
+			case !d.Load && !d.Store:
+			case d.LineKnown:
+				dl1.MustAccess(st.mustD, d.Line, d.Load)
+				st.mayD.Access(d.Line, d.Load)
+			default:
+				dl1.MustUnknown(st.mustD)
+				st.mayD.Unknown(d.Load)
+			}
+		}
+		if plan.Call[i] {
+			// The callee's accesses are invisible here; drop everything.
+			st.mustI = MustState{}
+			st.mustD = MustState{}
+			st.mayI.AllTop = true
+			st.mayD.AllTop = true
+		}
+	}
+
+	work := []int{0}
+	inWork := make([]bool, nb)
+	inWork[0] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		st := &domState{
+			mustI: CopyMust(in[b].mustI), mustD: CopyMust(in[b].mustD),
+			mayI: in[b].mayI.Copy(), mayD: in[b].mayD.Copy(),
+		}
+		for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
+			step(i, st)
+		}
+		for _, s := range g.Blocks[b].Succs {
+			changed := false
+			if !seen[s] {
+				in[s] = &domState{
+					mustI: CopyMust(st.mustI), mustD: CopyMust(st.mustD),
+					mayI: st.mayI.Copy(), mayD: st.mayD.Copy(),
+				}
+				seen[s] = true
+				changed = true
+			} else {
+				if ni := MustJoin(in[s].mustI, st.mustI); !MustEqual(ni, in[s].mustI) {
+					in[s].mustI = ni
+					changed = true
+				}
+				if nd := MustJoin(in[s].mustD, st.mustD); !MustEqual(nd, in[s].mustD) {
+					in[s].mustD = nd
+					changed = true
+				}
+				if in[s].mayI.Join(st.mayI) {
+					changed = true
+				}
+				if in[s].mayD.Join(st.mayD) {
+					changed = true
+				}
+			}
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+
+	// Classification re-walk from the converged entry states.
+	for b := range g.Blocks {
+		if !g.Reachable[b] || !seen[b] {
+			continue
+		}
+		st := &domState{
+			mustI: CopyMust(in[b].mustI), mustD: CopyMust(in[b].mustD),
+			mayI: in[b].mayI.Copy(), mayD: in[b].mayD.Copy(),
+		}
+		for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
+			if doIL1 {
+				switch {
+				case st.mustI[plan.FetchLine[i]] < il1.NWays && hasKey(st.mustI, plan.FetchLine[i]):
+					cl.FetchHit[i] = true
+					cl.FetchClass[i] = ClassHit
+					cl.AlwaysHit++
+				case !st.mayI.Contains(plan.FetchLine[i]):
+					cl.FetchClass[i] = ClassMiss
+					cl.AlwaysMiss++
+				default:
+					cl.NotClassified++
+				}
+			} else {
+				cl.NotClassified++
+			}
+			d := plan.Data[i]
+			if d.Load || d.Store {
+				switch {
+				case !doDL1:
+					cl.NotClassified++
+				case d.LineKnown && hasKey(st.mustD, d.Line):
+					if d.Load {
+						cl.LoadHit[i] = true
+					}
+					cl.DataClass[i] = ClassHit
+					cl.AlwaysHit++
+				case d.LineKnown && !st.mayD.Contains(d.Line):
+					cl.DataClass[i] = ClassMiss
+					cl.AlwaysMiss++
+				default:
+					cl.NotClassified++
+				}
+			}
+			step(i, st)
+		}
+	}
+	return cl
+}
+
+func hasKey(s MustState, k mem.Addr) bool {
+	_, ok := s[k]
+	return ok
+}

@@ -1,0 +1,54 @@
+package cachedom
+
+import (
+	"testing"
+
+	"dsr/internal/cache"
+)
+
+func TestMustDomainAgingAndEviction(t *testing.T) {
+	// Two-way cache with 2 sets of 16-byte lines.
+	dom := New(cache.Config{Size: 64, LineSize: 16, Ways: 2})
+	st := MustState{}
+	// Lines 0 and 2 map to set 0; line 1 maps to set 1.
+	dom.MustAccess(st, 0, true)
+	dom.MustAccess(st, 2, true)
+	if st[2] != 0 || st[0] != 1 {
+		t.Fatalf("LRU ages wrong after two installs: %v", st)
+	}
+	dom.MustAccess(st, 1, true) // different set: must not age set 0
+	if st[0] != 1 || st[2] != 0 {
+		t.Fatalf("cross-set access aged set 0: %v", st)
+	}
+	dom.MustAccess(st, 4, true) // set 0 again: line 0 evicted (age 2 >= 2 ways)
+	if _, ok := st[0]; ok {
+		t.Fatalf("line 0 must be evicted: %v", st)
+	}
+	if st[2] != 1 || st[4] != 0 {
+		t.Fatalf("ages after eviction: %v", st)
+	}
+}
+
+func TestMustDomainStoreNoAllocate(t *testing.T) {
+	dom := New(cache.Config{Size: 64, LineSize: 16, Ways: 2})
+	st := MustState{}
+	dom.MustAccess(st, 0, false) // store miss: must NOT install
+	if len(st) != 0 {
+		t.Fatalf("write-through no-allocate store installed a line: %v", st)
+	}
+	dom.MustAccess(st, 0, true)  // load installs
+	dom.MustAccess(st, 2, true)  // same set
+	dom.MustAccess(st, 0, false) // store hit refreshes line 0
+	if st[0] != 0 {
+		t.Fatalf("store hit did not refresh LRU age: %v", st)
+	}
+}
+
+func TestMustJoinIntersects(t *testing.T) {
+	a := MustState{1: 0, 2: 1}
+	b := MustState{2: 3, 9: 0}
+	j := MustJoin(a, b)
+	if len(j) != 1 || j[2] != 3 {
+		t.Fatalf("join = %v; want {2:3}", j)
+	}
+}

@@ -26,6 +26,9 @@ type ReportJSON struct {
 	// WCET carries the static WCET report when the analysis ran
 	// (dsrlint -wcet); it is the wcet.Report marshalled as-is.
 	WCET json.RawMessage `json:"wcet,omitempty"`
+	// Leak carries the static side-channel leakage report when the
+	// analysis ran (dsrlint -leak); it is the leak.Report as-is.
+	Leak json.RawMessage `json:"leak,omitempty"`
 }
 
 // NewReportJSON converts diagnostics into the stable JSON document,

@@ -47,6 +47,7 @@ import (
 	"strings"
 
 	"dsr/internal/analysis"
+	"dsr/internal/analysis/cachedom"
 	"dsr/internal/cache"
 	"dsr/internal/isa"
 	"dsr/internal/mem"
@@ -234,21 +235,21 @@ func (a *analyzer) satMul(n int, x mem.Cycles) mem.Cycles {
 // k consecutive sets, so an unknown-base object of k lines adds at most
 // ceil(k/sets) lines to every set.
 type footprint struct {
-	dom      *cacheDom
+	dom      *cachedom.Dom
 	exact    []map[mem.Addr]bool
 	rel      []int
 	relLines int
 }
 
-func newFootprint(dom *cacheDom) *footprint {
-	return &footprint{dom: dom, exact: make([]map[mem.Addr]bool, dom.sets), rel: make([]int, dom.sets)}
+func newFootprint(dom *cachedom.Dom) *footprint {
+	return &footprint{dom: dom, exact: make([]map[mem.Addr]bool, dom.NSets), rel: make([]int, dom.NSets)}
 }
 
 // addRange adds the concretely-placed lines covering [lo, hi] (byte
 // addresses, inclusive).
 func (fp *footprint) addRange(lo, hi mem.Addr) {
-	for l := fp.dom.lineOf(lo); l <= fp.dom.lineOf(hi); l++ {
-		s := fp.dom.setOf(l)
+	for l := fp.dom.LineOf(lo); l <= fp.dom.LineOf(hi); l++ {
+		s := fp.dom.SetOf(l)
 		if fp.exact[s] == nil {
 			fp.exact[s] = map[mem.Addr]bool{}
 		}
@@ -258,7 +259,7 @@ func (fp *footprint) addRange(lo, hi mem.Addr) {
 
 // addRelative adds an unknown-base object spanning at most k lines.
 func (fp *footprint) addRelative(k int) {
-	per := (k + int(fp.dom.sets) - 1) / int(fp.dom.sets)
+	per := (k + int(fp.dom.NSets) - 1) / int(fp.dom.NSets)
 	for s := range fp.rel {
 		fp.rel[s] += per
 	}
@@ -270,7 +271,7 @@ func (fp *footprint) addRelative(k int) {
 // one-time miss charge).
 func (fp *footprint) fits() bool {
 	for s := range fp.rel {
-		if len(fp.exact[s])+fp.rel[s] > fp.dom.ways {
+		if len(fp.exact[s])+fp.rel[s] > fp.dom.NWays {
 			return false
 		}
 	}
@@ -371,7 +372,7 @@ func (a *analyzer) regionIFoot(fi *fnInfo, li int, fp *footprint, seenFn map[str
 		}
 	}
 	if !a.det() {
-		fp.addRelative(relLineSpan(int64(hi-lo)*int64(isa.InstrBytes), a.il1.lineSz))
+		fp.addRelative(relLineSpan(int64(hi-lo)*int64(isa.InstrBytes), a.il1.LineSz))
 	}
 	for _, b := range blocks {
 		blk := fi.g.Blocks[b]
@@ -396,7 +397,7 @@ func (a *analyzer) calleeIFoot(name string, fp *footprint, seenFn map[string]boo
 	if a.det() {
 		fp.addRange(ci.base, ci.base+mem.Addr(size)-1)
 	} else {
-		fp.addRelative(relLineSpan(size, a.il1.lineSz))
+		fp.addRelative(relLineSpan(size, a.il1.LineSz))
 	}
 	for i := range ci.fn.Code {
 		if c := ci.callee[i]; c != "" && !seenFn[c] {
@@ -481,7 +482,7 @@ func (a *analyzer) accFoot(acc dataAcc, fp *footprint, seenObj map[string]bool) 
 		}
 		// One contribution per call chain — callers dedupe globals but
 		// pass every chain through here.
-		fp.addRelative(relLineSpan(frame, a.dl1.lineSz))
+		fp.addRelative(relLineSpan(frame, a.dl1.LineSz))
 	default:
 		obj := a.p.DataObject(acc.sym)
 		if obj == nil {
@@ -495,7 +496,7 @@ func (a *analyzer) accFoot(acc dataAcc, fp *footprint, seenObj map[string]bool) 
 			fp.addRange(base+mem.Addr(acc.lo), base+mem.Addr(acc.hi)+mem.Addr(acc.size)-1)
 		} else if !seenObj[acc.sym] {
 			seenObj[acc.sym] = true
-			fp.addRelative(relLineSpan(int64(obj.Size), a.dl1.lineSz))
+			fp.addRelative(relLineSpan(int64(obj.Size), a.dl1.LineSz))
 		}
 	}
 	return true
@@ -769,11 +770,11 @@ func (a *analyzer) distinctFetchLines(fi *fnInfo, start, end int) int {
 		return 0
 	}
 	if a.det() {
-		first := a.il1.lineOf(fi.base + mem.Addr(start)*isa.InstrBytes)
-		last := a.il1.lineOf(fi.base + mem.Addr(end)*isa.InstrBytes - 1)
+		first := a.il1.LineOf(fi.base + mem.Addr(start)*isa.InstrBytes)
+		last := a.il1.LineOf(fi.base + mem.Addr(end)*isa.InstrBytes - 1)
 		return int(last-first) + 1
 	}
-	k := relLineSpan(int64(n)*int64(isa.InstrBytes), a.il1.lineSz)
+	k := relLineSpan(int64(n)*int64(isa.InstrBytes), a.il1.LineSz)
 	if k > n {
 		k = n
 	}
@@ -793,7 +794,7 @@ func (a *analyzer) blockCost(fi *fnInfo, b int, hotI, hotD bool) (mem.Cycles, bo
 	case hotI:
 	case a.useMustI && fi.cls != nil:
 		for i := blk.Start; i < blk.End; i++ {
-			if !fi.cls.fetchHit[i] {
+			if !fi.cls.FetchHit[i] {
 				fm++
 			}
 		}
@@ -809,7 +810,7 @@ func (a *analyzer) blockCost(fi *fnInfo, b int, hotI, hotD bool) (mem.Cycles, bo
 		case isa.Ld, isa.Ldub, isa.FLd:
 			cost = a.satAdd(cost, a.lat.loadBase)
 			miss := true
-			if hotD || (a.useMustD && fi.cls != nil && fi.cls.loadHit[i]) {
+			if hotD || (a.useMustD && fi.cls != nil && fi.cls.LoadHit[i]) {
 				miss = false
 			}
 			if miss {

@@ -15,7 +15,8 @@
 //     (value.go);
 //  3. Ferdinand-style must/may abstract cache analysis for the L1s
 //     under a deterministic layout, classifying always-hit /
-//     always-miss / not-classified (cachedom.go), plus a loop
+//     always-miss / not-classified (internal/analysis/cachedom, the
+//     domain shared with the leakage analyzer), plus a loop
 //     persistence analysis that works in both deterministic and
 //     DSR-randomised modes (cost.go);
 //  4. an IPET-style bound: collapse loop nests by their bounds, longest
@@ -42,6 +43,7 @@ import (
 	"fmt"
 
 	"dsr/internal/analysis"
+	"dsr/internal/analysis/cachedom"
 	"dsr/internal/cache"
 	"dsr/internal/isa"
 	"dsr/internal/loader"
@@ -193,8 +195,8 @@ type fnInfo struct {
 	nest   *loopNest
 	df     *dataflow
 	acc    []dataAcc
-	plan   *accessPlan
-	cls    *classification
+	plan   *cachedom.AccessPlan
+	cls    *cachedom.Classification
 	callee []string // resolved callee name per instruction ("" = none)
 	base   mem.Addr // deterministic code base (0 in DSR modes)
 }
@@ -209,7 +211,7 @@ type analyzer struct {
 
 	mode       Mode
 	layout     loader.Placement // nil in DSR modes
-	il1, dl1   *cacheDom
+	il1, dl1   *cachedom.Dom
 	useMustI   bool
 	useMustD   bool
 	hotIOK     bool
@@ -274,6 +276,51 @@ func (a *analyzer) diag(sev analysis.Severity, fn string, idx int, format string
 // Analyze computes a static WCET bound for p under cfg. It never
 // panics: analysis failures are Error diagnostics with Bounded=false.
 func Analyze(p *prog.Program, cfg Config) *Report {
+	a, sb, ok := prepare(p, cfg)
+	rep := a.rep
+	if !ok {
+		return rep
+	}
+
+	// TLB page budgets, then the latency model.
+	itlbEach, dtlbEach := a.tlbBudget(sb)
+	a.lat = deriveLat(a.pf, a.tm, cfg.BusContention, itlbEach, dtlbEach)
+	if !itlbEach {
+		rep.TLBCycles += a.satMul(rep.ITLBPages, a.lat.walkI)
+	}
+	if !dtlbEach {
+		rep.TLBCycles += a.satMul(rep.DTLBPages, a.lat.walkD)
+	}
+
+	// The bound.
+	cyc, ok := a.costFn(p.Entry, false, false)
+	if !ok {
+		return rep
+	}
+	bound := a.satAdd(cyc, rep.TLBCycles)
+	if a.mode == ModeDSRLazy && cfg.RelocBound > 0 {
+		bound = a.satAdd(bound, a.satMul(len(p.Functions), cfg.RelocBound))
+	}
+	rep.BoundCycles = bound
+	rep.Bounded = !rep.HasErrors()
+
+	for _, f := range p.Functions {
+		if !a.reach[f.Name] {
+			continue
+		}
+		if c, ok := a.costFn(f.Name, false, false); ok {
+			rep.FuncCycles[f.Name] = c
+		}
+	}
+	return rep
+}
+
+// prepare runs the analysis front end shared by Analyze and BuildModel:
+// validation, stack analysis, layout, domain gates, per-function CFGs
+// and dataflow, reachability, loop bounds, access plans and must/may
+// classification. ok=false means a hard failure already recorded in
+// a.rep.Diags.
+func prepare(p *prog.Program, cfg Config) (a *analyzer, sb *analysis.StackBound, ok bool) {
 	rep := &Report{Program: p.Name, Entry: p.Entry, Mode: cfg.Mode.String(), FuncCycles: map[string]mem.Cycles{}}
 	pf := cfg.Platform
 	if pf == nil {
@@ -284,9 +331,9 @@ func Analyze(p *prog.Program, cfg Config) *Report {
 	if cfg.Timing != nil {
 		tm = *cfg.Timing
 	}
-	a := &analyzer{
+	a = &analyzer{
 		p: p, cfg: &cfg, pf: pf, tm: tm, mode: cfg.Mode,
-		il1: newCacheDom(pf.IL1), dl1: newCacheDom(pf.DL1),
+		il1: cachedom.New(pf.IL1), dl1: cachedom.New(pf.DL1),
 		fns:  map[string]*fnInfo{},
 		memo: map[costKey]costRes{}, fit: map[fitKey]fitRes{},
 		onPath: map[string]bool{},
@@ -295,18 +342,19 @@ func Analyze(p *prog.Program, cfg Config) *Report {
 
 	if err := p.Validate(); err != nil {
 		a.diag(analysis.Error, "", 0, "program does not validate: %v", err)
-		return rep
+		return a, nil, false
 	}
 
 	// Stack analysis: recursion detection and window-trap bound.
-	sb, err := analysis.AnalyzeStack(p, analysis.StackOptions{
+	var err error
+	sb, err = analysis.AnalyzeStack(p, analysis.StackOptions{
 		NumWindows:       pf.CPU.NumWindows,
 		StackOffsetBound: cfg.StackOffsetBound,
 		Resolve:          cfg.Resolve,
 	})
 	if err != nil {
 		a.diag(analysis.Error, "", 0, "stack analysis failed: %v", err)
-		return rep
+		return a, nil, false
 	}
 	a.windowSafe = sb.WindowSpillBound == 0
 	rep.WindowSafe = a.windowSafe
@@ -324,7 +372,7 @@ func Analyze(p *prog.Program, cfg Config) *Report {
 		lay, err := loader.LayoutSequential(p, seq)
 		if err != nil {
 			a.diag(analysis.Error, "", 0, "layout failed: %v", err)
-			return rep
+			return a, nil, false
 		}
 		a.layout = lay.Placement
 	}
@@ -344,7 +392,7 @@ func Analyze(p *prog.Program, cfg Config) *Report {
 
 	// Per-function artifacts.
 	if !a.buildFns() {
-		return rep
+		return a, sb, false
 	}
 	a.computeReach()
 
@@ -381,17 +429,7 @@ func Analyze(p *prog.Program, cfg Config) *Report {
 		}
 	}
 	if !allBounded {
-		return rep
-	}
-
-	// TLB page budgets, then the latency model.
-	itlbEach, dtlbEach := a.tlbBudget(sb)
-	a.lat = deriveLat(pf, tm, cfg.BusContention, itlbEach, dtlbEach)
-	if !itlbEach {
-		rep.TLBCycles += a.satMul(rep.ITLBPages, a.lat.walkI)
-	}
-	if !dtlbEach {
-		rep.TLBCycles += a.satMul(rep.DTLBPages, a.lat.walkD)
+		return a, sb, false
 	}
 
 	// Must/may classification.
@@ -400,33 +438,12 @@ func Analyze(p *prog.Program, cfg Config) *Report {
 			continue
 		}
 		fi := a.fns[f.Name]
-		fi.cls = classify(fi.g, fi.plan, a.il1, a.dl1, a.useMustI, a.useMustD)
+		fi.cls = cachedom.Classify(fi.g, fi.plan, a.il1, a.dl1, a.useMustI, a.useMustD)
 		rep.AlwaysHit += fi.cls.AlwaysHit
 		rep.AlwaysMiss += fi.cls.AlwaysMiss
 		rep.NotClassified += fi.cls.NotClassified
 	}
-
-	// The bound.
-	cyc, ok := a.costFn(p.Entry, false, false)
-	if !ok {
-		return rep
-	}
-	bound := a.satAdd(cyc, rep.TLBCycles)
-	if a.mode == ModeDSRLazy && cfg.RelocBound > 0 {
-		bound = a.satAdd(bound, a.satMul(len(p.Functions), cfg.RelocBound))
-	}
-	rep.BoundCycles = bound
-	rep.Bounded = !rep.HasErrors()
-
-	for _, f := range p.Functions {
-		if !a.reach[f.Name] {
-			continue
-		}
-		if c, ok := a.costFn(f.Name, false, false); ok {
-			rep.FuncCycles[f.Name] = c
-		}
-	}
-	return rep
+	return a, sb, true
 }
 
 // buildFns constructs CFGs, loop nests, call clobbers and phase-1
@@ -519,18 +536,18 @@ func (a *analyzer) buildFns() bool {
 func (a *analyzer) buildAccesses(fi *fnInfo) {
 	n := len(fi.fn.Code)
 	fi.acc = make([]dataAcc, n)
-	fi.plan = &accessPlan{
-		fetchLine: make([]mem.Addr, n),
-		data:      make([]accInfo, n),
-		call:      make([]bool, n),
+	fi.plan = &cachedom.AccessPlan{
+		FetchLine: make([]mem.Addr, n),
+		Data:      make([]cachedom.AccessInfo, n),
+		Call:      make([]bool, n),
 	}
 	for i := range fi.fn.Code {
 		op := fi.fn.Code[i].Op
 		if a.det() {
-			fi.plan.fetchLine[i] = a.il1.lineOf(fi.base + mem.Addr(i)*isa.InstrBytes)
+			fi.plan.FetchLine[i] = a.il1.LineOf(fi.base + mem.Addr(i)*isa.InstrBytes)
 		}
 		if op == isa.Call || op == isa.CallR {
-			fi.plan.call[i] = true
+			fi.plan.Call[i] = true
 		}
 	}
 	fi.df.replay(func(i int, st *regState) {
@@ -577,12 +594,12 @@ func (a *analyzer) buildAccesses(fi *fnInfo) {
 					resolved = true
 				}
 			}
-			if resolved && a.dl1.lineOf(lo) == a.dl1.lineOf(hi) {
-				fi.plan.data[i] = accInfo{load: acc.load, store: acc.store, lineKnown: true, line: a.dl1.lineOf(lo)}
+			if resolved && a.dl1.LineOf(lo) == a.dl1.LineOf(hi) {
+				fi.plan.Data[i] = cachedom.AccessInfo{Load: acc.load, Store: acc.store, LineKnown: true, Line: a.dl1.LineOf(lo)}
 				return
 			}
 		}
-		fi.plan.data[i] = accInfo{load: acc.load, store: acc.store}
+		fi.plan.Data[i] = cachedom.AccessInfo{Load: acc.load, Store: acc.store}
 	})
 }
 

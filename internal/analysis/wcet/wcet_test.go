@@ -78,17 +78,17 @@ func TestTripCount(t *testing.T) {
 		want              int64
 		ok                bool
 	}{
-		{0, 1, 10, isa.Bl, 10, true},    // i=1..; loop while i<10
-		{0, 1, 10, isa.Ble, 11, true},   // loop while i<=10
-		{0, 2, 10, isa.Bl, 5, true},     // 2,4,6,8,10 -> exits at 10
-		{0, 3, 10, isa.Bl, 4, true},     // 3,6,9,12 -> ceil(10/3)
-		{10, -1, 0, isa.Bg, 10, true},   // countdown while i>0
-		{10, -2, 0, isa.Bge, 6, true},   // 8,6,4,2,0 then -2<0
-		{0, 1, 10, isa.Bne, 10, true},   // exact hit
-		{0, 3, 10, isa.Bne, 0, false},   // never hits 10 -> unbounded
-		{0, -1, 10, isa.Bl, 0, false},   // wrong direction
-		{5, 1, 3, isa.Bl, 1, true},      // body runs once (do-while)
-		{0, 0, 10, isa.Bl, 0, false}, // no progress
+		{0, 1, 10, isa.Bl, 10, true},  // i=1..; loop while i<10
+		{0, 1, 10, isa.Ble, 11, true}, // loop while i<=10
+		{0, 2, 10, isa.Bl, 5, true},   // 2,4,6,8,10 -> exits at 10
+		{0, 3, 10, isa.Bl, 4, true},   // 3,6,9,12 -> ceil(10/3)
+		{10, -1, 0, isa.Bg, 10, true}, // countdown while i>0
+		{10, -2, 0, isa.Bge, 6, true}, // 8,6,4,2,0 then -2<0
+		{0, 1, 10, isa.Bne, 10, true}, // exact hit
+		{0, 3, 10, isa.Bne, 0, false}, // never hits 10 -> unbounded
+		{0, -1, 10, isa.Bl, 0, false}, // wrong direction
+		{5, 1, 3, isa.Bl, 1, true},    // body runs once (do-while)
+		{0, 0, 10, isa.Bl, 0, false},  // no progress
 		// Absurd counts are returned as-is; the caller (inferCounted)
 		// rejects anything outside [1, 2^31].
 		{0, 1, 1 << 40, isa.Bl, 1 << 40, true},
@@ -99,55 +99,6 @@ func TestTripCount(t *testing.T) {
 			t.Errorf("tripCount(%d,%d,%d,%v) = %d,%v; want %d,%v",
 				c.init, c.step, c.limit, c.op, got, ok, c.want, c.ok)
 		}
-	}
-}
-
-// --- must-domain unit tests ------------------------------------------------
-
-func TestMustDomainAgingAndEviction(t *testing.T) {
-	// Two-way cache with 2 sets of 16-byte lines.
-	dom := newCacheDom(cache.Config{Size: 64, LineSize: 16, Ways: 2})
-	st := mustState{}
-	// Lines 0 and 2 map to set 0; line 1 maps to set 1.
-	dom.mustAccess(st, 0, true)
-	dom.mustAccess(st, 2, true)
-	if st[2] != 0 || st[0] != 1 {
-		t.Fatalf("LRU ages wrong after two installs: %v", st)
-	}
-	dom.mustAccess(st, 1, true) // different set: must not age set 0
-	if st[0] != 1 || st[2] != 0 {
-		t.Fatalf("cross-set access aged set 0: %v", st)
-	}
-	dom.mustAccess(st, 4, true) // set 0 again: line 0 evicted (age 2 >= 2 ways)
-	if _, ok := st[0]; ok {
-		t.Fatalf("line 0 must be evicted: %v", st)
-	}
-	if st[2] != 1 || st[4] != 0 {
-		t.Fatalf("ages after eviction: %v", st)
-	}
-}
-
-func TestMustDomainStoreNoAllocate(t *testing.T) {
-	dom := newCacheDom(cache.Config{Size: 64, LineSize: 16, Ways: 2})
-	st := mustState{}
-	dom.mustAccess(st, 0, false) // store miss: must NOT install
-	if len(st) != 0 {
-		t.Fatalf("write-through no-allocate store installed a line: %v", st)
-	}
-	dom.mustAccess(st, 0, true)  // load installs
-	dom.mustAccess(st, 2, true)  // same set
-	dom.mustAccess(st, 0, false) // store hit refreshes line 0
-	if st[0] != 0 {
-		t.Fatalf("store hit did not refresh LRU age: %v", st)
-	}
-}
-
-func TestMustJoinIntersects(t *testing.T) {
-	a := mustState{1: 0, 2: 1}
-	b := mustState{2: 3, 9: 0}
-	j := mustJoin(a, b)
-	if len(j) != 1 || j[2] != 3 {
-		t.Fatalf("join = %v; want {2:3}", j)
 	}
 }
 

@@ -1,0 +1,178 @@
+package attack
+
+import (
+	"reflect"
+	"testing"
+
+	"dsr/internal/core"
+	"dsr/internal/loader"
+	"dsr/internal/platform"
+	"dsr/internal/spaceapp"
+)
+
+func TestTraceRecorderOrderSensitive(t *testing.T) {
+	a, b := NewTraceRecorder(), NewTraceRecorder()
+	a.OnAccess(false, 3, true)
+	a.OnAccess(true, 7, false)
+	b.OnAccess(true, 7, false)
+	b.OnAccess(false, 3, true)
+	if a.Sum() == b.Sum() {
+		t.Fatal("trace hash is order-insensitive")
+	}
+	if a.Events() != 2 || b.Events() != 2 {
+		t.Fatalf("events = %d, %d; want 2, 2", a.Events(), b.Events())
+	}
+	a.Reset()
+	c := NewTraceRecorder()
+	if a.Sum() != c.Sum() || a.Events() != 0 {
+		t.Fatal("Reset did not restore the initial state")
+	}
+}
+
+func TestTraceRecorderDistinguishesFields(t *testing.T) {
+	base := func() uint64 {
+		r := NewTraceRecorder()
+		r.OnAccess(false, 5, true)
+		return r.Sum()
+	}()
+	for _, ev := range []struct {
+		write bool
+		set   int
+		hit   bool
+	}{{true, 5, true}, {false, 6, true}, {false, 5, false}} {
+		r := NewTraceRecorder()
+		r.OnAccess(ev.write, ev.set, ev.hit)
+		if r.Sum() == base {
+			t.Fatalf("event %+v hashes like (false,5,true)", ev)
+		}
+	}
+}
+
+func TestPrimeProbeKeyMultisetInvariance(t *testing.T) {
+	a := Observation{IL1: []int{2, 0, 1}, DL1: []int{0, 0}, L2: []int{1}}
+	b := Observation{IL1: []int{1, 2, 0}, DL1: []int{0, 0}, L2: []int{1}}
+	if a.PrimeProbeKey(false) != b.PrimeProbeKey(false) {
+		t.Fatal("multiset key depends on set order")
+	}
+	if a.PrimeProbeKey(true) == b.PrimeProbeKey(true) {
+		t.Fatal("vector key ignores set order")
+	}
+	c := Observation{IL1: []int{2, 1, 0}, DL1: []int{0, 1}, L2: []int{1}}
+	if a.PrimeProbeKey(false) == c.PrimeProbeKey(false) {
+		t.Fatal("multiset key ignores a changed occupancy")
+	}
+}
+
+// observeDet runs the deterministic control build once and snapshots.
+func observeDet(t *testing.T, seed uint64) Observation {
+	t.Helper()
+	p, err := spaceapp.BuildControl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := platform.New(platform.ProximaLEON3())
+	plat.LoadImage(img)
+	probe := Attach(plat)
+	in := spaceapp.GenControlInput(seed)
+	if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+		t.Fatal(err)
+	}
+	probe.Reset()
+	res, err := plat.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return probe.Snapshot(res.Cycles)
+}
+
+func TestObservationDeterministic(t *testing.T) {
+	a := observeDet(t, 42)
+	b := observeDet(t, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same build + same input produced different observations")
+	}
+	if a.IL1Trace.Events == 0 || a.DL1Trace.Events == 0 || a.L2Trace.Events == 0 {
+		t.Fatalf("observer missed a cache level: %+v", a)
+	}
+	nonzero := 0
+	for _, n := range a.IL1 {
+		nonzero += n
+	}
+	if nonzero == 0 {
+		t.Fatal("victim left no IL1 occupancy")
+	}
+}
+
+func TestObservationVariesWithInput(t *testing.T) {
+	a := observeDet(t, 1)
+	b := observeDet(t, 2)
+	// The control app's path depends on its input: at least the cycle
+	// observation must differ across the input space (if this ever
+	// fails, pick different seeds — the gate tests use many).
+	if a.CyclesKey() == b.CyclesKey() && a.TraceKey() == b.TraceKey() {
+		t.Skip("inputs 1 and 2 happen to collide; gate tests cover variation")
+	}
+}
+
+// TestDSRObservationPureFunctionOfSeed: under DSR, the observation is a
+// pure function of (layout seed, input) — the determinism the campaign
+// engine needs to merge observer traces byte-identically at any worker
+// count.
+func TestDSRObservationPureFunctionOfSeed(t *testing.T) {
+	observe := func() (Observation, Observation) {
+		p, err := spaceapp.BuildControl()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plat := platform.New(platform.ProximaLEON3())
+		rt, err := core.NewRuntime(p, plat, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := Attach(plat)
+		one := func(seed uint64) Observation {
+			if _, err := rt.Reboot(seed); err != nil {
+				t.Fatal(err)
+			}
+			in := spaceapp.GenControlInput(7)
+			if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
+				t.Fatal(err)
+			}
+			probe.Reset()
+			res, err := rt.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return probe.Snapshot(res.Cycles)
+		}
+		return one(99), one(100)
+	}
+	a1, a2 := observe()
+	b1, b2 := observe()
+	if !reflect.DeepEqual(a1, b1) || !reflect.DeepEqual(a2, b2) {
+		t.Fatal("DSR observation is not a pure function of (seed, input)")
+	}
+	if reflect.DeepEqual(a1, a2) {
+		t.Fatal("different layout seeds produced identical observations")
+	}
+	// Under a fresh layout the multiset key may or may not move, but
+	// the vector key must: layouts shift lines across sets.
+	if a1.PrimeProbeKey(true) == a2.PrimeProbeKey(true) {
+		t.Fatal("layout reseed left the occupancy vector unchanged")
+	}
+}
+
+func TestDistinctBits(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want float64
+	}{{0, 0}, {1, 0}, {2, 1}, {8, 3}} {
+		if got := DistinctBits(c.n); got != c.want {
+			t.Errorf("DistinctBits(%d) = %f; want %f", c.n, got, c.want)
+		}
+	}
+}

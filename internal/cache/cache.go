@@ -206,8 +206,51 @@ type Cache struct {
 	// wt caches cfg.Write == WriteThroughNoAllocate for the store path.
 	wt bool
 
+	// obs, when non-nil, receives one event per line access (the attack
+	// observer hook). The default is nil and every call site is guarded
+	// by a nil check, so the hot paths pay one predictable branch and
+	// zero allocations when observation is off (proven by
+	// TestObserverDisabledZeroAlloc and BenchmarkReadHitObserverOff).
+	obs Observer
+
 	hashSeed uint64
 	repl     prng.Source // used only for ReplacementRandom
+}
+
+// Observer receives one event per line access serviced by the cache: the
+// side channel an attacker measures. set is the index under the current
+// placement; hit is the lookup outcome. Accesses that straddle a line
+// boundary report one event per touched line, matching the latency
+// model. Flush/invalidate/writeback maintenance sweeps are not reported
+// (they probe by address without a lookup outcome); their traffic to the
+// next level is observed there.
+type Observer interface {
+	OnAccess(write bool, set int, hit bool)
+}
+
+// SetObserver installs (or, with nil, removes) the access observer.
+func (c *Cache) SetObserver(o Observer) { c.obs = o }
+
+// SetOccupancy returns the number of valid lines in set idx — what an
+// ideal prime+probe attacker learns about the set after the victim ran.
+func (c *Cache) SetOccupancy(idx int) int {
+	n := 0
+	set := c.set(idx)
+	for w := range set {
+		if set[w].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancies returns the per-set valid-line counts (see SetOccupancy).
+func (c *Cache) Occupancies() []int {
+	out := make([]int, c.sets)
+	for idx := range out {
+		out[idx] = c.SetOccupancy(idx)
+	}
+	return out
 }
 
 // New builds a cache in front of next. It panics on invalid configuration,
@@ -413,6 +456,9 @@ func (c *Cache) readLine(la mem.Addr) mem.Cycles {
 			c.ctr.Hits++
 			c.clock++
 			l.age = c.clock
+			if c.obs != nil {
+				c.obs.OnAccess(false, int(i)/c.ways, true)
+			}
 			return c.hitLat
 		}
 	}
@@ -423,6 +469,9 @@ func (c *Cache) readLine(la mem.Addr) mem.Cycles {
 		c.clock++
 		set[w].age = c.clock
 		c.mruIdx = int32(idx*c.ways + w)
+		if c.obs != nil {
+			c.obs.OnAccess(false, idx, true)
+		}
 		return c.hitLat
 	}
 	return c.readMiss(la)
@@ -434,6 +483,9 @@ func (c *Cache) readLine(la mem.Addr) mem.Cycles {
 func (c *Cache) readMiss(la mem.Addr) mem.Cycles {
 	c.ctr.Misses++
 	c.ctr.ReadMisses++
+	if c.obs != nil {
+		c.obs.OnAccess(false, c.setIndex(la), false)
+	}
 	return c.hitLat + c.fill(la, false)
 }
 
@@ -467,6 +519,9 @@ func (c *Cache) writeLine(la mem.Addr, size int) mem.Cycles {
 				c.ctr.Hits++
 				c.clock++
 				l.age = c.clock
+				if c.obs != nil {
+					c.obs.OnAccess(true, int(i)/c.ways, true)
+				}
 				return c.hitLat + c.next.Write(la<<c.lineShift, size)
 			}
 		}
@@ -483,6 +538,9 @@ func (c *Cache) writeLine(la mem.Addr, size int) mem.Cycles {
 		} else {
 			c.ctr.Misses++
 			c.ctr.WriteMisses++
+		}
+		if c.obs != nil {
+			c.obs.OnAccess(true, idx, w >= 0)
 		}
 		// The store always propagates. LEON3 has a store buffer that hides
 		// part of this latency; the next level's write cost models the
@@ -503,10 +561,16 @@ func (c *Cache) writeBack(la mem.Addr, idx int, set []line, w int) mem.Cycles {
 			c.clock++
 			set[w].age = c.clock
 			c.mruIdx = int32(idx*c.ways + w)
+			if c.obs != nil {
+				c.obs.OnAccess(true, idx, true)
+			}
 			return c.hitLat
 		}
 		c.ctr.Misses++
 		c.ctr.WriteMisses++
+		if c.obs != nil {
+			c.obs.OnAccess(true, idx, false)
+		}
 		return c.hitLat + c.fill(la, true)
 	default:
 		panic("cache: unknown write policy")

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dsr/internal/analysis/wcet"
+)
+
+// leakRuns is the campaign length for the leakage-soundness gate. The
+// default keeps `go test ./...` quick; CI runs `make leak-check`, which
+// sets LEAK_RUNS=200.
+func leakRuns(t *testing.T) int {
+	t.Helper()
+	if s := os.Getenv("LEAK_RUNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad LEAK_RUNS=%q: %v", s, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 12
+	}
+	return 60
+}
+
+// TestLeakSoundOverCampaigns is the leakage-soundness gate: for every
+// configuration the attack observers must never collect more distinct
+// observations than the static analyzer's channel-capacity bound
+// admits, and the static bounds themselves must show the paper-shaped
+// security result (det >= lazy >= eager, strictly at the ends).
+func TestLeakSoundOverCampaigns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Runs = leakRuns(t)
+	cfg.Workers = 4
+
+	rep, err := RunE8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rows {
+		if r.MeasuredAccessBits > r.StaticAccessBits+leakEps {
+			t.Errorf("%s: UNSOUND: measured access bits %.3f > static %.3f",
+				r.Config, r.MeasuredAccessBits, r.StaticAccessBits)
+		}
+		if r.MeasuredTraceBits > r.StaticTraceBits+leakEps {
+			t.Errorf("%s: UNSOUND: measured trace bits %.3f > static %.3f",
+				r.Config, r.MeasuredTraceBits, r.StaticTraceBits)
+		}
+		if r.MeasuredTimingBits > r.StaticTraceBits+leakEps {
+			t.Errorf("%s: UNSOUND: measured timing bits %.3f > static trace bound %.3f",
+				r.Config, r.MeasuredTimingBits, r.StaticTraceBits)
+		}
+		t.Logf("%s: access %.2f/%.2f, trace %.2f/%.2f, timing %.2f bits (measured/static)",
+			r.Config, r.MeasuredAccessBits, r.StaticAccessBits,
+			r.MeasuredTraceBits, r.StaticTraceBits, r.MeasuredTimingBits)
+	}
+
+	det, eager, lazy := rep.Rows[0], rep.Rows[1], rep.Rows[2]
+	if !(eager.StaticAccessBits <= lazy.StaticAccessBits+leakEps &&
+		lazy.StaticAccessBits <= det.StaticAccessBits+leakEps) {
+		t.Errorf("monotonicity chain violated: eager %.3f, lazy %.3f, det %.3f",
+			eager.StaticAccessBits, lazy.StaticAccessBits, det.StaticAccessBits)
+	}
+	if det.StaticAccessBits <= eager.StaticAccessBits {
+		t.Errorf("no security benefit: det %.3f <= eager %.3f",
+			det.StaticAccessBits, eager.StaticAccessBits)
+	}
+	if !rep.SideChannelResistant {
+		t.Errorf("side-channel verdict failed: %s", rep.LeakDetail)
+	}
+	if !rep.TimingAnalysable {
+		t.Errorf("timing verdict failed: %s", rep.TimingDetail)
+	}
+	out := FormatE8(rep)
+	for _, want := range []string{"E8:", "verdict timing analysability", "verdict side-channel resistance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatE8 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCampaignDeterminismLeak extends the campaign-determinism suite to
+// the attack observers: the full observation series — occupancies,
+// trace hashes, cycles, seeds — must be byte-identical at Workers=8 and
+// Workers=1, for every analysis mode. Runs under -race in CI.
+func TestCampaignDeterminismLeak(t *testing.T) {
+	for _, mode := range []wcet.Mode{wcet.ModeDet, wcet.ModeDSREager, wcet.ModeDSRLazy} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) *LeakSeries {
+				cfg := DefaultConfig()
+				cfg.Runs = 16
+				cfg.Workers = workers
+				s, err := RunLeak(cfg, mode)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return s
+			}
+			seq, par := run(1), run(8)
+			if !reflect.DeepEqual(seq.Obs, par.Obs) {
+				t.Error("attack observations differ between worker counts")
+			}
+			if !reflect.DeepEqual(seq.Seeds, par.Seeds) {
+				t.Error("seed series differ between worker counts")
+			}
+			if !reflect.DeepEqual(seq.Cycles, par.Cycles) {
+				t.Error("cycle series differ between worker counts")
+			}
+		})
+	}
+}
