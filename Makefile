@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check leak-check telemetry-smoke fuzz clean
+.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check leak-check telemetry-smoke obs-smoke fuzz clean
 
-all: build lint test race race-campaign dsrlint wcet-check leak-check telemetry-smoke
+all: build lint test race race-campaign dsrlint wcet-check leak-check telemetry-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,24 @@ telemetry-smoke: build
 	$(GO) run ./cmd/dsrstat trace telemetry-out/telemetry.jsonl > /dev/null
 	$(GO) run ./cmd/dsrstat validate telemetry-out/telemetry.jsonl
 
+# Observability end-to-end smoke: (1) the in-process gate — a 200-run
+# 8-worker campaign with the span tracer, live campaign view and HTTP
+# server attached, scraped continuously mid-flight (/metrics must parse
+# as Prometheus exposition, /campaign must decode; the finished span
+# timeline must validate and yield a worker report); then (2) the CLI
+# path — dsrsim with -http and -telemetry, dsrstat workers over the
+# exported spans.jsonl (per-worker utilization + bottleneck), and the
+# validator over spans (schema + Chrome trace). Artefacts land in
+# obs-out/ (CI uploads spans-trace.json as the worker-timeline
+# artifact; open it in chrome://tracing or ui.perfetto.dev).
+obs-smoke: build
+	rm -rf obs-out
+	OBS_RUNS=200 $(GO) test -run 'TestObsSmoke' -count=1 -v ./internal/obs
+	$(GO) run ./cmd/dsrsim -fig2 -runs 200 -workers 8 -telemetry obs-out -http 127.0.0.1:0
+	$(GO) run ./cmd/dsrstat workers obs-out/spans.jsonl
+	$(GO) run ./cmd/dsrstat validate obs-out/spans.jsonl
+	$(GO) run ./cmd/dsrstat validate obs-out/telemetry.jsonl
+
 # Regenerate every table and figure of the paper at full scale.
 evaluate: build
 	$(GO) run ./cmd/dsrsim -all -runs 1000
@@ -138,4 +156,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -rf telemetry-out
+	rm -rf telemetry-out obs-out

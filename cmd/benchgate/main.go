@@ -117,6 +117,28 @@ func runSuites() (map[string]result, error) {
 	return out, nil
 }
 
+// reportScaling prints the campaign's parallel speedup explicitly:
+// Workers8 wall time vs Workers1 wall time for the same fixed work.
+// The per-benchmark ns/op gate cannot express this ratio (each
+// benchmark is compared only against its own baseline), and runs/s of
+// the Workers8 benchmark alone reads as absolute throughput, which is
+// misleading about scaling. Poor scaling warns but does not fail: it
+// is a capacity signal, not a regression — `dsrstat workers` on a span
+// timeline names the bottleneck.
+func reportScaling(got map[string]result) {
+	w1, ok1 := got["BenchmarkCampaignWorkers1"]
+	w8, ok8 := got["BenchmarkCampaignWorkers8"]
+	if !ok1 || !ok8 || w8.NsPerOp <= 0 {
+		return
+	}
+	speedup := w1.NsPerOp / w8.NsPerOp
+	fmt.Printf("benchgate: campaign scaling: Workers8 = %.2fx Workers1\n", speedup)
+	if speedup < 2 {
+		fmt.Fprintf(os.Stderr, "benchgate: WARNING: campaign speedup %.2fx below 2x on 8 workers; "+
+			"run `dsrsim -telemetry DIR` and `dsrstat workers DIR/spans.jsonl` to find the bottleneck\n", speedup)
+	}
+}
+
 func sortedKeys(m map[string]float64) []string {
 	ks := make([]string, 0, len(m))
 	for k := range m {
@@ -189,6 +211,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}
+		reportScaling(got)
 		fmt.Printf("benchgate: recorded %d benchmarks to %s\n", len(got), *recordPath)
 
 	default:
@@ -207,6 +230,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}
+		reportScaling(got)
 		fails := check(base, got, *tol)
 		if len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond %.0f%%:\n", len(fails), *tol*100)

@@ -9,6 +9,9 @@
 //	dsrrun -telemetry prog.s       also print the per-component cycle
 //	                               attribution (single run or campaign)
 //	dsrrun -progress -dsr prog.s   per-run campaign progress on stderr
+//	dsrrun -http :0 -dsr prog.s    serve live campaign introspection
+//	                               (/metrics, /campaign, /events SSE,
+//	                               /debug/pprof) while the campaign runs
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"dsr/internal/core"
 	"dsr/internal/loader"
 	"dsr/internal/mbpta"
+	"dsr/internal/obs"
 	"dsr/internal/platform"
 	"dsr/internal/prog"
 	"dsr/internal/rvs"
@@ -37,6 +41,7 @@ func main() {
 		disasm   = flag.Bool("disasm", false, "print the assembled program and exit")
 		telem    = flag.Bool("telemetry", false, "enable cycle attribution and print the per-component split")
 		progress = flag.Bool("progress", false, "print per-run campaign progress to stderr")
+		httpAddr = flag.String("http", "", "with -dsr: serve live observability on this address (\":0\" picks a free port)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -107,10 +112,29 @@ func main() {
 			opts.BlockSize = 5
 		}
 	}
+
+	// Live introspection is strictly one-way: the tracer records
+	// host-side per-worker timelines and the observer feeds the HTTP
+	// view; neither changes what the campaign computes.
+	var (
+		tracer *telemetry.Tracer
+		view   *obs.Campaign
+	)
+	if *httpAddr != "" {
+		tracer = telemetry.NewTracer()
+		view = obs.NewCampaign(nil, tracer, opts)
+		srv, err := obs.Serve(*httpAddr, view)
+		die(err)
+		defer srv.Close()
+		defer view.Done()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (campaign, events, pprof)\n", srv.Addr())
+		view.BeginSeries(p.Name, *runs)
+	}
+
 	sched := campaign.NewSchedule(*seed)
 	stream := mbpta.NewStream(opts)
 	var agg telemetry.AttributionSnapshot
-	err = campaign.Execute(campaign.Config{Runs: *runs, Workers: *workers},
+	err = campaign.Execute(campaign.Config{Runs: *runs, Workers: *workers, Tracer: tracer},
 		func(w int) (campaign.RunFunc[platform.RunResult], error) {
 			wp, err := asm.Assemble(string(src))
 			if err != nil {
@@ -124,16 +148,22 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
+			wt := tracer.Worker(w)
+			wrt.SetTracer(wt)
 			return func(i int) (platform.RunResult, error) {
 				if _, err := wrt.Reboot(sched.Seed(i)); err != nil {
 					return platform.RunResult{}, err
 				}
-				return wrt.Run()
+				exec := wt.Begin(telemetry.SpanExecute, -1)
+				res, err := wrt.Run()
+				wt.End(exec)
+				return res, err
 			}, nil
 		},
 		func(i int, res platform.RunResult) error {
 			stream.Observe(float64(res.Cycles))
 			agg.Add(res.Attribution)
+			view.ObserveRun(p.Name, i, float64(res.Cycles))
 			if *progress && ((i+1)%50 == 0 || i+1 == *runs) {
 				fmt.Fprintf(os.Stderr, "  %s: %d/%d runs\r", p.Name, i+1, *runs)
 				if i+1 == *runs {
@@ -143,6 +173,7 @@ func main() {
 			return nil
 		})
 	die(err)
+	view.EndSeries(p.Name)
 	if agg.Valid {
 		fmt.Print(agg.Render())
 		fmt.Println()

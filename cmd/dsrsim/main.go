@@ -21,8 +21,19 @@
 //	-telemetry DIR  record the campaign (metrics, events, per-run cycle
 //	                attribution) and export it to DIR as telemetry.jsonl,
 //	                telemetry.csv, telemetry.prom and trace.json (Chrome
-//	                trace_event, for chrome://tracing / Perfetto)
+//	                trace_event, for chrome://tracing / Perfetto), plus
+//	                the host-side span timeline as spans.jsonl and
+//	                spans-trace.json (per-worker timeline; feed it to
+//	                `dsrstat workers` or chrome://tracing)
+//	-http ADDR      serve live campaign introspection over HTTP while the
+//	                run is in flight (":0" picks a free port; the bound
+//	                address is printed to stderr): /metrics, /campaign,
+//	                /events (SSE), /healthz, /debug/pprof
 //	-progress       print per-run campaign progress to stderr
+//
+// Neither flag changes campaign results: observation is strictly
+// one-way and the determinism suite pins byte-identical output with
+// and without it.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"dsr/internal/bus"
 	"dsr/internal/experiments"
 	"dsr/internal/mbpta"
+	"dsr/internal/obs"
 	"dsr/internal/platform"
 	"dsr/internal/prng"
 	"dsr/internal/spaceapp"
@@ -59,6 +71,7 @@ func main() {
 		multicore = flag.Bool("multicore", false, "future-work study: DSR under bus contention (§VII)")
 		paths     = flag.Bool("paths", false, "future-work study: worst-path coverage of the processing task (§VII)")
 		telemDir  = flag.String("telemetry", "", "record the campaign and export telemetry files to this directory")
+		httpAddr  = flag.String("http", "", "serve live observability (metrics, campaign snapshot, SSE, pprof) on this address; \":0\" picks a free port")
 		progress  = flag.Bool("progress", false, "print per-run campaign progress to stderr")
 	)
 	flag.Parse()
@@ -77,11 +90,29 @@ func main() {
 	cfg.Workers = *workers
 
 	var campaign *telemetry.Campaign
-	if *telemDir != "" {
+	if *telemDir != "" || *httpAddr != "" {
 		campaign = telemetry.NewCampaign(0)
 		cfg.Telemetry = campaign
 		cfg.Attribution = true
 		cfg.MBPTA.Events = campaign.Events
+	}
+	var tracer *telemetry.Tracer
+	if *telemDir != "" || *httpAddr != "" {
+		// The span tracer records host wall-clock per-worker timelines;
+		// it is deliberately separate from the deterministic campaign
+		// telemetry above.
+		tracer = telemetry.NewTracer()
+		cfg.Tracer = tracer
+	}
+	var view *obs.Campaign
+	if *httpAddr != "" {
+		view = obs.NewCampaign(campaign.Registry, tracer, cfg.MBPTA)
+		cfg.Observer = view
+		srv, err := obs.Serve(*httpAddr, view)
+		die(err)
+		defer srv.Close()
+		defer view.Done()
+		fmt.Fprintf(os.Stderr, "observability server on http://%s (metrics, campaign, events, pprof)\n", srv.Addr())
 	}
 	if *progress {
 		cfg.Progress = func(series string, done, total int) {
@@ -94,8 +125,8 @@ func main() {
 		}
 	}
 	defer func() {
-		if campaign != nil {
-			die(writeTelemetry(*telemDir, campaign))
+		if *telemDir != "" {
+			die(writeTelemetry(*telemDir, campaign, tracer))
 		}
 	}()
 
@@ -316,20 +347,33 @@ func runAblations(cfg experiments.Config) {
 
 // writeTelemetry exports the campaign in all four formats: JSONL and CSV
 // records, Prometheus text exposition, and a Chrome trace_event JSON
-// timeline of the whole campaign.
-func writeTelemetry(dir string, campaign *telemetry.Campaign) error {
+// timeline of the whole campaign. When a span tracer ran, the host-side
+// per-worker timeline is exported separately (it is wall-clock data and
+// must not contaminate the deterministic dump): spans.jsonl for
+// `dsrstat workers`, spans-trace.json for chrome://tracing.
+func writeTelemetry(dir string, campaign *telemetry.Campaign, tracer *telemetry.Tracer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	dump := campaign.Dump()
-	writers := []struct {
+	type export struct {
 		name  string
 		write func(f *os.File) error
-	}{
+	}
+	dump := campaign.Dump()
+	writers := []export{
 		{"telemetry.jsonl", func(f *os.File) error { return dump.WriteJSONL(f) }},
 		{"telemetry.csv", func(f *os.File) error { return dump.WriteCSV(f) }},
 		{"telemetry.prom", func(f *os.File) error { return dump.WritePrometheus(f) }},
 		{"trace.json", func(f *os.File) error { return dump.WriteChromeTrace(f, 0) }},
+	}
+	var spans []telemetry.Span
+	if tracer != nil {
+		spans = tracer.Spans()
+		spanDump := &telemetry.Dump{Spans: spans}
+		writers = append(writers,
+			export{"spans.jsonl", func(f *os.File) error { return spanDump.WriteJSONL(f) }},
+			export{"spans-trace.json", func(f *os.File) error { return telemetry.WriteSpanTrace(f, spans) }},
+		)
 	}
 	for _, w := range writers {
 		f, err := os.Create(filepath.Join(dir, w.name))
@@ -344,8 +388,8 @@ func writeTelemetry(dir string, campaign *telemetry.Campaign) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "telemetry: %d metrics, %d events -> %s\n",
-		len(dump.Metrics), len(dump.Events), dir)
+	fmt.Fprintf(os.Stderr, "telemetry: %d metrics, %d events, %d spans -> %s\n",
+		len(dump.Metrics), len(dump.Events), len(spans), dir)
 	return nil
 }
 

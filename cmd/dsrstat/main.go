@@ -5,7 +5,13 @@
 //	dsrstat summary  FILE            print metric/event/track summary
 //	dsrstat convert  -to FMT FILE    re-encode as jsonl, csv or prom
 //	dsrstat trace    FILE            render a Chrome trace_event JSON
+//	dsrstat workers  FILE            per-worker utilization report from
+//	                                 a span timeline (spans.jsonl) —
+//	                                 busy/idle split, phase breakdown,
+//	                                 claim latency, and the scaling
+//	                                 bottleneck the timeline implies
 //	dsrstat validate FILE            round-trip + trace schema checks
+//	                                 (+ span schema when spans present)
 //
 // The input format is inferred from the file extension (.jsonl, .csv,
 // .prom / .txt) or forced with -from. CSV and Prometheus inputs carry
@@ -38,6 +44,8 @@ func main() {
 		err = cmdConvert(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "workers":
+		err = cmdWorkers(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -59,8 +67,9 @@ func usage() {
   dsrstat summary  [-from FMT] FILE
   dsrstat convert  [-from FMT] -to jsonl|csv|prom FILE
   dsrstat trace    [-from FMT] [-cycles-per-us N] FILE
+  dsrstat workers  [-trace FILE.json] SPANS.jsonl
   dsrstat validate [-from FMT] FILE
-formats: jsonl (metrics+events), csv, prom (metrics only)
+formats: jsonl (metrics+events+spans), csv, prom (metrics only)
 `)
 }
 
@@ -229,6 +238,47 @@ func cmdTrace(args []string) error {
 	return d.WriteChromeTrace(os.Stdout, *cpu)
 }
 
+// cmdWorkers renders the per-worker utilization report from a span
+// timeline recorded with `dsrsim -telemetry` (spans.jsonl): total and
+// per-worker busy/idle split, boot/reloc/execute phase breakdown,
+// claim latency, and the dominant scaling bottleneck.
+func cmdWorkers(args []string) error {
+	fs := flag.NewFlagSet("workers", flag.ExitOnError)
+	from := fs.String("from", "", "input format (only jsonl carries spans); default: by extension")
+	traceOut := fs.String("trace", "", "also write the timeline as Chrome trace_event JSON to this file")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("workers: want exactly one FILE")
+	}
+	d, _, err := load(fs.Arg(0), *from)
+	if err != nil {
+		return err
+	}
+	if len(d.Spans) == 0 {
+		return fmt.Errorf("workers: %s carries no spans (want the spans.jsonl written by dsrsim -telemetry)", fs.Arg(0))
+	}
+	rep, err := telemetry.AnalyzeSpans(d.Spans)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteSpanTrace(f, d.Spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("timeline -> %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	return nil
+}
+
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	from := fs.String("from", "", "input format (jsonl, csv, prom); default: by extension")
@@ -277,6 +327,23 @@ func cmdValidate(args []string) error {
 		return fmt.Errorf("validate: %w", err)
 	}
 	fmt.Printf("trace schema ok (%d events, %d span pairs)\n", len(d.Events), spans)
+
+	// Host-side span timeline, when present: schema (kinds, bounds,
+	// per-worker nesting) plus the Chrome export of the timeline.
+	if len(d.Spans) > 0 {
+		n, err := telemetry.ValidateSpans(d.Spans)
+		if err != nil {
+			return fmt.Errorf("validate: spans: %w", err)
+		}
+		buf.Reset()
+		if err := telemetry.WriteSpanTrace(&buf, d.Spans); err != nil {
+			return fmt.Errorf("validate: span trace encode: %w", err)
+		}
+		if _, err := telemetry.ValidateChromeTrace(&buf); err != nil {
+			return fmt.Errorf("validate: span trace: %w", err)
+		}
+		fmt.Printf("span schema ok (%d spans)\n", n)
+	}
 	fmt.Printf("%s (%s): valid\n", fs.Arg(0), format)
 	return nil
 }

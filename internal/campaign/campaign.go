@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"dsr/internal/telemetry"
 )
 
 // Config dimensions an engine execution.
@@ -17,6 +19,14 @@ type Config struct {
 	// The engine's determinism invariant guarantees the merged output is
 	// byte-identical for every worker count.
 	Workers int
+	// Tracer, when non-nil, records a host wall-time span timeline of
+	// the execution: a campaign span plus merge/merge.wait spans on the
+	// campaign track (worker -1), and worker/setup/claim/run spans per
+	// worker. Run functions can nest phase spans (boot, reloc, execute)
+	// under their run span via Tracer.Worker(w). Tracing never affects
+	// campaign results — spans live on the host clock, outside the
+	// deterministic telemetry dump.
+	Tracer *telemetry.Tracer
 }
 
 // WorkerCount resolves the effective pool size: Workers, defaulted to
@@ -73,28 +83,41 @@ func Execute[R any](cfg Config, newWorker func(w int) (RunFunc[R], error), merge
 	if n == 0 {
 		return nil
 	}
+	ct := cfg.Tracer.Worker(-1)
+	campaign := ct.Begin(telemetry.SpanCampaign, -1)
+	defer ct.End(campaign)
 	if cfg.WorkerCount() == 1 {
-		return executeSequential(n, newWorker, merge)
+		return executeSequential(n, cfg.Tracer, newWorker, merge)
 	}
-	return executeParallel(n, cfg.WorkerCount(), newWorker, merge)
+	return executeParallel(n, cfg.WorkerCount(), cfg.Tracer, newWorker, merge)
 }
 
 // executeSequential is the legacy path (Workers=1): one worker, runs
 // executed inline in canonical order on the caller's goroutine. It is
 // the reference the determinism tests compare the parallel path
 // against.
-func executeSequential[R any](n int, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
+func executeSequential[R any](n int, tr *telemetry.Tracer, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
+	wt, ct := tr.Worker(0), tr.Worker(-1)
+	ws := wt.Begin(telemetry.SpanWorker, -1)
+	defer wt.End(ws)
+	setup := wt.Begin(telemetry.SpanSetup, -1)
 	run, err := newWorker(0)
+	wt.End(setup)
 	if err != nil {
 		return err
 	}
 	for i := 0; i < n; i++ {
+		rs := wt.Begin(telemetry.SpanRun, i)
 		r, err := run(i)
+		wt.End(rs)
 		if err != nil {
 			return err
 		}
 		if merge != nil {
-			if err := merge(i, r); err != nil {
+			ms := ct.Begin(telemetry.SpanMerge, i)
+			err := merge(i, r)
+			ct.End(ms)
+			if err != nil {
 				return err
 			}
 		}
@@ -114,7 +137,7 @@ type indexedError struct {
 // slice guarded by a mutex + condvar; the caller's goroutine walks the
 // slice in canonical order, handing each completed result to merge as
 // soon as it is available.
-func executeParallel[R any](n, workers int, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
+func executeParallel[R any](n, workers int, tr *telemetry.Tracer, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
 	var (
 		mu      sync.Mutex
 		cond    = sync.NewCond(&mu)
@@ -146,7 +169,12 @@ func executeParallel[R any](n, workers int, newWorker func(w int) (RunFunc[R], e
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wt := tr.Worker(w)
+			ws := wt.Begin(telemetry.SpanWorker, -1)
+			defer wt.End(ws)
+			setup := wt.Begin(telemetry.SpanSetup, -1)
 			run, err := newWorker(w)
+			wt.End(setup)
 			if err != nil {
 				mu.Lock()
 				fail(-1, err)
@@ -154,11 +182,15 @@ func executeParallel[R any](n, workers int, newWorker func(w int) (RunFunc[R], e
 				return
 			}
 			for {
+				cl := wt.Begin(telemetry.SpanClaim, -1)
 				i, ok := claim()
+				wt.End(cl)
 				if !ok {
 					return
 				}
+				rs := wt.Begin(telemetry.SpanRun, i)
 				r, err := run(i)
+				wt.End(rs)
 				mu.Lock()
 				if err != nil {
 					fail(i, err)
@@ -173,21 +205,26 @@ func executeParallel[R any](n, workers int, newWorker func(w int) (RunFunc[R], e
 	}
 
 	// Canonical-order streaming merge on the caller's goroutine.
+	ct := tr.Worker(-1)
 	var mergeErr error
 	mu.Lock()
 	for i := 0; i < n; i++ {
+		mw := ct.Begin(telemetry.SpanMergeWait, i)
 		for !done[i] && !stopped {
 			cond.Wait()
 		}
+		ct.End(mw)
 		if !done[i] {
 			break // stopped before run i completed
 		}
 		r := results[i]
 		mu.Unlock()
 		if merge != nil {
+			ms := ct.Begin(telemetry.SpanMerge, i)
 			if err := merge(i, r); err != nil {
 				mergeErr = err
 			}
+			ct.End(ms)
 		}
 		mu.Lock()
 		if mergeErr != nil {

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"dsr/internal/telemetry"
 )
 
 // TestExecuteMergesInCanonicalOrder checks the core invariant at the
@@ -235,5 +237,65 @@ func TestExecuteStreamingMerge(t *testing.T) {
 	close(release)
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestExecuteTraced checks the engine's span instrumentation: both the
+// sequential and parallel paths emit a valid, analyzable span timeline
+// (campaign + worker/setup/run spans, claim + merge spans on the
+// parallel path) covering every run exactly once.
+func TestExecuteTraced(t *testing.T) {
+	const n = 40
+	for _, workers := range []int{1, 4} {
+		tr := telemetry.NewTracer()
+		err := Execute(Config{Runs: n, Workers: workers, Tracer: tr},
+			func(w int) (RunFunc[int], error) {
+				wt := tr.Worker(w)
+				return func(i int) (int, error) {
+					// Phase spans nested under the engine's run span must
+					// inherit its run index.
+					m := wt.Begin(telemetry.SpanExecute, -1)
+					wt.End(m)
+					return i, nil
+				}, nil
+			},
+			func(i, r int) error { return nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		spans := tr.Spans()
+		if _, err := telemetry.ValidateSpans(spans); err != nil {
+			t.Fatalf("workers=%d: invalid spans: %v", workers, err)
+		}
+		counts := map[string]int{}
+		execRuns := map[int]bool{}
+		for _, s := range spans {
+			counts[s.Kind]++
+			if s.Kind == "execute" {
+				if s.Run < 0 || s.Run >= n {
+					t.Fatalf("workers=%d: execute span with run %d (not inherited)", workers, s.Run)
+				}
+				execRuns[s.Run] = true
+			}
+		}
+		if counts["campaign"] != 1 || counts["run"] != n || counts["execute"] != n {
+			t.Fatalf("workers=%d: span counts %v", workers, counts)
+		}
+		if counts["merge"] != n {
+			t.Fatalf("workers=%d: %d merge spans, want %d", workers, counts["merge"], n)
+		}
+		if len(execRuns) != n {
+			t.Fatalf("workers=%d: execute spans cover %d distinct runs, want %d", workers, len(execRuns), n)
+		}
+		if workers > 1 && (counts["claim"] == 0 || counts["merge.wait"] != n || counts["worker"] != workers) {
+			t.Fatalf("workers=%d: parallel span counts %v", workers, counts)
+		}
+		rep, err := telemetry.AnalyzeSpans(spans)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.TotalRuns != n {
+			t.Fatalf("workers=%d: report runs %d, want %d", workers, rep.TotalRuns, n)
+		}
 	}
 }

@@ -127,11 +127,21 @@ type Runtime struct {
 	// events, when non-nil, receives structured runtime events (reboots,
 	// relocations, pool choices); a nil log no-ops.
 	events *telemetry.EventLog
+
+	// tracer, when non-nil, receives host wall-time boot/reloc spans so
+	// campaign traces attribute each run's time to a phase; a nil tracer
+	// no-ops.
+	tracer *telemetry.WorkerTracer
 }
 
 // SetEventLog installs (or clears, with nil) the structured event log
 // the runtime emits reboot and relocation events into.
 func (r *Runtime) SetEventLog(l *telemetry.EventLog) { r.events = l }
+
+// SetTracer installs (or clears, with nil) the worker span track Reboot
+// emits boot/reloc phase spans into. The spans inherit the enclosing
+// run span's index when the campaign engine opened one on this track.
+func (r *Runtime) SetTracer(t *telemetry.WorkerTracer) { r.tracer = t }
 
 // dsrTrack is the event-log track of DSR runtime events.
 const dsrTrack = "dsr"
@@ -187,6 +197,7 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 	// engine's determinism invariant relies on exactly this: a worker's
 	// Reboot(seed) must behave identically no matter which runs it
 	// executed previously.
+	boot := r.tracer.Begin(telemetry.SpanBoot, -1)
 	r.plat.FlushCaches()
 	r.src.Seed(seed)
 	r.codePool.Reset(prng.Uint64(r.src))
@@ -219,6 +230,9 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 		}
 		pl[d.Name] = obj.Base
 	}
+
+	r.tracer.End(boot)
+	relocSpan := r.tracer.Begin(telemetry.SpanReloc, -1)
 
 	img, err := loader.BuildImage(r.tp, pl)
 	if err != nil {
@@ -287,6 +301,7 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 		}
 		r.plat.CPU.SetCallHook(r.lazyHook)
 	}
+	r.tracer.End(relocSpan)
 	r.events.Emit(dsrTrack, "dsr.reboot", telemetry.PhaseInstant,
 		telemetry.Uint64("seed", seed),
 		telemetry.String("mode", r.opts.Mode.String()),

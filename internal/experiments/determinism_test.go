@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"reflect"
 	"testing"
 
 	"dsr/internal/bus"
 	"dsr/internal/mbpta"
+	"dsr/internal/obs"
 	"dsr/internal/platform"
 	"dsr/internal/prng"
 	"dsr/internal/spaceapp"
@@ -157,6 +160,86 @@ func TestCampaignDeterminismWorkerSweep(t *testing.T) {
 			t.Errorf("workers=%d: telemetry differs from sequential", w)
 		}
 	}
+}
+
+// TestCampaignDeterminismObserved extends the invariant to the live
+// observability stack: a campaign with the span tracer, the obs
+// campaign view, a live HTTP server and an attached SSE client must
+// produce byte-identical results and telemetry to a plain campaign.
+// Observation is strictly one-way.
+func TestCampaignDeterminismObserved(t *testing.T) {
+	sr := seriesRun{"DSR", 16, RunDSR}
+	plain := runCampaign(t, sr, 8)
+
+	camp := telemetry.NewCampaign(0)
+	tracer := telemetry.NewTracer()
+	view := obs.NewCampaign(camp.Registry, tracer, mbpta.Options{})
+	srv, err := obs.Serve("127.0.0.1:0", view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A live SSE client reads deltas for the whole campaign.
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // closed by Close
+	}()
+
+	stream := mbpta.NewStream(mbpta.Options{BlockSize: 4})
+	cfg := DefaultConfig()
+	cfg.Runs = sr.runs
+	cfg.Workers = 8
+	cfg.Attribution = true
+	cfg.Telemetry = camp
+	cfg.Stream = stream
+	cfg.Tracer = tracer
+	cfg.Observer = view
+	var progress []int
+	cfg.Progress = func(series string, done, total int) { progress = append(progress, done) }
+
+	s, err := sr.run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view.Done()
+	var buf bytes.Buffer
+	if err := camp.Dump().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.series.Cycles, s.Cycles) {
+		t.Errorf("cycles differ under observation:\n  plain %v\n  obs   %v", plain.series.Cycles, s.Cycles)
+	}
+	if !reflect.DeepEqual(plain.series.Results, s.Results) {
+		t.Error("run results differ under observation")
+	}
+	if !reflect.DeepEqual(plain.stream, stream.Times()) {
+		t.Error("MBPTA stream differs under observation")
+	}
+	if !reflect.DeepEqual(plain.progress, progress) {
+		t.Errorf("progress differs under observation:\n  plain %v\n  obs   %v", plain.progress, progress)
+	}
+	if !bytes.Equal(plain.telemetry, buf.Bytes()) {
+		t.Errorf("telemetry export differs under observation (%d vs %d bytes)",
+			len(plain.telemetry), buf.Len())
+	}
+
+	// The observed campaign really was observed.
+	if snap := view.Snapshot(); snap.Done != sr.runs || len(snap.Finished) != 1 {
+		t.Fatalf("observer saw %d/%d runs, %d series", snap.Done, sr.runs, len(snap.Finished))
+	}
+	if spans := tracer.Spans(); len(spans) == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+	srv.Close()
+	<-drained
 }
 
 // TestCampaignDefaultWorkers checks Workers=0 (NumCPU) matches the

@@ -76,6 +76,28 @@ type Config struct {
 	// the series name, the runs finished so far, and the total; calls
 	// arrive in canonical order from the calling goroutine.
 	Progress func(series string, done, total int)
+
+	// Tracer, when non-nil, records host wall-time spans of the campaign
+	// execution itself (worker/run/boot/reloc/execute phases) for the
+	// worker-utilization report and live observability. Spans never
+	// enter the deterministic telemetry dump: enabling the tracer cannot
+	// change campaign results.
+	Tracer *telemetry.Tracer
+	// Observer, when non-nil, is notified of series lifecycle and every
+	// merged unit-of-analysis value, in canonical order from the calling
+	// goroutine — the live-introspection feed behind internal/obs. Like
+	// Progress, it observes the merge; it cannot influence it.
+	Observer RunObserver
+}
+
+// RunObserver receives the campaign's live progress feed. All calls
+// arrive from the merge goroutine in canonical run order; a run's
+// index is its canonical campaign index, and uoa is its merged
+// unit-of-analysis duration in cycles.
+type RunObserver interface {
+	BeginSeries(series string, total int)
+	ObserveRun(series string, index int, uoa float64)
+	EndSeries(series string)
 }
 
 // DefaultConfig returns the paper-scale campaign configuration.
@@ -121,6 +143,12 @@ func (cfg *Config) instrument(plat *platform.Platform) {
 	}
 }
 
+// trace returns the span track of worker w; nil (the valid no-op
+// track) when tracing is disabled.
+func (cfg *Config) trace(w int) *telemetry.WorkerTracer {
+	return cfg.Tracer.Worker(w)
+}
+
 // newCapture returns a per-worker capture log for runtime events, or
 // nil (the valid no-op log) when telemetry is disabled.
 func (cfg *Config) newCapture() *telemetry.EventLog {
@@ -157,6 +185,9 @@ func (cfg *Config) record(s *Series, i int, seed uint64, res platform.RunResult)
 		Series: s.Name, Index: i, Seed: seed,
 		Cycles: res.Cycles, UoA: uoa, Attribution: res.Attribution,
 	})
+	if cfg.Observer != nil {
+		cfg.Observer.ObserveRun(s.Name, i, uoa)
+	}
 	if cfg.Progress != nil {
 		cfg.Progress(s.Name, i+1, cfg.Runs)
 	}
@@ -184,7 +215,10 @@ func (cfg Config) runSeries(name string, newWorker func(w int) (worker, error)) 
 		Cycles:  make([]float64, cfg.Runs),
 		Results: make([]platform.RunResult, cfg.Runs),
 	}
-	ecfg := campaign.Config{Runs: cfg.Runs, Workers: cfg.Workers}
+	if cfg.Observer != nil {
+		cfg.Observer.BeginSeries(name, cfg.Runs)
+	}
+	ecfg := campaign.Config{Runs: cfg.Runs, Workers: cfg.Workers, Tracer: cfg.Tracer}
 	err := campaign.Execute(ecfg, newWorker, func(i int, sh shard) error {
 		if cfg.Telemetry != nil {
 			cfg.Telemetry.Events.ReplayAt(cfg.Telemetry.Now(), sh.events)
@@ -194,6 +228,9 @@ func (cfg Config) runSeries(name string, newWorker func(w int) (worker, error)) 
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Observer != nil {
+		cfg.Observer.EndSeries(name)
 	}
 	return s, nil
 }
@@ -224,13 +261,19 @@ func RunBaseline(cfg Config) (*Series, error) {
 		plat := platform.New(platform.ProximaLEON3())
 		cfg.instrument(plat)
 		plat.LoadImage(img)
+		wt := cfg.trace(w)
 		return func(i int) (shard, error) {
 			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+			boot := wt.Begin(telemetry.SpanBoot, -1)
 			plat.Reload()
-			if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+			err := spaceapp.ApplyControlInput(plat.Mem, img, in)
+			wt.End(boot)
+			if err != nil {
 				return shard{}, err
 			}
+			exec := wt.Begin(telemetry.SpanExecute, -1)
 			res, err := plat.Run()
+			wt.End(exec)
 			if err != nil {
 				return shard{}, err
 			}
@@ -261,6 +304,8 @@ func dsrSeries(cfg Config, name string, newOpts func() core.Options) (*Series, e
 		}
 		capture := cfg.newCapture()
 		rt.SetEventLog(capture)
+		wt := cfg.trace(w)
+		rt.SetTracer(wt)
 		return func(i int) (shard, error) {
 			seed := sched.Seed(i)
 			if _, err := rt.Reboot(seed); err != nil {
@@ -270,7 +315,9 @@ func dsrSeries(cfg Config, name string, newOpts func() core.Options) (*Series, e
 			if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
 				return shard{}, err
 			}
+			exec := wt.Begin(telemetry.SpanExecute, -1)
 			res, err := rt.Run()
+			wt.End(exec)
 			if err != nil {
 				return shard{}, err
 			}
@@ -327,15 +374,21 @@ func RunHWRand(cfg Config) (*Series, error) {
 		plat := platform.New(platform.HWRandLEON3())
 		cfg.instrument(plat)
 		plat.LoadImage(img)
+		wt := cfg.trace(w)
 		return func(i int) (shard, error) {
 			seed := sched.Seed(i)
+			boot := wt.Begin(telemetry.SpanBoot, -1)
 			plat.ReseedCaches(seed)
 			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
 			plat.Reload()
-			if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+			err := spaceapp.ApplyControlInput(plat.Mem, img, in)
+			wt.End(boot)
+			if err != nil {
 				return shard{}, err
 			}
+			exec := wt.Begin(telemetry.SpanExecute, -1)
 			res, err := plat.Run()
+			wt.End(exec)
 			if err != nil {
 				return shard{}, err
 			}
@@ -358,19 +411,29 @@ func RunStatic(cfg Config) (*Series, error) {
 		}
 		plat := platform.New(platform.ProximaLEON3())
 		cfg.instrument(plat)
+		wt := cfg.trace(w)
 		return func(i int) (shard, error) {
 			seed := sched.Seed(i)
+			// Static randomisation pays its cost at build time: the fresh
+			// per-run image build is the relocation phase here.
+			reloc := wt.Begin(telemetry.SpanReloc, -1)
 			img, err := core.StaticBuild(p, loader.DefaultSequentialConfig(), plat.Cfg.L2.WaySize(), seed)
+			wt.End(reloc)
 			if err != nil {
 				return shard{}, err
 			}
+			boot := wt.Begin(telemetry.SpanBoot, -1)
 			plat.LoadImage(img)
 			plat.Reload()
 			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
-			if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+			err = spaceapp.ApplyControlInput(plat.Mem, img, in)
+			wt.End(boot)
+			if err != nil {
 				return shard{}, err
 			}
+			exec := wt.Begin(telemetry.SpanExecute, -1)
 			res, err := plat.Run()
+			wt.End(exec)
 			if err != nil {
 				return shard{}, err
 			}
@@ -554,6 +617,8 @@ func RunDSRWithContention(cfg Config, cont bus.Contention, name string) (*Series
 		}
 		capture := cfg.newCapture()
 		rt.SetEventLog(capture)
+		wt := cfg.trace(w)
+		rt.SetTracer(wt)
 		return func(i int) (shard, error) {
 			seed := sched.Seed(i)
 			// Reseed before boot too: the relocation pass's bus traffic
@@ -570,7 +635,9 @@ func RunDSRWithContention(cfg Config, cont bus.Contention, name string) (*Series
 			if err := spaceapp.ApplyControlInput(plat.Mem, rt.Image(), in); err != nil {
 				return shard{}, err
 			}
+			exec := wt.Begin(telemetry.SpanExecute, -1)
 			res, err := rt.Run()
+			wt.End(exec)
 			if err != nil {
 				return shard{}, err
 			}
@@ -604,6 +671,8 @@ func RunProcessing(cfg Config, litFrac float64, name string) (*Series, error) {
 		}
 		capture := cfg.newCapture()
 		rt.SetEventLog(capture)
+		wt := cfg.trace(w)
+		rt.SetTracer(wt)
 		return func(i int) (shard, error) {
 			seed := sched.Seed(i)
 			if _, err := rt.Reboot(seed); err != nil {
@@ -613,7 +682,9 @@ func RunProcessing(cfg Config, litFrac float64, name string) (*Series, error) {
 			if err := spaceapp.ApplyScene(plat.Mem, rt.Image(), scene); err != nil {
 				return shard{}, err
 			}
+			exec := wt.Begin(telemetry.SpanExecute, -1)
 			res, err := rt.Run()
+			wt.End(exec)
 			if err != nil {
 				return shard{}, err
 			}
@@ -667,13 +738,19 @@ func RunPositioned(cfg Config) (*Series, error) {
 		}
 		cfg.instrument(plat)
 		plat.LoadImage(img)
+		wt := cfg.trace(w)
 		return func(i int) (shard, error) {
 			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
+			boot := wt.Begin(telemetry.SpanBoot, -1)
 			plat.Reload()
-			if err := spaceapp.ApplyControlInput(plat.Mem, img, in); err != nil {
+			err := spaceapp.ApplyControlInput(plat.Mem, img, in)
+			wt.End(boot)
+			if err != nil {
 				return shard{}, err
 			}
+			exec := wt.Begin(telemetry.SpanExecute, -1)
 			res, err := plat.Run()
+			wt.End(exec)
 			if err != nil {
 				return shard{}, err
 			}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsr/internal/telemetry"
+)
+
+// TestCampaignScrapeDuringRun pins the registry's concurrency
+// contract: a scraper may Snapshot the registry and round-trip it
+// through the Prometheus exposition format while campaign workers are
+// mutating counters, gauges and histograms. The test runs under -race
+// in CI (make race-campaign), which is the actual detector; the
+// assertions here only check that every mid-flight scrape parses.
+func TestCampaignScrapeDuringRun(t *testing.T) {
+	camp := telemetry.NewCampaign(0)
+	tracer := telemetry.NewTracer()
+	cfg := DefaultConfig()
+	cfg.Runs = 32
+	cfg.Workers = 8
+	cfg.Telemetry = camp
+	cfg.Tracer = tracer
+
+	stop := make(chan struct{})
+	scrapeErr := make(chan error, 1)
+	var scrapes atomic.Int64
+	go func() {
+		var firstErr error
+		for {
+			select {
+			case <-stop:
+				scrapeErr <- firstErr
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			d := &telemetry.Dump{Metrics: camp.Registry.Snapshot()}
+			err := d.WritePrometheus(&buf)
+			if err == nil {
+				_, err = telemetry.ReadPrometheus(bytes.NewReader(buf.Bytes()))
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			tracer.LiveWorkers() // live span state shares the contract
+			scrapes.Add(1)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	s, err := RunDSR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := <-scrapeErr; err != nil {
+		t.Fatalf("mid-flight scrape failed: %v", err)
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrapes happened during the campaign")
+	}
+	if len(s.Cycles) != cfg.Runs {
+		t.Fatalf("campaign produced %d runs, want %d", len(s.Cycles), cfg.Runs)
+	}
+}

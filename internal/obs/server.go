@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"dsr/internal/telemetry"
+)
+
+// Server is the embedded observability HTTP server behind the CLIs'
+// -http flag. Endpoints:
+//
+//	/            index (plain-text endpoint list)
+//	/healthz     liveness probe
+//	/metrics     Prometheus text exposition of the telemetry registry
+//	/campaign    JSON live snapshot (progress, workers, pWCET tail)
+//	/events      SSE stream: snapshot on connect, then deltas
+//	/debug/pprof host profiling (CPU, heap, goroutines, ...)
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	camp *Campaign
+}
+
+// Serve binds addr (":0" picks a free port) and serves the campaign
+// view until Close. It returns once the listener is bound, so Addr is
+// immediately valid.
+func Serve(addr string, camp *Campaign) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, camp: camp}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/campaign", s.handleCampaign)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, disconnecting any attached SSE clients.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "dsr campaign observability server\n\n"+
+		"  /healthz      liveness\n"+
+		"  /metrics      Prometheus exposition\n"+
+		"  /campaign     JSON live snapshot\n"+
+		"  /events       SSE progress stream\n"+
+		"  /debug/pprof  profiling\n")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics scrapes the telemetry registry. Only the registry is
+// read — never the event log, which is single-goroutine (owned by the
+// merge); the registry's snapshot is safe under concurrent mutation.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	d := &telemetry.Dump{Metrics: s.camp.Registry().Snapshot()}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := d.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, _ *http.Request) {
+	snap := s.camp.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(snap); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleEvents is the SSE stream: one `snapshot` event with the state
+// current at connect time, then a `delta` event per published change.
+// The subscription and the snapshot are taken atomically, so a client
+// connecting mid-campaign sees a gapless sequence; a client that reads
+// too slowly loses deltas (its buffer is bounded) but the stream stays
+// ordered and the campaign never blocks.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub, snap := s.camp.subscribe()
+	defer s.camp.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	first, err := json.Marshal(snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := writeSSE(w, "snapshot", first); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case frame := <-sub.ch:
+			if err := writeSSE(w, "delta", frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent Event.
+func writeSSE(w http.ResponseWriter, event string, data []byte) error {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dsr/internal/mbpta"
+	"dsr/internal/telemetry"
+)
+
+// newTestServer builds a campaign view with some populated state and
+// serves it on a loopback port.
+func newTestServer(t *testing.T) (*Server, *Campaign) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("dsr_runs_total", telemetry.Labels{"series": "test"}).Add(42)
+	reg.Gauge("dsr_last_uoa", nil).Set(12345)
+	reg.Histogram("dsr_uoa_cycles", nil, telemetry.ExpBounds(1000, 2, 8)).Observe(40000)
+
+	tr := telemetry.NewTracer()
+	wt := tr.Worker(0)
+	run := wt.Begin(telemetry.SpanRun, 0)
+	wt.End(run)
+
+	camp := NewCampaign(reg, tr, mbpta.Options{})
+	srv, err := Serve("127.0.0.1:0", camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, camp
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, camp := newTestServer(t)
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/"); code != 200 || !strings.Contains(body, "/campaign") {
+		t.Fatalf("/ = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/no-such-endpoint"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+
+	// /metrics parses as Prometheus exposition and round-trips the
+	// registry exactly.
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	dump, err := telemetry.ReadPrometheus(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	if !telemetry.MetricsEqual(dump.Metrics, camp.Registry().Snapshot()) {
+		t.Fatalf("/metrics round-trip mismatch")
+	}
+
+	// /campaign decodes and reflects observer state.
+	camp.BeginSeries("Sw Rand", 100)
+	for i := 0; i < 10; i++ {
+		camp.ObserveRun("Sw Rand", i, float64(40000+i))
+	}
+	code, body = get(t, base+"/campaign")
+	if code != 200 {
+		t.Fatalf("/campaign = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/campaign does not decode: %v\n%s", err, body)
+	}
+	if snap.Series != "Sw Rand" || snap.Done != 10 || snap.Total != 100 {
+		t.Fatalf("/campaign snapshot = %+v", snap)
+	}
+	if snap.LastUoA != 40009 {
+		t.Fatalf("/campaign last_uoa = %v, want 40009", snap.LastUoA)
+	}
+	if len(snap.Workers) != 1 || snap.Workers[0].Runs != 1 {
+		t.Fatalf("/campaign workers = %+v", snap.Workers)
+	}
+}
+
+func TestCampaignTailEstimate(t *testing.T) {
+	opts := mbpta.DefaultOptions()
+	camp := NewCampaign(nil, nil, opts)
+	runs := 10 * opts.BlockSize // the EVT fitter needs >=10 block maxima
+	camp.BeginSeries("tail", runs)
+	// A hashed (serially uncorrelated) spread so the i.i.d. gate passes
+	// and the EVT fit is well-posed.
+	for i := 0; i < runs; i++ {
+		h := uint64(i) * 0x9e3779b97f4a7c15
+		h ^= h >> 32
+		camp.ObserveRun("tail", i, 40000+float64(h%997))
+	}
+	snap := camp.Snapshot()
+	if snap.PWCET == nil {
+		t.Fatal("no tail estimate after 10*BlockSize runs")
+	}
+	if snap.PWCET.PWCET < snap.PWCET.MOET {
+		t.Fatalf("pWCET %v below MOET %v", snap.PWCET.PWCET, snap.PWCET.MOET)
+	}
+	camp.EndSeries("tail")
+	camp.Done()
+	snap = camp.Snapshot()
+	if !snap.Ended || len(snap.Finished) != 1 || snap.Finished[0].PWCET == nil {
+		t.Fatalf("terminal snapshot = %+v", snap)
+	}
+}
+
+func TestCampaignSnapshotBelowFitThreshold(t *testing.T) {
+	camp := NewCampaign(nil, nil, mbpta.Options{})
+	camp.BeginSeries("small", 10)
+	for i := 0; i < 10; i++ {
+		camp.ObserveRun("small", i, 1000)
+	}
+	if snap := camp.Snapshot(); snap.PWCET != nil {
+		t.Fatalf("tail estimate from %d runs, want none", snap.Done)
+	}
+}
+
+func ExampleServe() {
+	camp := NewCampaign(telemetry.NewRegistry(), nil, mbpta.Options{})
+	srv, err := Serve("127.0.0.1:0", camp)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	fmt.Println(resp.StatusCode)
+	// Output: 200
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsr/internal/experiments"
+	"dsr/internal/mbpta"
+	"dsr/internal/telemetry"
+)
+
+// TestObsSmoke is the end-to-end gate behind `make obs-smoke`: a real
+// 8-worker DSR campaign with the full observability stack attached —
+// span tracer, live campaign view, HTTP server — scraped continuously
+// mid-flight. It asserts that /metrics always parses as Prometheus
+// exposition (the concurrent-scrape contract), that /campaign always
+// decodes, and that the finished campaign's span timeline validates
+// and produces a worker report.
+//
+// OBS_RUNS scales the campaign (default 60 keeps tier-1 fast; CI's
+// obs-smoke target raises it to 200).
+func TestObsSmoke(t *testing.T) {
+	runs := 60
+	if v := os.Getenv("OBS_RUNS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad OBS_RUNS=%q", v)
+		}
+		runs = n
+	}
+
+	tc := telemetry.NewCampaign(0)
+	tracer := telemetry.NewTracer()
+	camp := NewCampaign(tc.Registry, tracer, mbpta.DefaultOptions())
+	srv, err := Serve("127.0.0.1:0", camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Runs = runs
+	cfg.Workers = 8
+	cfg.Telemetry = tc
+	cfg.Tracer = tracer
+	cfg.Observer = camp
+
+	// Scrape continuously while the campaign runs.
+	stop := make(chan struct{})
+	scraped := make(chan error, 1)
+	var scrapes atomic.Int64
+	go func() {
+		var firstErr error
+		for {
+			select {
+			case <-stop:
+				scraped <- firstErr
+				return
+			default:
+			}
+			if err := scrapeOnce(base); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			scrapes.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	s, err := experiments.RunDSR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp.Done()
+	close(stop)
+	if err := <-scraped; err != nil {
+		t.Fatalf("mid-flight scrape failed: %v", err)
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrapes happened during the campaign")
+	}
+	if len(s.Cycles) != runs {
+		t.Fatalf("campaign produced %d runs, want %d", len(s.Cycles), runs)
+	}
+
+	// Terminal snapshot reflects the finished campaign.
+	snap := camp.Snapshot()
+	if !snap.Ended || snap.Done != runs || len(snap.Finished) != 1 {
+		t.Fatalf("terminal snapshot = %+v", snap)
+	}
+
+	// The span timeline validates, exports, and yields a worker report
+	// that names a bottleneck.
+	spans := tracer.Spans()
+	if _, err := telemetry.ValidateSpans(spans); err != nil {
+		t.Fatalf("campaign spans invalid: %v", err)
+	}
+	rep, err := telemetry.AnalyzeSpans(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRuns != runs {
+		t.Fatalf("span report covers %d runs, want %d", rep.TotalRuns, runs)
+	}
+	if rep.BootNs == 0 || rep.RelocNs == 0 || rep.ExecNs == 0 {
+		t.Fatalf("phase breakdown incomplete: boot=%d reloc=%d exec=%d",
+			rep.BootNs, rep.RelocNs, rep.ExecNs)
+	}
+	if !strings.Contains(rep.Render(), "bottleneck: ") {
+		t.Fatal("report names no bottleneck")
+	}
+
+	// Span JSONL round-trips and the Chrome export validates.
+	var jsonl bytes.Buffer
+	if err := (&telemetry.Dump{Spans: spans}).WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := telemetry.ReadJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != len(spans) {
+		t.Fatalf("span JSONL round-trip lost spans: %d vs %d", len(back.Spans), len(spans))
+	}
+	var trace bytes.Buffer
+	if err := telemetry.WriteSpanTrace(&trace, spans); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ValidateChromeTrace(bytes.NewReader(trace.Bytes())); err != nil {
+		t.Fatalf("worker-timeline trace invalid: %v", err)
+	}
+}
+
+// scrapeOnce validates one /metrics + /campaign scrape pair.
+func scrapeOnce(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if _, err := telemetry.ReadPrometheus(bytes.NewReader(body)); err != nil {
+		return err
+	}
+	resp, err = http.Get(base + "/campaign")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	return json.NewDecoder(resp.Body).Decode(&snap)
+}

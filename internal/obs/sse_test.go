@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dsr/internal/mbpta"
+	"dsr/internal/telemetry"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	snap Snapshot
+}
+
+// readSSE parses events off an open /events stream.
+func readSSE(t *testing.T, r *bufio.Reader, n int, timeout time.Duration) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	deadline := time.Now().Add(timeout)
+	var name string
+	for len(out) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %d/%d SSE events", len(out), n)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE read after %d events: %v", len(out), err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var snap Snapshot
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snap); err != nil {
+				t.Fatalf("SSE data does not decode: %v\n%s", err, line)
+			}
+			out = append(out, sseEvent{name: name, snap: snap})
+		}
+	}
+	return out
+}
+
+// TestSSESnapshotThenDeltas: a client connecting mid-campaign receives
+// the consistent state at connect time as a `snapshot` event, then
+// every later change as ordered `delta` events.
+func TestSSESnapshotThenDeltas(t *testing.T) {
+	camp := NewCampaign(telemetry.NewRegistry(), nil, mbpta.Options{})
+	srv, err := Serve("127.0.0.1:0", camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Mid-campaign state before the client attaches.
+	camp.BeginSeries("Sw Rand", 50)
+	for i := 0; i < 20; i++ {
+		camp.ObserveRun("Sw Rand", i, float64(1000+i))
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	first := readSSE(t, br, 1, 5*time.Second)[0]
+	if first.name != "snapshot" {
+		t.Fatalf("first event = %q, want snapshot", first.name)
+	}
+	if first.snap.Done != 20 || first.snap.Series != "Sw Rand" {
+		t.Fatalf("snapshot = %+v", first.snap)
+	}
+
+	// Changes after attach arrive as deltas in seq order.
+	for i := 20; i < 50; i++ {
+		camp.ObserveRun("Sw Rand", i, float64(1000+i))
+	}
+	camp.EndSeries("Sw Rand")
+	camp.Done()
+
+	deltas := readSSE(t, br, 3, 5*time.Second)
+	lastSeq := first.snap.Seq
+	for _, d := range deltas {
+		if d.name != "delta" {
+			t.Fatalf("event = %q, want delta", d.name)
+		}
+		if d.snap.Seq <= lastSeq {
+			t.Fatalf("seq went backwards: %d after %d", d.snap.Seq, lastSeq)
+		}
+		lastSeq = d.snap.Seq
+	}
+	// Drain until the terminal frame.
+	for i := 0; i < 100; i++ {
+		if deltas[len(deltas)-1].snap.Ended {
+			break
+		}
+		deltas = append(deltas, readSSE(t, br, 1, 5*time.Second)...)
+	}
+	last := deltas[len(deltas)-1].snap
+	if !last.Ended || last.Done != 50 {
+		t.Fatalf("terminal delta = %+v", last)
+	}
+}
+
+// TestSSESlowConsumerDropsNeverBlocks: a subscriber that never reads
+// its channel loses deltas once its buffer fills, but publishing —
+// i.e. the merge goroutine — never blocks on it.
+func TestSSESlowConsumerDropsNeverBlocks(t *testing.T) {
+	camp := NewCampaign(nil, nil, mbpta.Options{})
+	sub, _ := camp.subscribe()
+	defer camp.unsubscribe(sub)
+
+	const runs = 10 * subscriberBuffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		camp.BeginSeries("flood", runs)
+		for i := 0; i < runs; i++ {
+			camp.ObserveRun("flood", i, 1) // total<100 → every run publishes
+		}
+		camp.Done()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on slow SSE consumer")
+	}
+
+	camp.mu.Lock()
+	drops := camp.drops
+	camp.mu.Unlock()
+	if drops == 0 {
+		t.Fatal("no deltas dropped despite a full subscriber buffer")
+	}
+	if got := len(sub.ch); got != subscriberBuffer {
+		t.Fatalf("subscriber buffered %d frames, want full buffer %d", got, subscriberBuffer)
+	}
+	// The frames that were delivered are still ordered.
+	var lastSeq uint64
+	for i := 0; i < subscriberBuffer; i++ {
+		var snap Snapshot
+		if err := json.Unmarshal(<-sub.ch, &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Seq <= lastSeq {
+			t.Fatalf("delivered frames out of order: %d after %d", snap.Seq, lastSeq)
+		}
+		lastSeq = snap.Seq
+	}
+}

@@ -17,6 +17,12 @@ import (
 type Dump struct {
 	Metrics []Metric `json:"-"`
 	Events  []Event  `json:"-"`
+	// Spans is the host wall-time span timeline (Tracer.Spans). It is
+	// kept separate from Metrics/Events because span timings are
+	// inherently nondeterministic: the determinism suite compares
+	// Metrics+Events byte-for-byte, while spans are exported to their
+	// own spans.jsonl.
+	Spans []Span `json:"-"`
 }
 
 // NewDump snapshots a registry and an event log (either may be nil).
@@ -30,6 +36,7 @@ type jsonlRecord struct {
 	Record string  `json:"record"`
 	Metric *Metric `json:"metric,omitempty"`
 	Event  *Event  `json:"event,omitempty"`
+	Span   *Span   `json:"span,omitempty"`
 }
 
 // WriteJSONL encodes the dump as JSON Lines: one self-describing record
@@ -44,6 +51,11 @@ func (d *Dump) WriteJSONL(w io.Writer) error {
 	}
 	for i := range d.Events {
 		if err := enc.Encode(jsonlRecord{Record: "event", Event: &d.Events[i]}); err != nil {
+			return fmt.Errorf("telemetry: jsonl: %w", err)
+		}
+	}
+	for i := range d.Spans {
+		if err := enc.Encode(jsonlRecord{Record: "span", Span: &d.Spans[i]}); err != nil {
 			return fmt.Errorf("telemetry: jsonl: %w", err)
 		}
 	}
@@ -78,6 +90,11 @@ func ReadJSONL(r io.Reader) (*Dump, error) {
 				return nil, fmt.Errorf("telemetry: jsonl line %d: event record without event", line)
 			}
 			d.Events = append(d.Events, *rec.Event)
+		case "span":
+			if rec.Span == nil {
+				return nil, fmt.Errorf("telemetry: jsonl line %d: span record without span", line)
+			}
+			d.Spans = append(d.Spans, *rec.Span)
 		default:
 			return nil, fmt.Errorf("telemetry: jsonl line %d: unknown record %q", line, rec.Record)
 		}

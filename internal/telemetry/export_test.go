@@ -155,33 +155,35 @@ func TestChromeTraceValid(t *testing.T) {
 }
 
 func TestValidateChromeTraceRejectsBadTraces(t *testing.T) {
-	mk := func(events ...Event) []byte {
-		d := &Dump{Events: events}
-		var buf bytes.Buffer
-		if err := d.WriteChromeTrace(&buf, 0); err != nil {
+	// The writer sanitizes its own output (ring truncation, see
+	// TestWriteChromeTraceRingTruncation), so bad traces are built as
+	// raw trace JSON: the validator guards foreign files too.
+	mk := func(events ...TraceEvent) []byte {
+		b, err := json.Marshal(traceFile{TraceEvents: events})
+		if err != nil {
 			t.Fatal(err)
 		}
-		return buf.Bytes()
+		return b
 	}
 	cases := []struct {
 		name   string
-		events []Event
+		events []TraceEvent
 		want   string
 	}{
-		{"unmatched end", []Event{
-			{TS: 0, Track: "t", Kind: "a", Phase: PhaseEnd},
+		{"unmatched end", []TraceEvent{
+			{Name: "a", Ph: "E", Ts: 0, Pid: 1, Tid: 1},
 		}, "without open B"},
-		{"left open", []Event{
-			{TS: 0, Track: "t", Kind: "a", Phase: PhaseBegin},
+		{"left open", []TraceEvent{
+			{Name: "a", Ph: "B", Ts: 0, Pid: 1, Tid: 1},
 		}, "left open"},
-		{"bad nesting", []Event{
-			{TS: 0, Track: "t", Kind: "a", Phase: PhaseBegin},
-			{TS: 1, Track: "t", Kind: "b", Phase: PhaseBegin},
-			{TS: 2, Track: "t", Kind: "a", Phase: PhaseEnd},
+		{"bad nesting", []TraceEvent{
+			{Name: "a", Ph: "B", Ts: 0, Pid: 1, Tid: 1},
+			{Name: "b", Ph: "B", Ts: 1, Pid: 1, Tid: 1},
+			{Name: "a", Ph: "E", Ts: 2, Pid: 1, Tid: 1},
 		}, "bad nesting"},
-		{"non-monotonic", []Event{
-			{TS: 100, Track: "t", Kind: "a", Phase: PhaseInstant},
-			{TS: 50, Track: "t", Kind: "b", Phase: PhaseInstant},
+		{"non-monotonic", []TraceEvent{
+			{Name: "a", Ph: "i", S: "t", Ts: 100, Pid: 1, Tid: 1},
+			{Name: "b", Ph: "i", S: "t", Ts: 50, Pid: 1, Tid: 1},
 		}, "not monotonic"},
 	}
 	for _, tc := range cases {
@@ -193,6 +195,31 @@ func TestValidateChromeTraceRejectsBadTraces(t *testing.T) {
 	}
 	if _, err := ValidateChromeTrace(strings.NewReader("not json")); err == nil {
 		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestWriteChromeTraceRingTruncation: the event log is a bounded ring,
+// so a dump can start with an end whose begin was evicted, or stop with
+// a begin whose end never arrived. The writer must still produce a
+// schema-valid trace: orphan ends dropped, dangling begins closed.
+func TestWriteChromeTraceRingTruncation(t *testing.T) {
+	d := &Dump{Events: []Event{
+		{TS: 10, Track: "t", Kind: "run", Phase: PhaseEnd}, // begin evicted
+		{TS: 20, Track: "t", Kind: "run", Phase: PhaseBegin},
+		{TS: 25, Track: "t", Kind: "uoa", Phase: PhaseInstant},
+		{TS: 30, Track: "t", Kind: "run", Phase: PhaseEnd},
+		{TS: 40, Track: "t", Kind: "run", Phase: PhaseBegin}, // end never recorded
+	}}
+	var buf bytes.Buffer
+	if err := d.WriteChromeTrace(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("truncated ring produced an invalid trace: %v", err)
+	}
+	if spans != 2 { // the complete pair + the defensively closed begin
+		t.Errorf("trace has %d span pairs, want 2", spans)
 	}
 }
 

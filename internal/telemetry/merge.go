@@ -44,7 +44,7 @@ func (r *Registry) Merge(src *Registry) error {
 			rc = &Counter{}
 			r.counters[k] = rc
 		}
-		rc.v += c.v
+		rc.Add(c.Value())
 	}
 	for k, g := range src.gauges {
 		rg, ok := r.gauges[k]
@@ -52,7 +52,7 @@ func (r *Registry) Merge(src *Registry) error {
 			rg = &Gauge{}
 			r.gauges[k] = rg
 		}
-		rg.v = g.v
+		rg.Set(g.Value())
 	}
 	for name, sb := range src.histBounds {
 		if _, ok := r.histBounds[name]; !ok {
@@ -66,11 +66,17 @@ func (r *Registry) Merge(src *Registry) error {
 			rh = &Histogram{bounds: bb, counts: make([]uint64, len(bb)+1)}
 			r.histograms[k] = rh
 		}
-		for i := range h.counts {
-			rh.counts[i] += h.counts[i]
+		// Snapshot src's histogram first, then apply under rh's lock —
+		// one histogram lock at a time, so there is no lock-order hazard
+		// with concurrent Observe calls on either side.
+		counts, sum, n := h.rawSnapshot()
+		rh.mu.Lock()
+		for i := range counts {
+			rh.counts[i] += counts[i]
 		}
-		rh.sum += h.sum
-		rh.n += h.n
+		rh.sum += sum
+		rh.n += n
+		rh.mu.Unlock()
 	}
 	return nil
 }

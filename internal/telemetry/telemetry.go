@@ -21,20 +21,33 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing uint64 metric.
+// Concurrency contract: individual metrics (Counter, Gauge, Histogram)
+// are safe for concurrent mutation and read — counters and gauges are
+// atomics, histograms take a small internal lock — and Snapshot may run
+// while writers are active. A snapshot is consistent per metric (a
+// histogram's sum/count/buckets always agree) but makes no cross-metric
+// promise: two metrics updated together may be captured one-before,
+// one-after. That is exactly the guarantee a mid-campaign Prometheus
+// scrape needs, and it is what keeps the ReadPrometheus→WritePrometheus
+// round-trip parseable under concurrent registry mutation.
+
+// Counter is a monotonically increasing uint64 metric, safe for
+// concurrent use.
 type Counter struct {
-	v uint64
+	v atomic.Uint64
 }
 
 // Add increments the counter; nil-safe.
 func (c *Counter) Add(n uint64) {
 	if c != nil {
-		c.v += n
+		c.v.Add(n)
 	}
 }
 
@@ -46,18 +59,19 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
-// Gauge is a last-value float64 metric.
+// Gauge is a last-value float64 metric, safe for concurrent use (the
+// value is stored as atomic bits).
 type Gauge struct {
-	v float64
+	bits atomic.Uint64
 }
 
 // Set records the value; nil-safe.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
-		g.v = v
+		g.bits.Store(math.Float64bits(v))
 	}
 }
 
@@ -66,14 +80,17 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Histogram is a fixed-bucket cumulative histogram. Bounds are the
 // inclusive upper bounds of each bucket; observations above the last
-// bound land in the implicit +Inf bucket.
+// bound land in the implicit +Inf bucket. Observe and the read methods
+// are safe for concurrent use.
 type Histogram struct {
-	bounds []float64
+	bounds []float64 // immutable after construction
+
+	mu     sync.Mutex
 	counts []uint64 // len(bounds)+1; last is +Inf
 	sum    float64
 	n      uint64
@@ -84,15 +101,18 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
 	h.sum += v
 	h.n++
+	idx := len(h.bounds)
 	for i, b := range h.bounds {
 		if v <= b {
-			h.counts[i]++
-			return
+			idx = i
+			break
 		}
 	}
-	h.counts[len(h.bounds)]++
+	h.counts[idx]++
+	h.mu.Unlock()
 }
 
 // Count returns the number of observations; nil-safe (0).
@@ -100,6 +120,8 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.n
 }
 
@@ -108,6 +130,8 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.sum
 }
 
@@ -125,6 +149,13 @@ func (h *Histogram) Cumulative() []uint64 {
 	if h == nil {
 		return nil
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cumulativeLocked()
+}
+
+// cumulativeLocked computes the cumulative counts; h.mu must be held.
+func (h *Histogram) cumulativeLocked() []uint64 {
 	out := make([]uint64, len(h.bounds))
 	var cum uint64
 	for i := range h.bounds {
@@ -132,6 +163,20 @@ func (h *Histogram) Cumulative() []uint64 {
 		out[i] = cum
 	}
 	return out
+}
+
+// snapshot captures a consistent (counts, sum, n) triple.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cumulativeLocked(), h.sum, h.n
+}
+
+// rawSnapshot captures the per-bucket (non-cumulative) counts.
+func (h *Histogram) rawSnapshot() (counts []uint64, sum float64, n uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.counts...), h.sum, h.n
 }
 
 // ExpBounds returns n exponentially spaced bounds starting at start with
@@ -295,7 +340,10 @@ func (m *Metric) key() string {
 }
 
 // Snapshot returns every metric in deterministic (kind, name, labels)
-// order; nil-safe (empty).
+// order; nil-safe (empty). Safe to call while writers are active:
+// each metric is captured atomically (a histogram's buckets, sum and
+// count agree), though metrics updated concurrently may be captured at
+// slightly different instants relative to each other.
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
@@ -305,17 +353,18 @@ func (r *Registry) Snapshot() []Metric {
 	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for k, c := range r.counters {
 		out = append(out, Metric{Kind: KindCounter, Name: k.name,
-			Labels: parseCanonicalLabels(k.labels), Value: float64(c.v)})
+			Labels: parseCanonicalLabels(k.labels), Value: float64(c.Value())})
 	}
 	for k, g := range r.gauges {
 		out = append(out, Metric{Kind: KindGauge, Name: k.name,
-			Labels: parseCanonicalLabels(k.labels), Value: g.v})
+			Labels: parseCanonicalLabels(k.labels), Value: g.Value()})
 	}
 	for k, h := range r.histograms {
+		cum, sum, n := h.snapshot()
 		out = append(out, Metric{Kind: KindHistogram, Name: k.name,
 			Labels: parseCanonicalLabels(k.labels),
 			Bounds: append([]float64(nil), h.bounds...),
-			Counts: h.Cumulative(), Sum: h.sum, Count: h.n})
+			Counts: cum, Sum: sum, Count: n})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
 	return out

@@ -45,6 +45,11 @@ const DefaultCyclesPerMicro = 80.0
 // spans, instants become 'i' marks, and timestamps are converted from
 // simulated cycles at cyclesPerMicro (0 selects the 80 MHz default).
 // Load the output in chrome://tracing or https://ui.perfetto.dev.
+//
+// The event log is a bounded ring, so its oldest record can sit in the
+// middle of a B/E pair; to keep the output schema-valid the writer
+// drops end events whose begin was evicted and closes any begin left
+// open at the tail.
 func (d *Dump) WriteChromeTrace(w io.Writer, cyclesPerMicro float64) error {
 	if cyclesPerMicro <= 0 {
 		cyclesPerMicro = DefaultCyclesPerMicro
@@ -73,6 +78,8 @@ func (d *Dump) WriteChromeTrace(w io.Writer, cyclesPerMicro float64) error {
 			Args: map[string]string{"name": name},
 		})
 	}
+	openByTid := map[int][]string{}
+	lastTsByTid := map[int]float64{}
 	for _, e := range d.Events {
 		te := TraceEvent{
 			Name: e.Kind,
@@ -85,6 +92,17 @@ func (d *Dump) WriteChromeTrace(w io.Writer, cyclesPerMicro float64) error {
 		if e.Phase == PhaseInstant {
 			te.S = "t"
 		}
+		switch e.Phase {
+		case PhaseBegin:
+			openByTid[te.Tid] = append(openByTid[te.Tid], e.Kind)
+		case PhaseEnd:
+			stack := openByTid[te.Tid]
+			if len(stack) == 0 || stack[len(stack)-1] != e.Kind {
+				continue // begin evicted from the ring
+			}
+			openByTid[te.Tid] = stack[:len(stack)-1]
+		}
+		lastTsByTid[te.Tid] = te.Ts
 		if len(e.Attrs) > 0 {
 			te.Args = make(map[string]string, len(e.Attrs))
 			for _, a := range e.Attrs {
@@ -93,10 +111,103 @@ func (d *Dump) WriteChromeTrace(w io.Writer, cyclesPerMicro float64) error {
 		}
 		tf.TraceEvents = append(tf.TraceEvents, te)
 	}
+	// Close anything still open (an interrupted recording) at its
+	// track's last timestamp, innermost first.
+	for _, track := range order {
+		tid := tids[track]
+		stack := openByTid[tid]
+		for i := len(stack) - 1; i >= 0; i-- {
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: stack[i], Cat: kindCategory(stack[i]), Ph: "E",
+				Ts: lastTsByTid[tid], Pid: 1, Tid: tid,
+			})
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(tf); err != nil {
 		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	return nil
+}
+
+// WriteSpanTrace renders a host wall-time span timeline (Tracer.Spans)
+// as a Chrome trace_event JSON file: one thread row per worker (the
+// campaign/merge track is "campaign"), spans as nested B/E pairs, and
+// timestamps in microseconds since the tracer epoch. The output passes
+// ValidateChromeTrace and loads in chrome://tracing / Perfetto — this
+// is the worker-timeline artifact `make obs-smoke` uploads.
+func WriteSpanTrace(w io.Writer, spans []Span) error {
+	byWorker := map[int][]Span{}
+	var ids []int
+	for _, s := range spans {
+		if _, ok := byWorker[s.Worker]; !ok {
+			ids = append(ids, s.Worker)
+		}
+		byWorker[s.Worker] = append(byWorker[s.Worker], s)
+	}
+	sort.Ints(ids)
+	tf := traceFile{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"generator": "dsr internal/telemetry (spans)"},
+	}
+	for ti, id := range ids {
+		tid := ti + 1
+		name := fmt.Sprintf("worker %d", id)
+		if id < 0 {
+			name = "campaign"
+		}
+		tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+			Name: "thread_name", Cat: "__metadata", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": name},
+		})
+		track := byWorker[id]
+		SortSpans(track)
+		// Emit properly nested B/E pairs: close every open span that
+		// ends at or before the next span's start, defensively clamping
+		// children to their parent's end so the E stack always matches.
+		type openSpan struct {
+			name string
+			end  float64
+		}
+		var open []openSpan
+		emit := func(ph, name string, ts float64, args map[string]string) {
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: name, Cat: "campaign", Ph: ph, Ts: ts, Pid: 1, Tid: tid, Args: args,
+			})
+		}
+		for i := range track {
+			s := &track[i]
+			start := float64(s.Start) / 1e3
+			end := float64(s.End()) / 1e3
+			for len(open) > 0 && open[len(open)-1].end <= start {
+				top := open[len(open)-1]
+				open = open[:len(open)-1]
+				emit("E", top.name, top.end, nil)
+			}
+			if len(open) > 0 && end > open[len(open)-1].end {
+				end = open[len(open)-1].end
+			}
+			if end < start {
+				end = start
+			}
+			var args map[string]string
+			if s.Run >= 0 {
+				args = map[string]string{"run": fmt.Sprint(s.Run)}
+			}
+			emit("B", s.Kind, start, args)
+			open = append(open, openSpan{name: s.Kind, end: end})
+		}
+		for len(open) > 0 {
+			top := open[len(open)-1]
+			open = open[:len(open)-1]
+			emit("E", top.name, top.end, nil)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(tf); err != nil {
+		return fmt.Errorf("telemetry: span trace: %w", err)
 	}
 	return nil
 }
