@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check leak-check telemetry-smoke obs-smoke fuzz clean
+.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check leak-check telemetry-smoke obs-smoke serve-smoke fuzz clean
 
-all: build lint test race race-campaign dsrlint wcet-check leak-check telemetry-smoke obs-smoke
+all: build lint test race race-campaign dsrlint wcet-check leak-check telemetry-smoke obs-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -33,7 +33,7 @@ race:
 # races across the worker pool, the canonical-order merge and the
 # capture/replay event path.
 race-campaign:
-	$(GO) test -race -run 'TestCampaign|TestExecute' ./internal/experiments ./internal/campaign
+	$(GO) test -race -run 'TestCampaign|TestExecute' ./internal/experiments ./internal/campaign ./internal/serve
 
 # Run the repo's own lint/verification toolchain over the shipped
 # programs; non-zero exit on any Error-level diagnostic.
@@ -108,6 +108,21 @@ obs-smoke: build
 	$(GO) run ./cmd/dsrstat validate obs-out/spans.jsonl
 	$(GO) run ./cmd/dsrstat validate obs-out/telemetry.jsonl
 
+# Service end-to-end smoke: (1) the soak suite — six concurrent jobs
+# surviving 20+ random hard kills and restarts of the daemon with every
+# output surface byte-identical to the CLI path; then (2) the
+# real-process gate — build dsrserve and dsrrun, run the daemon as a
+# separate process, and drive three jobs through it (one plain via
+# `dsrrun -submit`, one cancelled and resubmitted, one interrupted by
+# SIGKILL-ing the daemon and finished after a restart), checking every
+# report byte-identical to a local dsrrun invocation and the daemon
+# exiting cleanly on SIGTERM. The service log lands in
+# serve-out/dsrserve.log (CI uploads it as a workflow artifact).
+serve-smoke: build
+	rm -rf serve-out
+	SERVE_SOAK=1 $(GO) test -run 'TestServeSoakKillRestart' -count=1 -v ./internal/serve
+	SERVE_SMOKE_OUT=$(abspath serve-out) $(GO) test -run 'TestServeSmoke' -count=1 -v ./internal/serve
+
 # Regenerate every table and figure of the paper at full scale.
 evaluate: build
 	$(GO) run ./cmd/dsrsim -all -runs 1000
@@ -156,4 +171,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -rf telemetry-out obs-out
+	rm -rf telemetry-out obs-out serve-out

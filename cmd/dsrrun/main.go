@@ -12,23 +12,27 @@
 //	dsrrun -http :0 -dsr prog.s    serve live campaign introspection
 //	                               (/metrics, /campaign, /events SSE,
 //	                               /debug/pprof) while the campaign runs
+//	dsrrun -dsr -submit URL prog.s submit the campaign to a dsrserve
+//	                               daemon, wait, and print the report —
+//	                               byte-identical to running it locally
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dsr/internal/analysis"
 	"dsr/internal/asm"
-	"dsr/internal/campaign"
 	"dsr/internal/core"
 	"dsr/internal/loader"
-	"dsr/internal/mbpta"
 	"dsr/internal/obs"
 	"dsr/internal/platform"
 	"dsr/internal/prog"
 	"dsr/internal/rvs"
+	"dsr/internal/serve"
 	"dsr/internal/telemetry"
 )
 
@@ -42,6 +46,9 @@ func main() {
 		telem    = flag.Bool("telemetry", false, "enable cycle attribution and print the per-component split")
 		progress = flag.Bool("progress", false, "print per-run campaign progress to stderr")
 		httpAddr = flag.String("http", "", "with -dsr: serve live observability on this address (\":0\" picks a free port)")
+		submit   = flag.String("submit", "", "with -dsr: submit the campaign to a dsrserve daemon at this base URL instead of running locally")
+		jobID    = flag.String("job", "", "with -submit: client-chosen job id (idempotency key)")
+		priority = flag.Int("priority", 0, "with -submit: job priority (higher runs sooner)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -78,6 +85,16 @@ func main() {
 		return
 	}
 
+	spec := serve.Spec{
+		ID: *jobID, Source: string(src), Runs: *runs, Seed: *seed,
+		Workers: *workers, Priority: *priority, Attribution: *telem,
+	}
+
+	if *submit != "" {
+		submitCampaign(&spec, *submit)
+		return
+	}
+
 	plat := platform.New(platform.ProximaLEON3())
 	if *telem {
 		plat.EnableAttribution()
@@ -99,20 +116,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	// The campaign proper runs on the parallel engine: per-run seeds come
-	// from the splittable schedule (a pure function of -seed and the run
-	// index), every worker assembles its own program and owns a private
-	// platform + runtime, and the merge streams execution times into the
-	// MBPTA stream in canonical run order — so the analysis input is
-	// byte-identical at every -workers value.
-	opts := mbpta.DefaultOptions()
-	if *runs/opts.BlockSize < 10 {
-		opts.BlockSize = *runs / 10
-		if opts.BlockSize < 5 {
-			opts.BlockSize = 5
-		}
-	}
-
+	// The campaign proper runs on serve.Run — the same runner behind the
+	// dsrserve daemon, so CLI and service outputs are byte-identical by
+	// construction: per-run seeds come from the splittable schedule (a
+	// pure function of -seed and the run index), every worker owns a
+	// private platform + runtime, and the merge streams execution times
+	// into the MBPTA stream in canonical run order — identical at every
+	// -workers value.
+	//
 	// Live introspection is strictly one-way: the tracer records
 	// host-side per-worker timelines and the observer feeds the HTTP
 	// view; neither changes what the campaign computes.
@@ -122,73 +133,67 @@ func main() {
 	)
 	if *httpAddr != "" {
 		tracer = telemetry.NewTracer()
-		view = obs.NewCampaign(nil, tracer, opts)
+		view = obs.NewCampaign(nil, tracer, spec.MBPTAOptions())
 		srv, err := obs.Serve(*httpAddr, view)
 		die(err)
 		defer srv.Close()
 		defer view.Done()
 		fmt.Fprintf(os.Stderr, "observability server on http://%s (campaign, events, pprof)\n", srv.Addr())
-		view.BeginSeries(p.Name, *runs)
 	}
 
-	sched := campaign.NewSchedule(*seed)
-	stream := mbpta.NewStream(opts)
-	var agg telemetry.AttributionSnapshot
-	err = campaign.Execute(campaign.Config{Runs: *runs, Workers: *workers, Tracer: tracer},
-		func(w int) (campaign.RunFunc[platform.RunResult], error) {
-			wp, err := asm.Assemble(string(src))
-			if err != nil {
-				return nil, err
-			}
-			wplat := platform.New(platform.ProximaLEON3())
-			if *telem {
-				wplat.EnableAttribution()
-			}
-			wrt, err := core.NewRuntime(wp, wplat, core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			wt := tracer.Worker(w)
-			wrt.SetTracer(wt)
-			return func(i int) (platform.RunResult, error) {
-				if _, err := wrt.Reboot(sched.Seed(i)); err != nil {
-					return platform.RunResult{}, err
-				}
-				exec := wt.Begin(telemetry.SpanExecute, -1)
-				res, err := wrt.Run()
-				wt.End(exec)
-				return res, err
-			}, nil
-		},
-		func(i int, res platform.RunResult) error {
-			stream.Observe(float64(res.Cycles))
-			agg.Add(res.Attribution)
-			view.ObserveRun(p.Name, i, float64(res.Cycles))
-			if *progress && ((i+1)%50 == 0 || i+1 == *runs) {
-				fmt.Fprintf(os.Stderr, "  %s: %d/%d runs\r", p.Name, i+1, *runs)
-				if i+1 == *runs {
+	out, err := serve.Run(spec, nil, serve.Hooks{
+		Tracer:   tracer,
+		Observer: view,
+		OnPoint: func(pt serve.Point) {
+			if *progress && ((pt.Index+1)%50 == 0 || pt.Index+1 == *runs) {
+				fmt.Fprintf(os.Stderr, "  %s: %d/%d runs\r", p.Name, pt.Index+1, *runs)
+				if pt.Index+1 == *runs {
 					fmt.Fprintln(os.Stderr)
 				}
 			}
-			return nil
-		})
-	die(err)
-	view.EndSeries(p.Name)
-	if agg.Valid {
-		fmt.Print(agg.Render())
-		fmt.Println()
-	}
-	rep, err := stream.Report()
-	if rep != nil {
-		fmt.Printf("%s under DSR, %d runs: min=%.0f mean=%.0f MOET=%.0f\n",
-			p.Name, rep.N, rep.Min, rep.Mean, rep.MOET)
-		fmt.Printf("i.i.d.: Ljung-Box p=%.4f, KS p=%.4f\n",
-			rep.IID.LjungBox.PValue, rep.IID.KS.PValue)
+		},
+	})
+	if out != nil {
+		fmt.Print(serve.FormatReport(out))
 	}
 	die(err)
-	fmt.Printf("pWCET @ %.0e = %.0f cycles (+%.2f%% over MOET)\n\n",
-		rep.TargetExceedance, rep.PWCET, (rep.PWCET/rep.MOET-1)*100)
-	fmt.Print(rvs.RenderCurve(rep, stream.Times(), 72, 18))
+}
+
+// submitCampaign runs the campaign remotely: submit to the daemon,
+// back off on queue-full, wait for a terminal state and print the
+// report the daemon rendered — the same bytes the local path prints.
+func submitCampaign(spec *serve.Spec, base string) {
+	cl := &serve.Client{Base: base}
+	var st serve.JobStatus
+	for {
+		var err error
+		st, err = cl.Submit(*spec)
+		var se *serve.StatusError
+		if errors.As(err, &se) && se.Code == 429 {
+			wait := se.RetryAfter
+			if wait <= 0 {
+				wait = 1
+			}
+			fmt.Fprintf(os.Stderr, "dsrrun: queue full, retrying in %ds\n", wait)
+			time.Sleep(time.Duration(wait) * time.Second)
+			continue
+		}
+		die(err)
+		break
+	}
+	fmt.Fprintf(os.Stderr, "submitted job %s to %s\n", st.ID, base)
+	st, err := cl.Wait(st.ID, 0)
+	die(err)
+	// A failed job may still have a partial report (analysis-stage
+	// rejection), mirroring what the local path prints before exiting.
+	rep, rerr := cl.Report(st.ID)
+	if rerr == nil {
+		os.Stdout.Write(rep) //nolint:errcheck // terminal write
+	}
+	if st.State != serve.StateDone {
+		die(fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
+	}
+	die(rerr)
 }
 
 func dump(p *prog.Program) {

@@ -1,0 +1,80 @@
+// Command dsrserve is the pWCET-analysis-as-a-service daemon: a
+// long-running wrapper around the DSR campaign engine that accepts
+// measurement jobs over HTTP, runs them on a bounded priority queue,
+// streams live MBPTA progress per job over SSE, and checkpoints
+// in-flight campaigns so a crash or restart resumes them with
+// byte-identical results.
+//
+//	dsrserve -addr :8080 -data /var/lib/dsrserve
+//
+//	curl -d @job.json http://localhost:8080/jobs          submit
+//	curl http://localhost:8080/jobs/job-0                 status
+//	curl -N http://localhost:8080/jobs/job-0/events       live SSE
+//	curl http://localhost:8080/jobs/job-0/report          final report
+//	curl -X DELETE http://localhost:8080/jobs/job-0       cancel
+//	curl http://localhost:8080/metrics                    Prometheus
+//
+// The same campaign submitted with `dsrrun -dsr -submit URL prog.s`
+// prints a report byte-identical to running `dsrrun -dsr prog.s`
+// locally: both paths share the runner in internal/serve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dsr/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		data      = flag.String("data", "", "persistent data directory (required)")
+		executors = flag.Int("executors", 2, "concurrent campaign executors")
+		queueCap  = flag.Int("queue-cap", 64, "pending-job queue bound (submissions beyond it get 429)")
+		ckptEvery = flag.Int("checkpoint-every", 50, "merged runs between periodic job checkpoints")
+		quiet     = flag.Bool("quiet", false, "suppress the service log")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "usage: dsrserve -data DIR [-addr :8080]")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "dsrserve: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	s, err := serve.New(serve.Config{
+		DataDir:         *data,
+		QueueCap:        *queueCap,
+		Executors:       *executors,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsrserve:", err)
+		os.Exit(1)
+	}
+	if err := s.Serve(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "dsrserve:", err)
+		os.Exit(1)
+	}
+	logf("listening on http://%s", s.Addr())
+	// Print the bound address on stdout too, so scripts using -addr :0
+	// can discover the port.
+	fmt.Printf("dsrserve listening on http://%s\n", s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logf("shutting down (checkpointing in-flight jobs)")
+	s.Stop()
+	logf("bye")
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,11 +9,33 @@ import (
 	"dsr/internal/telemetry"
 )
 
+// ErrInterrupted is returned by Execute when the campaign stopped
+// because Config.Interrupt fired before every run merged. It is a
+// cooperative stop, not a failure: every run merged before the
+// interruption is valid (and, being a pure function of its canonical
+// index, byte-identical to what an uninterrupted campaign would have
+// merged), so callers may checkpoint the merged prefix and later
+// resume from it with Config.First.
+var ErrInterrupted = errors.New("campaign: interrupted")
+
 // Config dimensions an engine execution.
 type Config struct {
 	// Runs is the number of independent runs to execute (canonical
 	// indices 0..Runs-1).
 	Runs int
+	// First is the resume cursor: the engine executes and merges only
+	// indices First..Runs-1, assuming the caller already holds the
+	// merged results of 0..First-1 (from a checkpoint). Because every
+	// run is a pure function of its canonical index, a resumed campaign
+	// merges exactly what the original would have merged from that
+	// point on. Zero (the default) runs the whole campaign.
+	First int
+	// Interrupt, when non-nil, requests a cooperative stop when it
+	// becomes receivable (typically by closing it): the engine stops
+	// handing out new runs, drains in-flight ones, merges any contiguous
+	// completed prefix, and returns ErrInterrupted. Run and merge errors
+	// take precedence over the interruption.
+	Interrupt <-chan struct{}
 	// Workers is the worker-pool size: 0 (or negative) selects
 	// runtime.NumCPU(), 1 selects the legacy strictly sequential path
 	// (no goroutines, runs executed inline on the caller's goroutine).
@@ -30,14 +53,14 @@ type Config struct {
 }
 
 // WorkerCount resolves the effective pool size: Workers, defaulted to
-// runtime.NumCPU() and clamped to [1, Runs].
+// runtime.NumCPU() and clamped to [1, remaining runs].
 func (c Config) WorkerCount() int {
 	w := c.Workers
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	if c.Runs > 0 && w > c.Runs {
-		w = c.Runs
+	if rem := c.Runs - c.First; rem > 0 && w > rem {
+		w = rem
 	}
 	if w < 1 {
 		w = 1
@@ -80,23 +103,41 @@ func Execute[R any](cfg Config, newWorker func(w int) (RunFunc[R], error), merge
 	if n < 0 {
 		return fmt.Errorf("campaign: negative run count %d", n)
 	}
-	if n == 0 {
+	first := cfg.First
+	if first < 0 {
+		return fmt.Errorf("campaign: negative resume cursor %d", first)
+	}
+	if first > n {
+		return fmt.Errorf("campaign: resume cursor %d beyond run count %d", first, n)
+	}
+	if n == 0 || first == n {
 		return nil
 	}
 	ct := cfg.Tracer.Worker(-1)
 	campaign := ct.Begin(telemetry.SpanCampaign, -1)
 	defer ct.End(campaign)
 	if cfg.WorkerCount() == 1 {
-		return executeSequential(n, cfg.Tracer, newWorker, merge)
+		return executeSequential(first, n, cfg.Interrupt, cfg.Tracer, newWorker, merge)
 	}
-	return executeParallel(n, cfg.WorkerCount(), cfg.Tracer, newWorker, merge)
+	return executeParallel(first, n, cfg.WorkerCount(), cfg.Interrupt, cfg.Tracer, newWorker, merge)
+}
+
+// interrupted reports whether the interrupt channel has fired; a nil
+// channel never fires.
+func interrupted(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // executeSequential is the legacy path (Workers=1): one worker, runs
 // executed inline in canonical order on the caller's goroutine. It is
 // the reference the determinism tests compare the parallel path
 // against.
-func executeSequential[R any](n int, tr *telemetry.Tracer, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
+func executeSequential[R any](first, n int, interrupt <-chan struct{}, tr *telemetry.Tracer, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
 	wt, ct := tr.Worker(0), tr.Worker(-1)
 	ws := wt.Begin(telemetry.SpanWorker, -1)
 	defer wt.End(ws)
@@ -106,7 +147,10 @@ func executeSequential[R any](n int, tr *telemetry.Tracer, newWorker func(w int)
 	if err != nil {
 		return err
 	}
-	for i := 0; i < n; i++ {
+	for i := first; i < n; i++ {
+		if interrupted(interrupt) {
+			return ErrInterrupted
+		}
 		rs := wt.Begin(telemetry.SpanRun, i)
 		r, err := run(i)
 		wt.End(rs)
@@ -137,14 +181,15 @@ type indexedError struct {
 // slice guarded by a mutex + condvar; the caller's goroutine walks the
 // slice in canonical order, handing each completed result to merge as
 // soon as it is available.
-func executeParallel[R any](n, workers int, tr *telemetry.Tracer, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
+func executeParallel[R any](first, n, workers int, interrupt <-chan struct{}, tr *telemetry.Tracer, newWorker func(w int) (RunFunc[R], error), merge MergeFunc[R]) error {
 	var (
 		mu      sync.Mutex
 		cond    = sync.NewCond(&mu)
 		results = make([]R, n)
 		done    = make([]bool, n)
-		next    int  // next unassigned run index
-		stopped bool // no further runs may be claimed
+		next    = first // next unassigned run index
+		stopped bool    // no further runs may be claimed
+		stopReq bool    // Interrupt fired
 		errs    []indexedError
 		wg      sync.WaitGroup
 	)
@@ -157,6 +202,13 @@ func executeParallel[R any](n, workers int, tr *telemetry.Tracer, newWorker func
 	claim := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
+		// An interrupt only counts while unclaimed work remains: once every
+		// run has been handed out, the campaign completes normally — there
+		// is nothing left to cut short.
+		if !stopped && next < n && interrupted(interrupt) {
+			stopped, stopReq = true, true
+			cond.Broadcast()
+		}
 		if stopped || next >= n {
 			return 0, false
 		}
@@ -208,7 +260,7 @@ func executeParallel[R any](n, workers int, tr *telemetry.Tracer, newWorker func
 	ct := tr.Worker(-1)
 	var mergeErr error
 	mu.Lock()
-	for i := 0; i < n; i++ {
+	for i := first; i < n; i++ {
 		mw := ct.Begin(telemetry.SpanMergeWait, i)
 		for !done[i] && !stopped {
 			cond.Wait()
@@ -239,7 +291,13 @@ func executeParallel[R any](n, workers int, tr *telemetry.Tracer, newWorker func
 	if mergeErr != nil {
 		return mergeErr
 	}
-	return firstError(errs)
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	if stopReq {
+		return ErrInterrupted
+	}
+	return nil
 }
 
 // firstError resolves concurrent failures deterministically: worker

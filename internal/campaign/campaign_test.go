@@ -299,3 +299,120 @@ func TestExecuteTraced(t *testing.T) {
 		}
 	}
 }
+
+// TestExecuteResumeFromCursor checks the checkpoint-resume contract:
+// a campaign resumed at First=k merges exactly indices k..n-1, with
+// results identical to the tail of an uninterrupted campaign, at every
+// worker count.
+func TestExecuteResumeFromCursor(t *testing.T) {
+	const n, first = 40, 17
+	run := func(w int) (RunFunc[int], error) {
+		return func(i int) (int, error) { return i*i + 3, nil }, nil
+	}
+	for _, workers := range []int{1, 2, 8} {
+		var order []int
+		err := Execute(Config{Runs: n, First: first, Workers: workers}, run,
+			func(i, r int) error {
+				if r != i*i+3 {
+					t.Errorf("workers=%d: merge(%d) got %d", workers, i, r)
+				}
+				order = append(order, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(order) != n-first {
+			t.Fatalf("workers=%d: merged %d runs, want %d", workers, len(order), n-first)
+		}
+		for k, i := range order {
+			if i != first+k {
+				t.Fatalf("workers=%d: merge order %v not canonical from %d", workers, order, first)
+			}
+		}
+	}
+	// Degenerate cursors.
+	if err := Execute(Config{Runs: 5, First: 5}, run, nil); err != nil {
+		t.Fatalf("First==Runs should be a no-op, got %v", err)
+	}
+	if err := Execute(Config{Runs: 5, First: 6}, run, nil); err == nil {
+		t.Fatal("First>Runs should error")
+	}
+	if err := Execute(Config{Runs: 5, First: -1}, run, nil); err == nil {
+		t.Fatal("negative First should error")
+	}
+}
+
+// TestExecuteInterrupt checks cooperative cancellation: after Interrupt
+// fires the engine stops handing out runs, drains in-flight ones,
+// merges only a contiguous canonical prefix (beyond the cursor), and
+// returns ErrInterrupted.
+func TestExecuteInterrupt(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 10000
+		const gate = 100 // runs at or beyond this index block until the interrupt
+		interrupt := make(chan struct{})
+		var merged []int
+		stopAt := 25
+		err := Execute(Config{Runs: n, Workers: workers, Interrupt: interrupt},
+			func(w int) (RunFunc[int], error) {
+				return func(i int) (int, error) {
+					if i >= gate {
+						<-interrupt
+					}
+					return i, nil
+				}, nil
+			},
+			func(i, r int) error {
+				merged = append(merged, i)
+				if len(merged) == stopAt {
+					close(interrupt)
+				}
+				return nil
+			})
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("workers=%d: err = %v, want ErrInterrupted", workers, err)
+		}
+		if len(merged) >= n || len(merged) < stopAt {
+			t.Fatalf("workers=%d: merged %d runs", workers, len(merged))
+		}
+		for k, i := range merged {
+			if i != k {
+				t.Fatalf("workers=%d: merged prefix %v not contiguous", workers, merged[:k+1])
+			}
+		}
+	}
+}
+
+// TestExecuteInterruptErrorPrecedence: a real run error wins over the
+// interruption, preserving deterministic error resolution.
+func TestExecuteInterruptErrorPrecedence(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt) // fires immediately
+	boom := errors.New("boom")
+	err := Execute(Config{Runs: 8, Workers: 1, Interrupt: interrupt},
+		func(w int) (RunFunc[int], error) { return nil, boom },
+		nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want worker-construction error", err)
+	}
+}
+
+// TestExecuteInterruptBeforeStart: an already-fired interrupt merges
+// nothing.
+func TestExecuteInterruptBeforeStart(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt)
+	var merged int
+	err := Execute(Config{Runs: 8, Workers: 1, Interrupt: interrupt},
+		func(w int) (RunFunc[int], error) {
+			return func(i int) (int, error) { return i, nil }, nil
+		},
+		func(i, r int) error { merged++; return nil })
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if merged != 0 {
+		t.Fatalf("merged %d runs after pre-fired interrupt", merged)
+	}
+}

@@ -1,0 +1,145 @@
+// Package determtest is the shared byte-identity harness behind every
+// campaign determinism suite — the engine tests, the experiments
+// suite, and the service-level suite of internal/serve.
+//
+// The campaign stack's hard invariant is that everything a campaign
+// emits is a pure function of its configuration: worker count,
+// execution path (CLI, engine, or service), cancellation + resubmit,
+// and checkpoint/restore must all be unobservable in the output. Each
+// suite captures the surfaces it produces into an Output and compares
+// two captures with Diff/Check instead of hand-rolling its own
+// field-by-field comparison; one checker means one definition of
+// "byte-identical" across the repository.
+package determtest
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Output is everything a campaign execution can emit, captured for
+// comparison. A suite fills only the surfaces its path produces; nil
+// fields on both sides compare equal, and a nil field on exactly one
+// side is a mismatch (one path produced a surface the other did not).
+type Output struct {
+	// Cycles is the per-run execution-time series in canonical order.
+	Cycles []float64
+	// Results holds the full per-run result records (PMCs, traces,
+	// attribution, ...); compared with reflect.DeepEqual so any
+	// result type works.
+	Results any
+	// Attribution is the campaign-aggregate cycle attribution.
+	Attribution any
+	// Stream is the MBPTA stream ingestion order (the analysis input).
+	Stream []float64
+	// Progress is the observed progress-callback sequence.
+	Progress []int
+	// Telemetry is the full telemetry export (JSONL dump: metrics,
+	// events, sequence numbers, campaign-clock timestamps).
+	Telemetry []byte
+	// Report is the rendered MBPTA analysis report.
+	Report []byte
+}
+
+// Diff compares two captures surface by surface and returns one
+// human-readable line per mismatch; an empty slice means want and got
+// are indistinguishable.
+func Diff(want, got Output) []string {
+	var diffs []string
+	add := func(format string, args ...any) {
+		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+	if !reflect.DeepEqual(want.Cycles, got.Cycles) {
+		add("cycles differ (%d vs %d runs)%s", len(want.Cycles), len(got.Cycles),
+			firstCycleDiff(want.Cycles, got.Cycles))
+	}
+	if !deepEqualAny(want.Results, got.Results) {
+		add("run results differ (PMCs/trace/attribution)")
+	}
+	if !deepEqualAny(want.Attribution, got.Attribution) {
+		add("campaign attribution differs: %+v vs %+v", want.Attribution, got.Attribution)
+	}
+	if !reflect.DeepEqual(want.Stream, got.Stream) {
+		add("MBPTA stream ingestion differs (%d vs %d observations)",
+			len(want.Stream), len(got.Stream))
+	}
+	if !reflect.DeepEqual(want.Progress, got.Progress) {
+		add("progress callbacks differ: %v vs %v", want.Progress, got.Progress)
+	}
+	if !bytes.Equal(want.Telemetry, got.Telemetry) {
+		add("telemetry export differs (%d vs %d bytes, first at byte %d)",
+			len(want.Telemetry), len(got.Telemetry), firstByteDiff(want.Telemetry, got.Telemetry))
+	}
+	if !bytes.Equal(want.Report, got.Report) {
+		add("MBPTA report differs (%d vs %d bytes, first at byte %d)",
+			len(want.Report), len(got.Report), firstByteDiff(want.Report, got.Report))
+	}
+	return diffs
+}
+
+// Check fails t with every surface on which got differs from want;
+// label names the comparison (e.g. "workers=8 vs sequential").
+func Check(t testing.TB, label string, want, got Output) {
+	t.Helper()
+	for _, d := range Diff(want, got) {
+		t.Errorf("%s: %s", label, d)
+	}
+}
+
+// CheckCanonicalProgress fails t unless progress is exactly 1..n — the
+// canonical-order merge contract made visible through the progress
+// callback.
+func CheckCanonicalProgress(t testing.TB, progress []int, n int) {
+	t.Helper()
+	if len(progress) != n {
+		t.Errorf("progress fired %d times, want %d", len(progress), n)
+		return
+	}
+	for i, d := range progress {
+		if d != i+1 {
+			t.Errorf("progress not in canonical order: %v", progress)
+			return
+		}
+	}
+}
+
+// deepEqualAny treats two nil interfaces as equal and otherwise
+// defers to reflect.DeepEqual.
+func deepEqualAny(a, b any) bool {
+	if a == nil && b == nil {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// firstCycleDiff locates the first diverging run for the failure
+// message ("" when only the lengths differ).
+func firstCycleDiff(a, b []float64) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf(", first at run %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// firstByteDiff returns the offset of the first differing byte (or the
+// shorter length when one is a prefix of the other).
+func firstByteDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package determtest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffEqual(t *testing.T) {
+	o := Output{
+		Cycles:    []float64{1, 2, 3},
+		Results:   []int{4, 5},
+		Stream:    []float64{1, 2, 3},
+		Progress:  []int{1, 2, 3},
+		Telemetry: []byte("{}\n"),
+		Report:    []byte("pWCET"),
+	}
+	if d := Diff(o, o); len(d) != 0 {
+		t.Fatalf("identical outputs diff: %v", d)
+	}
+	if d := Diff(Output{}, Output{}); len(d) != 0 {
+		t.Fatalf("empty outputs diff: %v", d)
+	}
+}
+
+func TestDiffFindsEverySurface(t *testing.T) {
+	want := Output{
+		Cycles:    []float64{1, 2},
+		Results:   []int{1},
+		Stream:    []float64{1, 2},
+		Progress:  []int{1, 2},
+		Telemetry: []byte("aa"),
+		Report:    []byte("rr"),
+	}
+	got := Output{
+		Cycles:    []float64{1, 9},
+		Results:   []int{2},
+		Stream:    []float64{1},
+		Progress:  []int{1},
+		Telemetry: []byte("ab"),
+		Report:    []byte("rx"),
+	}
+	diffs := Diff(want, got)
+	if len(diffs) != 6 {
+		t.Fatalf("want 6 mismatches, got %d: %v", len(diffs), diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, surface := range []string{"cycles", "results", "stream", "progress", "telemetry", "report"} {
+		if !strings.Contains(strings.ToLower(joined), surface) {
+			t.Errorf("no mismatch names surface %q:\n%s", surface, joined)
+		}
+	}
+	// The byte-level reports locate the divergence.
+	if !strings.Contains(joined, "first at run 1") {
+		t.Errorf("cycle diff does not locate the run:\n%s", joined)
+	}
+	if !strings.Contains(joined, "first at byte 1") {
+		t.Errorf("byte diff does not locate the offset:\n%s", joined)
+	}
+}
+
+func TestDiffNilVsPresent(t *testing.T) {
+	// A surface produced by one path but not the other is a mismatch.
+	if d := Diff(Output{Telemetry: []byte("x")}, Output{}); len(d) != 1 {
+		t.Fatalf("want 1 mismatch, got %v", d)
+	}
+	if d := Diff(Output{}, Output{Results: []int{1}}); len(d) != 1 {
+		t.Fatalf("want 1 mismatch, got %v", d)
+	}
+}
+
+func TestCheckCanonicalProgress(t *testing.T) {
+	rec := &recorder{}
+	CheckCanonicalProgress(rec, []int{1, 2, 3}, 3)
+	if rec.failed {
+		t.Fatal("canonical progress flagged as failure")
+	}
+	rec = &recorder{}
+	CheckCanonicalProgress(rec, []int{1, 3, 2}, 3)
+	if !rec.failed {
+		t.Fatal("out-of-order progress not flagged")
+	}
+	rec = &recorder{}
+	CheckCanonicalProgress(rec, []int{1, 2}, 3)
+	if !rec.failed {
+		t.Fatal("short progress not flagged")
+	}
+}
+
+// recorder is a minimal testing.TB that records failure.
+type recorder struct {
+	testing.TB
+	failed bool
+}
+
+func (r *recorder) Helper()                        {}
+func (r *recorder) Errorf(string, ...any)          { r.failed = true }
+func (r *recorder) Error(...any)                   { r.failed = true }
+func (r *recorder) Fatalf(format string, a ...any) { r.failed = true }

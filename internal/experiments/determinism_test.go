@@ -2,12 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
-	"reflect"
 	"testing"
 
 	"dsr/internal/bus"
+	"dsr/internal/campaign/determtest"
 	"dsr/internal/mbpta"
 	"dsr/internal/obs"
 	"dsr/internal/platform"
@@ -63,12 +64,24 @@ func determinismSeries() []seriesRun {
 }
 
 // campaignOutput is everything a campaign can emit, captured for
-// comparison.
+// comparison; output converts it to the shared determtest surface.
 type campaignOutput struct {
 	series    *Series
 	stream    []float64
 	progress  []int
 	telemetry []byte // full Dump as JSONL
+}
+
+// output lifts a capture into the shared byte-identity checker's form.
+func (c campaignOutput) output() determtest.Output {
+	return determtest.Output{
+		Cycles:      c.series.Cycles,
+		Results:     c.series.Results,
+		Attribution: c.series.Attribution,
+		Stream:      c.stream,
+		Progress:    c.progress,
+		Telemetry:   c.telemetry,
+	}
 }
 
 // runCampaign executes one series at the given worker count with every
@@ -115,32 +128,8 @@ func TestCampaignDeterminism(t *testing.T) {
 			t.Parallel()
 			seq := runCampaign(t, sr, 1)
 			par := runCampaign(t, sr, 8)
-
-			if !reflect.DeepEqual(seq.series.Cycles, par.series.Cycles) {
-				t.Errorf("cycles differ:\n  seq %v\n  par %v", seq.series.Cycles, par.series.Cycles)
-			}
-			if !reflect.DeepEqual(seq.series.Results, par.series.Results) {
-				t.Error("run results differ (PMCs/trace/attribution)")
-			}
-			if !reflect.DeepEqual(seq.series.Attribution, par.series.Attribution) {
-				t.Errorf("campaign attribution differs:\n  seq %+v\n  par %+v",
-					seq.series.Attribution, par.series.Attribution)
-			}
-			if !reflect.DeepEqual(seq.stream, par.stream) {
-				t.Error("MBPTA stream ingestion order differs")
-			}
-			if !reflect.DeepEqual(seq.progress, par.progress) {
-				t.Errorf("progress callbacks differ:\n  seq %v\n  par %v", seq.progress, par.progress)
-			}
-			for i, d := range seq.progress {
-				if d != i+1 {
-					t.Fatalf("progress not in canonical order: %v", seq.progress)
-				}
-			}
-			if !bytes.Equal(seq.telemetry, par.telemetry) {
-				t.Errorf("telemetry export differs (%d vs %d bytes)",
-					len(seq.telemetry), len(par.telemetry))
-			}
+			determtest.Check(t, "workers=8 vs sequential", seq.output(), par.output())
+			determtest.CheckCanonicalProgress(t, seq.progress, sr.runs)
 		})
 	}
 }
@@ -153,12 +142,7 @@ func TestCampaignDeterminismWorkerSweep(t *testing.T) {
 	ref := runCampaign(t, sr, 1)
 	for _, w := range []int{2, 3, 5, 8} {
 		got := runCampaign(t, sr, w)
-		if !reflect.DeepEqual(ref.series.Cycles, got.series.Cycles) {
-			t.Errorf("workers=%d: cycles differ from sequential", w)
-		}
-		if !bytes.Equal(ref.telemetry, got.telemetry) {
-			t.Errorf("workers=%d: telemetry differs from sequential", w)
-		}
+		determtest.Check(t, fmt.Sprintf("workers=%d vs sequential", w), ref.output(), got.output())
 	}
 }
 
@@ -214,22 +198,14 @@ func TestCampaignDeterminismObserved(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if !reflect.DeepEqual(plain.series.Cycles, s.Cycles) {
-		t.Errorf("cycles differ under observation:\n  plain %v\n  obs   %v", plain.series.Cycles, s.Cycles)
-	}
-	if !reflect.DeepEqual(plain.series.Results, s.Results) {
-		t.Error("run results differ under observation")
-	}
-	if !reflect.DeepEqual(plain.stream, stream.Times()) {
-		t.Error("MBPTA stream differs under observation")
-	}
-	if !reflect.DeepEqual(plain.progress, progress) {
-		t.Errorf("progress differs under observation:\n  plain %v\n  obs   %v", plain.progress, progress)
-	}
-	if !bytes.Equal(plain.telemetry, buf.Bytes()) {
-		t.Errorf("telemetry export differs under observation (%d vs %d bytes)",
-			len(plain.telemetry), buf.Len())
-	}
+	determtest.Check(t, "observed vs plain", plain.output(), determtest.Output{
+		Cycles:      s.Cycles,
+		Results:     s.Results,
+		Attribution: s.Attribution,
+		Stream:      stream.Times(),
+		Progress:    progress,
+		Telemetry:   buf.Bytes(),
+	})
 
 	// The observed campaign really was observed.
 	if snap := view.Snapshot(); snap.Done != sr.runs || len(snap.Finished) != 1 {
@@ -249,10 +225,5 @@ func TestCampaignDefaultWorkers(t *testing.T) {
 	sr := seriesRun{"DSR", 16, RunDSR}
 	seq := runCampaign(t, sr, 1)
 	def := runCampaign(t, sr, 0)
-	if !reflect.DeepEqual(seq.series.Cycles, def.series.Cycles) {
-		t.Error("Workers=0 cycles differ from sequential")
-	}
-	if !bytes.Equal(seq.telemetry, def.telemetry) {
-		t.Error("Workers=0 telemetry differs from sequential")
-	}
+	determtest.Check(t, "workers=0 (NumCPU) vs sequential", seq.output(), def.output())
 }

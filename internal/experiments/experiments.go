@@ -77,6 +77,15 @@ type Config struct {
 	// arrive in canonical order from the calling goroutine.
 	Progress func(series string, done, total int)
 
+	// Interrupt, when non-nil, requests a cooperative campaign stop when
+	// it fires (see campaign.Config.Interrupt): the engine drains
+	// in-flight runs, merges the contiguous completed prefix, and the
+	// series constructor returns campaign.ErrInterrupted. A cancelled
+	// campaign leaves every already-merged surface (telemetry, stream,
+	// progress) exactly as an uncancelled campaign would have at that
+	// prefix.
+	Interrupt <-chan struct{}
+
 	// Tracer, when non-nil, records host wall-time spans of the campaign
 	// execution itself (worker/run/boot/reloc/execute phases) for the
 	// worker-utilization report and live observability. Spans never
@@ -218,7 +227,7 @@ func (cfg Config) runSeries(name string, newWorker func(w int) (worker, error)) 
 	if cfg.Observer != nil {
 		cfg.Observer.BeginSeries(name, cfg.Runs)
 	}
-	ecfg := campaign.Config{Runs: cfg.Runs, Workers: cfg.Workers, Tracer: cfg.Tracer}
+	ecfg := campaign.Config{Runs: cfg.Runs, Workers: cfg.Workers, Tracer: cfg.Tracer, Interrupt: cfg.Interrupt}
 	err := campaign.Execute(ecfg, newWorker, func(i int, sh shard) error {
 		if cfg.Telemetry != nil {
 			cfg.Telemetry.Events.ReplayAt(cfg.Telemetry.Now(), sh.events)

@@ -97,20 +97,27 @@ func (s *Server) handleCampaign(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// handleEvents is the SSE stream: one `snapshot` event with the state
-// current at connect time, then a `delta` event per published change.
-// The subscription and the snapshot are taken atomically, so a client
-// connecting mid-campaign sees a gapless sequence; a client that reads
-// too slowly loses deltas (its buffer is bounded) but the stream stays
-// ordered and the campaign never blocks.
+// handleEvents is the SSE stream behind /events.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ServeEvents(s.camp, w, r)
+}
+
+// ServeEvents streams a campaign view as Server-Sent Events: one
+// `snapshot` event with the state current at connect time, then a
+// `delta` event per published change. The subscription and the
+// snapshot are taken atomically, so a client connecting mid-campaign
+// sees a gapless sequence; a client that reads too slowly loses deltas
+// (its buffer is bounded) but the stream stays ordered and the
+// campaign never blocks. Exported so other servers (the dsrserve job
+// API) can mount the identical stream per job.
+func ServeEvents(c *Campaign, w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	sub, snap := s.camp.subscribe()
-	defer s.camp.unsubscribe(sub)
+	sub, snap := c.Subscribe()
+	defer c.Unsubscribe(sub)
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -131,7 +138,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-ctx.Done():
 			return
-		case frame := <-sub.ch:
+		case frame := <-sub.C():
 			if err := writeSSE(w, "delta", frame); err != nil {
 				return
 			}

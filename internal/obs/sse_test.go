@@ -118,8 +118,8 @@ func TestSSESnapshotThenDeltas(t *testing.T) {
 // i.e. the merge goroutine — never blocks on it.
 func TestSSESlowConsumerDropsNeverBlocks(t *testing.T) {
 	camp := NewCampaign(nil, nil, mbpta.Options{})
-	sub, _ := camp.subscribe()
-	defer camp.unsubscribe(sub)
+	sub, _ := camp.Subscribe()
+	defer camp.Unsubscribe(sub)
 
 	const runs = 10 * subscriberBuffer
 	done := make(chan struct{})

@@ -60,10 +60,15 @@ type Snapshot struct {
 	DroppedDeltas uint64 `json:"dropped_deltas,omitempty"`
 }
 
-// subscriber is one attached SSE client.
-type subscriber struct {
+// Subscription is one attached SSE consumer. The channel returned by C
+// carries marshalled Snapshot frames; it is never closed, so consumers
+// select against their own cancellation signal.
+type Subscription struct {
 	ch chan []byte
 }
+
+// C returns the subscription's delta channel.
+func (s *Subscription) C() <-chan []byte { return s.ch }
 
 // subscriberBuffer is each SSE client's delta buffer; once full,
 // further deltas are dropped for that client (never queued against the
@@ -90,7 +95,7 @@ type Campaign struct {
 	finished []SeriesSummary
 	ended    bool
 	drops    uint64
-	subs     map[*subscriber]struct{}
+	subs     map[*Subscription]struct{}
 }
 
 // NewCampaign builds an observable campaign view. registry and tracer
@@ -104,7 +109,7 @@ func NewCampaign(registry *telemetry.Registry, tracer *telemetry.Tracer, opts mb
 		registry: registry,
 		tracer:   tracer,
 		opts:     opts,
-		subs:     map[*subscriber]struct{}{},
+		subs:     map[*Subscription]struct{}{},
 	}
 }
 
@@ -281,12 +286,15 @@ func (c *Campaign) publishLocked() {
 	}
 }
 
-// subscribe attaches an SSE client, returning its delta channel and
+// Subscribe attaches an SSE consumer, returning its subscription and
 // the snapshot current at attach time. The pair is taken atomically
-// under the state lock, so the client's view is gapless: every change
+// under the state lock, so the consumer's view is gapless: every change
 // after the snapshot arrives as a delta (or is counted as dropped).
-func (c *Campaign) subscribe() (*subscriber, Snapshot) {
-	sub := &subscriber{ch: make(chan []byte, subscriberBuffer)}
+// Exported so other servers (the dsrserve job API) can mount the same
+// bounded non-blocking fan-out per job; pair every Subscribe with an
+// Unsubscribe.
+func (c *Campaign) Subscribe() (*Subscription, Snapshot) {
+	sub := &Subscription{ch: make(chan []byte, subscriberBuffer)}
 	c.mu.Lock()
 	c.subs[sub] = struct{}{}
 	snap := c.snapshotLocked()
@@ -294,8 +302,8 @@ func (c *Campaign) subscribe() (*subscriber, Snapshot) {
 	return sub, snap
 }
 
-// unsubscribe detaches an SSE client.
-func (c *Campaign) unsubscribe(sub *subscriber) {
+// Unsubscribe detaches an SSE consumer.
+func (c *Campaign) Unsubscribe(sub *Subscription) {
 	c.mu.Lock()
 	delete(c.subs, sub)
 	c.mu.Unlock()

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint file names inside a job directory. The current snapshot
+// is rotated to the .prev name before each replacement, so a crash at
+// any instant leaves at least one intact, checksummed snapshot on
+// disk.
+const (
+	checkpointFile = "checkpoint.json"
+	checkpointPrev = "checkpoint.prev.json"
+)
+
+// Checkpoint is a persisted campaign prefix: the merged points in
+// canonical order plus the seed-schedule cursor (the next index to
+// execute). Because each run is a pure function of (Spec, index), a
+// job resumed from any checkpoint finishes with byte-identical
+// results, telemetry and report.
+type Checkpoint struct {
+	// Job is the owning job id.
+	Job string `json:"job"`
+	// SpecHash binds the snapshot to the exact spec it was taken under;
+	// a snapshot from a different spec is treated as corrupt.
+	SpecHash string `json:"spec_hash"`
+	// Cursor is the resume index: Points[0:Cursor] are merged, the
+	// engine restarts at First=Cursor.
+	Cursor int `json:"cursor"`
+	// Points is the merged canonical prefix.
+	Points []Point `json:"points"`
+	// Sum is the hex sha256 of the checkpoint JSON with Sum itself
+	// cleared; a truncated or bit-flipped snapshot fails verification
+	// and the loader falls back to the previous rotation.
+	Sum string `json:"sum"`
+}
+
+// sum computes the canonical payload checksum.
+func (c *Checkpoint) sum() string {
+	cp := *c
+	cp.Sum = ""
+	b, err := json.Marshal(cp)
+	if err != nil {
+		// Checkpoint is a plain data struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: marshal checkpoint: %v", err))
+	}
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}
+
+// verify checks integrity (checksum) and consistency (ownership,
+// cursor/prefix agreement) of a loaded snapshot.
+func (c *Checkpoint) verify(job, specHash string) error {
+	if c.Sum != c.sum() {
+		return fmt.Errorf("serve: checkpoint checksum mismatch")
+	}
+	if c.Job != job {
+		return fmt.Errorf("serve: checkpoint belongs to job %q, not %q", c.Job, job)
+	}
+	if c.SpecHash != specHash {
+		return fmt.Errorf("serve: checkpoint spec hash mismatch")
+	}
+	if c.Cursor != len(c.Points) {
+		return fmt.Errorf("serve: checkpoint cursor %d disagrees with %d points", c.Cursor, len(c.Points))
+	}
+	for k, pt := range c.Points {
+		if pt.Index != k {
+			return fmt.Errorf("serve: checkpoint prefix not contiguous at %d", k)
+		}
+	}
+	return nil
+}
+
+// WriteCheckpoint atomically persists a snapshot into dir: the payload
+// is checksummed, written to a temporary file and renamed over the
+// current checkpoint, which is first rotated to the .prev name. The
+// job directory therefore always holds a loadable snapshot, whatever
+// instant the process dies at.
+func WriteCheckpoint(dir string, c Checkpoint) error {
+	c.Sum = c.sum()
+	b, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("serve: marshal checkpoint: %w", err)
+	}
+	b = append(b, '\n')
+	tmp := filepath.Join(dir, checkpointFile+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("serve: write checkpoint: %w", err)
+	}
+	cur := filepath.Join(dir, checkpointFile)
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, filepath.Join(dir, checkpointPrev)); err != nil {
+			return fmt.Errorf("serve: rotate checkpoint: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return fmt.Errorf("serve: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint returns the newest intact snapshot for the job, or
+// (nil, "") when none survives: the current checkpoint if it verifies,
+// else the previous rotation, else nothing — a corrupt file is never
+// trusted, and the caller restarts from scratch rather than resuming
+// from damaged state. The second result names the file the snapshot
+// came from, so callers can log fallbacks.
+func LoadCheckpoint(dir, job, specHash string) (*Checkpoint, string) {
+	for _, name := range []string{checkpointFile, checkpointPrev} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var c Checkpoint
+		if err := json.Unmarshal(b, &c); err != nil {
+			continue
+		}
+		if err := c.verify(job, specHash); err != nil {
+			continue
+		}
+		return &c, name
+	}
+	return nil, ""
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsr/internal/mem"
+)
+
+func testCheckpoint(n int) Checkpoint {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Index: i, Seed: uint64(i) * 7, Cycles: mem.Cycles(1000 + i)}
+	}
+	return Checkpoint{Job: "j1", SpecHash: "h1", Cursor: n, Points: pts}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, testCheckpoint(10)); err != nil {
+		t.Fatal(err)
+	}
+	cp, src := LoadCheckpoint(dir, "j1", "h1")
+	if cp == nil {
+		t.Fatal("no checkpoint loaded")
+	}
+	if src != checkpointFile {
+		t.Fatalf("loaded from %s, want %s", src, checkpointFile)
+	}
+	if cp.Cursor != 10 || len(cp.Points) != 10 {
+		t.Fatalf("cursor=%d points=%d, want 10/10", cp.Cursor, len(cp.Points))
+	}
+	for i, pt := range cp.Points {
+		if pt.Index != i || pt.Seed != uint64(i)*7 {
+			t.Fatalf("point %d round-tripped as %+v", i, pt)
+		}
+	}
+}
+
+// TestCheckpointRotation: each write rotates the previous snapshot to
+// the .prev name, so two generations are always on disk.
+func TestCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, testCheckpoint(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, testCheckpoint(9)); err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := LoadCheckpoint(dir, "j1", "h1")
+	if cp == nil || cp.Cursor != 9 {
+		t.Fatalf("current checkpoint = %+v, want cursor 9", cp)
+	}
+	// Remove the current file: the rotation must hold the older one.
+	if err := os.Remove(filepath.Join(dir, checkpointFile)); err != nil {
+		t.Fatal(err)
+	}
+	cp, src := LoadCheckpoint(dir, "j1", "h1")
+	if cp == nil || cp.Cursor != 5 {
+		t.Fatalf("fallback checkpoint = %+v, want cursor 5", cp)
+	}
+	if src != checkpointPrev {
+		t.Fatalf("fallback loaded from %s, want %s", src, checkpointPrev)
+	}
+}
+
+// TestCheckpointTruncated: a snapshot cut short mid-write (simulated
+// crash) fails to load and the loader falls back to the previous
+// rotation.
+func TestCheckpointTruncated(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, testCheckpoint(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, testCheckpoint(9)); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, checkpointFile)
+	b, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, src := LoadCheckpoint(dir, "j1", "h1")
+	if cp == nil || cp.Cursor != 5 {
+		t.Fatalf("after truncation loaded %+v from %q, want cursor 5 from prev", cp, src)
+	}
+	if src != checkpointPrev {
+		t.Fatalf("loaded from %s, want %s", src, checkpointPrev)
+	}
+}
+
+// TestCheckpointBitFlip: a single flipped bit inside the points payload
+// keeps the JSON well-formed but must be caught by the checksum.
+func TestCheckpointBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, testCheckpoint(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, testCheckpoint(9)); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, checkpointFile)
+	b, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside a cycle count: still valid JSON, wrong data.
+	flipped := false
+	for i := range b {
+		if b[i] == '1' {
+			b[i] = '2'
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no digit to flip")
+	}
+	if err := os.WriteFile(cur, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, src := LoadCheckpoint(dir, "j1", "h1")
+	if cp == nil || cp.Cursor != 5 {
+		t.Fatalf("after bit flip loaded %+v from %q, want cursor 5 from prev", cp, src)
+	}
+}
+
+// TestCheckpointBothCorrupt: when every generation is damaged the
+// loader reports none — a corrupt snapshot is never trusted, the job
+// restarts from scratch.
+func TestCheckpointBothCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, testCheckpoint(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, testCheckpoint(9)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{checkpointFile, checkpointPrev} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{broken"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cp, src := LoadCheckpoint(dir, "j1", "h1"); cp != nil {
+		t.Fatalf("loaded corrupt checkpoint %+v from %q", cp, src)
+	}
+}
+
+// TestCheckpointOwnership: snapshots from another job or another spec
+// revision are rejected even when structurally intact.
+func TestCheckpointOwnership(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, testCheckpoint(5)); err != nil {
+		t.Fatal(err)
+	}
+	if cp, _ := LoadCheckpoint(dir, "other-job", "h1"); cp != nil {
+		t.Fatal("checkpoint crossed job identity")
+	}
+	if cp, _ := LoadCheckpoint(dir, "j1", "other-hash"); cp != nil {
+		t.Fatal("checkpoint crossed spec hash")
+	}
+}
+
+// TestCheckpointBadPrefix: a snapshot whose cursor or index sequence
+// disagrees with its points is corrupt regardless of its checksum
+// (defense against a buggy writer, not just disk damage).
+func TestCheckpointBadPrefix(t *testing.T) {
+	dir := t.TempDir()
+	cp := testCheckpoint(5)
+	cp.Cursor = 4
+	if err := WriteCheckpoint(dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := LoadCheckpoint(dir, "j1", "h1"); got != nil {
+		t.Fatal("loaded checkpoint with cursor/points mismatch")
+	}
+
+	cp = testCheckpoint(5)
+	cp.Points[3].Index = 7
+	dir2 := t.TempDir()
+	if err := WriteCheckpoint(dir2, cp); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := LoadCheckpoint(dir2, "j1", "h1"); got != nil {
+		t.Fatal("loaded checkpoint with non-contiguous points")
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a minimal dsrserve API client: it is what cmd/dsrrun's
+// -submit mode and the serve-smoke gate speak.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// StatusError is a non-2xx API response.
+type StatusError struct {
+	Code int
+	Body string
+	// RetryAfter is the parsed Retry-After header in seconds (0 when
+	// absent); set on 429 backpressure responses.
+	RetryAfter int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Code, e.Body)
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do runs one request and decodes a 2xx JSON body into out (when
+// non-nil); non-2xx responses become *StatusError.
+func (c *Client) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		se := &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(b))}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			se.RetryAfter, _ = strconv.Atoi(ra)
+		}
+		return se
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(b, out)
+}
+
+// Submit enqueues a job. 429 backpressure surfaces as a *StatusError
+// with RetryAfter set; the caller decides whether to back off.
+func (c *Client) Submit(spec Spec) (JobStatus, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	err = c.do(http.MethodPost, "/jobs", bytes.NewReader(b), &st)
+	return st, err
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel cancels a job (idempotent).
+func (c *Client) Cancel(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodDelete, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state.
+func (c *Client) Wait(id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.terminal() {
+			return st, nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+// artifact fetches a terminal artifact's raw bytes.
+func (c *Client) artifact(id, name string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/jobs/"+id+"/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(b))}
+	}
+	return b, nil
+}
+
+// Report fetches the rendered report — the exact bytes the equivalent
+// dsrrun invocation prints.
+func (c *Client) Report(id string) ([]byte, error) { return c.artifact(id, "report") }
+
+// Telemetry fetches the job's telemetry JSONL dump.
+func (c *Client) Telemetry(id string) ([]byte, error) { return c.artifact(id, "telemetry") }
+
+// Points fetches the merged canonical points.
+func (c *Client) Points(id string) ([]Point, error) {
+	b, err := c.artifact(id, "points")
+	if err != nil {
+		return nil, err
+	}
+	var pts []Point
+	if err := json.Unmarshal(b, &pts); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}

@@ -1,0 +1,38 @@
+package serve
+
+// jobQueue is the pending-job priority queue (container/heap): higher
+// Priority pops first, ties pop in submission order. It is always
+// manipulated under the server mutex; heapIndex lets a queued job be
+// removed in O(log n) on cancellation.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIndex = i
+	q[j].heapIndex = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIndex = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*q = old[:n-1]
+	return j
+}

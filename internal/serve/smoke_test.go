@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end service gate behind `make
+// serve-smoke`: it builds the real dsrserve and dsrrun binaries, runs
+// the daemon as a separate process, and drives three jobs through it —
+// one plain, one cancelled and resubmitted, one interrupted by
+// SIGKILL-ing the daemon and finished by a restarted daemon — checking
+// every report byte-identical to a local dsrrun invocation, and
+// finally shutting the daemon down cleanly with SIGTERM. Gated behind
+// SERVE_SMOKE_OUT (the artifact directory, absolute); the service log
+// lands there for CI upload.
+func TestServeSmoke(t *testing.T) {
+	outDir := os.Getenv("SERVE_SMOKE_OUT")
+	if outDir == "" {
+		t.Skip("smoke test: set SERVE_SMOKE_OUT to an artifact directory to run")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	binDir := t.TempDir()
+	for _, cmd := range []string{"dsrserve", "dsrrun"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "dsr/cmd/"+cmd)
+		build.Dir = filepath.Join("..", "..")
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+	dsrserve := filepath.Join(binDir, "dsrserve")
+	dsrrun := filepath.Join(binDir, "dsrrun")
+	prog := filepath.Join("..", "asm", "testdata", "uoa.s")
+	dataDir := filepath.Join(outDir, "data")
+	logPath := filepath.Join(outDir, "dsrserve.log")
+
+	logFile, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logFile.Close()
+
+	// startDaemon launches dsrserve over dataDir and parses the bound
+	// address off its stdout.
+	startDaemon := func() (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(dsrserve, "-addr", "127.0.0.1:0", "-data", dataDir, "-executors", "2")
+		cmd.Stderr = logFile
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start dsrserve: %v", err)
+		}
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			t.Fatalf("dsrserve produced no startup line")
+		}
+		line := sc.Text()
+		i := strings.Index(line, "http://")
+		if i < 0 {
+			t.Fatalf("unexpected startup line %q", line)
+		}
+		go func() { // drain any further stdout
+			for sc.Scan() {
+			}
+		}()
+		return cmd, strings.TrimSpace(line[i:])
+	}
+
+	// localReport runs dsrrun's local campaign path and returns stdout.
+	localReport := func(args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(dsrrun, append(args, prog)...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("dsrrun %v: %v\n%s", args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+
+	daemon, base := startDaemon()
+	cl := &Client{Base: base}
+
+	// Job 1 — plain: submitted through dsrrun's own -submit mode; its
+	// stdout must equal the local CLI run byte for byte.
+	refPlain := localReport("-dsr", "-runs", "2000", "-seed", "42", "-workers", "4")
+	gotPlain := localReport("-dsr", "-runs", "2000", "-seed", "42", "-workers", "4",
+		"-submit", base, "-job", "smoke-plain")
+	if !bytes.Equal(refPlain, gotPlain) {
+		t.Errorf("submitted report differs from local CLI report:\n--- local\n%s--- submitted\n%s", refPlain, gotPlain)
+	}
+
+	// Job 2 — cancelled mid-flight, then resubmitted to completion.
+	specCancel := testSpec(t, "smoke-cancel", 12000, 2, 1)
+	if _, err := cl.Submit(specCancel); err != nil {
+		t.Fatalf("submit smoke-cancel: %v", err)
+	}
+	waitProgress(t, cl, "smoke-cancel", 200)
+	if _, err := cl.Cancel("smoke-cancel"); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if st := waitTerminal(t, cl, "smoke-cancel"); st.State != StateCancelled {
+		t.Fatalf("smoke-cancel ended %s", st.State)
+	}
+	if _, err := cl.Submit(specCancel); err != nil {
+		t.Fatalf("resubmit smoke-cancel: %v", err)
+	}
+
+	// Job 3 — interrupted by killing the daemon process outright.
+	specKill := testSpec(t, "smoke-kill", 12000, 2, 2)
+	if _, err := cl.Submit(specKill); err != nil {
+		t.Fatalf("submit smoke-kill: %v", err)
+	}
+	waitProgress(t, cl, "smoke-kill", 500)
+	if err := daemon.Process.Kill(); err != nil {
+		t.Fatalf("kill daemon: %v", err)
+	}
+	daemon.Wait() //nolint:errcheck // killed on purpose
+
+	// Restart over the same data dir: both interrupted jobs must drain
+	// to done with reports byte-identical to the local CLI.
+	daemon, base = startDaemon()
+	cl = &Client{Base: base}
+	refCancel := localReport("-dsr", "-runs", "12000", "-seed", "1", "-telemetry")
+	refKill := localReport("-dsr", "-runs", "12000", "-seed", "2", "-telemetry")
+	for id, want := range map[string][]byte{"smoke-cancel": refCancel, "smoke-kill": refKill} {
+		if st := waitTerminal(t, cl, id); st.State != StateDone {
+			t.Fatalf("%s ended %s: %s", id, st.State, st.Error)
+		}
+		got, err := cl.Report(id)
+		if err != nil {
+			t.Fatalf("report %s: %v", id, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s report differs from local CLI report:\n--- local\n%s--- service\n%s", id, want, got)
+		}
+	}
+
+	// Clean shutdown: SIGTERM, zero exit.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal daemon: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly on SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		daemon.Process.Kill() //nolint:errcheck // cleanup
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"dsr/internal/campaign/determtest"
+)
+
+// TestServeSoakKillRestart is the service soak suite: N concurrent
+// jobs, repeated random daemon kills (hard, no graceful checkpoint)
+// and restarts over the same data directory, finishing with every job
+// done, none lost, none duplicated, and every output surface
+// byte-identical to the CLI path. Gated behind SERVE_SOAK=1 (the
+// serve-smoke CI job runs it); takes on the order of ten seconds.
+func TestServeSoakKillRestart(t *testing.T) {
+	if os.Getenv("SERVE_SOAK") == "" {
+		t.Skip("soak test: set SERVE_SOAK=1 to run")
+	}
+	const (
+		jobs     = 6
+		runs     = 12000
+		minKills = 20
+	)
+	// Deterministic kill schedule: the soak is reproducible run to run.
+	rng := rand.New(rand.NewSource(7))
+
+	refs := make([]determtest.Output, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			refs[i] = refOutput(t, testSpec(t, "", runs, 1, uint64(1+i)))
+		}(i)
+	}
+	wg.Wait()
+
+	dir := t.TempDir()
+	cfg := Config{Executors: 2, QueueCap: 16, CheckpointEvery: 500, Logf: t.Logf}
+	s, ts, cl := startServer(t, dir, cfg)
+	ids := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		spec := testSpec(t, "", runs, 1+i%4, uint64(1+i))
+		spec.ID = "soak-" + string(rune('a'+i))
+		spec.Priority = i % 3
+		if _, err := cl.Submit(spec); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = spec.ID
+	}
+
+	kills := 0
+	for kills < minKills {
+		time.Sleep(time.Duration(30+rng.Intn(120)) * time.Millisecond)
+		s.Kill()
+		ts.Close()
+		kills++
+		s, ts, cl = startServer(t, dir, cfg)
+	}
+	t.Logf("soak: %d kills survived, draining", kills)
+	defer ts.Close()
+	defer s.Stop()
+
+	for i, id := range ids {
+		fin := waitTerminal(t, cl, id)
+		if fin.State != StateDone {
+			t.Fatalf("job %s ended %s after %d kills: %s", id, fin.State, kills, fin.Error)
+		}
+		if fin.Done != runs {
+			t.Fatalf("job %s done=%d, want %d", id, fin.Done, runs)
+		}
+		// Byte-identity against the CLI reference implies zero lost and
+		// zero duplicated runs: the reference points are exactly the
+		// contiguous canonical sequence 0..runs-1.
+		determtest.Check(t, "soak job "+id+" vs CLI", refs[i], jobOutput(t, cl, id))
+	}
+}
