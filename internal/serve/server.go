@@ -71,6 +71,7 @@ type Config struct {
 type job struct {
 	spec      Spec
 	hash      string
+	name      string // program name, cached at creation (assembling is not free)
 	seq       uint64
 	heapIndex int // position in the pending heap, -1 when not queued
 
@@ -82,16 +83,33 @@ type job struct {
 	cancelOnce *sync.Once
 	userCancel bool // interrupt came from DELETE, not shutdown
 
-	view   *obs.Campaign // per-job live SSE view
+	view   *obs.Campaign // per-job live SSE view; remade on resubmission
 	tracer *telemetry.Tracer
+
+	stateVer uint64     // bumped under s.mu by each snapshotLocked
+	stateMu  sync.Mutex // serializes state.json writers, off s.mu
+	wroteVer uint64     // newest snapshot persisted; guarded by stateMu
 }
 
 func (j *job) status() JobStatus {
 	return JobStatus{
-		ID: j.spec.ID, Name: j.spec.Name(), State: j.state,
+		ID: j.spec.ID, Name: j.name, State: j.state,
 		Runs: j.spec.Runs, Done: j.done, Priority: j.spec.Priority,
 		SpecHash: j.hash, Error: j.errMsg,
 	}
+}
+
+// resetRun gives the job a fresh cancel channel, tracer and live view.
+// Recreating the view on every (re-)enqueue matters: the previous
+// attempt's view has published ended=true and its finished summaries,
+// and SSE clients of the re-run must see live progress, not a
+// terminated stale stream. Callers hold s.mu (or are single-threaded).
+func (j *job) resetRun() {
+	j.cancel = make(chan struct{})
+	j.cancelOnce = new(sync.Once)
+	j.userCancel = false
+	j.tracer = telemetry.NewTracer()
+	j.view = obs.NewCampaign(nil, j.tracer, j.spec.MBPTAOptions())
 }
 
 // Server is the dsrserve daemon core: a bounded persistent job queue
@@ -224,10 +242,37 @@ type persistedState struct {
 	Error string   `json:"error,omitempty"`
 }
 
-// writeState atomically persists a job's state.json.
-func (s *Server) writeState(j *job) {
-	ps := persistedState{State: j.state, Seq: j.seq, Done: j.done, Error: j.errMsg}
-	b, err := json.Marshal(ps)
+// stateWrite is a state.json snapshot taken under s.mu, tagged with a
+// per-job version so writes applied after the lock is released can
+// never go backwards.
+type stateWrite struct {
+	ver uint64
+	ps  persistedState
+}
+
+// snapshotLocked captures the durable slice of the job's bookkeeping;
+// s.mu must be held (or the server not yet concurrent, as in recover).
+func (j *job) snapshotLocked() stateWrite {
+	j.stateVer++
+	return stateWrite{
+		ver: j.stateVer,
+		ps:  persistedState{State: j.state, Seq: j.seq, Done: j.done, Error: j.errMsg},
+	}
+}
+
+// persistState atomically writes a snapshot taken by snapshotLocked.
+// It must be called with s.mu released: the file I/O rides on the
+// per-job stateMu instead, so a slow or full disk stalls only this
+// job's state writer, never the HTTP handlers or the merge path. A
+// snapshot older than the newest one persisted is dropped.
+func (s *Server) persistState(j *job, sw stateWrite) {
+	j.stateMu.Lock()
+	defer j.stateMu.Unlock()
+	if sw.ver <= j.wroteVer {
+		return
+	}
+	j.wroteVer = sw.ver
+	b, err := json.Marshal(sw.ps)
 	if err != nil {
 		s.logf("serve: marshal state %s: %v", j.spec.ID, err)
 		return
@@ -258,6 +303,13 @@ func (s *Server) recover() error {
 	var recovered []*job
 	for _, e := range entries {
 		if !e.IsDir() {
+			continue
+		}
+		// Only directories the daemon itself could have created are job
+		// dirs; anything else (in particular names that are not a safe
+		// path segment) is never trusted as a job id.
+		if !ValidID(e.Name()) {
+			s.logf("serve: skip job dir %q: invalid job id", e.Name())
 			continue
 		}
 		dir := filepath.Join(root, e.Name())
@@ -302,7 +354,7 @@ func (s *Server) recover() error {
 						j.spec.ID, src, cp.Cursor)
 				}
 			}
-			s.writeState(j)
+			s.persistState(j, j.snapshotLocked())
 			heap.Push(&s.pending, j)
 			s.logf("serve: recovered job %s at run %d/%d", j.spec.ID, j.done, j.spec.Runs)
 		}
@@ -310,16 +362,19 @@ func (s *Server) recover() error {
 	return nil
 }
 
+// newJob builds the in-memory job for a validated spec. It assembles
+// the program once to cache the name, so callers on the request path
+// should invoke it before taking s.mu.
 func (s *Server) newJob(spec Spec) *job {
-	return &job{
-		spec:       spec,
-		hash:       spec.Hash(),
-		heapIndex:  -1,
-		cancel:     make(chan struct{}),
-		cancelOnce: new(sync.Once),
-		view:       obs.NewCampaign(nil, telemetry.NewTracer(), spec.MBPTAOptions()),
-		tracer:     telemetry.NewTracer(),
+	j := &job{
+		spec:      spec,
+		hash:      spec.Hash(),
+		name:      spec.Name(),
+		state:     StateQueued,
+		heapIndex: -1,
 	}
+	j.resetRun()
+	return j
 }
 
 // executor is one worker of the job pool: pop the highest-priority
@@ -339,8 +394,9 @@ func (s *Server) executor() {
 		j := heap.Pop(&s.pending).(*job)
 		j.state = StateRunning
 		s.registry.Gauge("dsrserve_queue_depth", nil).Set(float64(s.pending.Len()))
-		s.writeState(j)
+		sw := j.snapshotLocked()
 		s.mu.Unlock()
+		s.persistState(j, sw)
 		s.runJob(j)
 	}
 }
@@ -417,26 +473,33 @@ func (s *Server) runJob(j *job) {
 			}
 			s.mu.Lock()
 			j.state = StateQueued
-			s.writeState(j)
+			sw := j.snapshotLocked()
 			s.mu.Unlock()
+			s.persistState(j, sw)
 			s.logf("serve: job %s: suspended at run %d/%d", j.spec.ID, len(pts), j.spec.Runs)
 			return
 		}
-		// Explicit cancellation.
+		// Explicit cancellation. The view is captured under the lock: the
+		// instant the state goes terminal a resubmission may swap in a
+		// fresh view, and Done must land on the old one.
 		s.mu.Lock()
 		j.state = StateCancelled
-		s.writeState(j)
+		view := j.view
+		sw := j.snapshotLocked()
 		s.mu.Unlock()
-		j.view.Done()
+		s.persistState(j, sw)
+		view.Done()
 		s.countTerminal(StateCancelled)
 		s.logf("serve: job %s: cancelled at run %d/%d", j.spec.ID, len(pts), j.spec.Runs)
 	default:
 		s.mu.Lock()
 		j.state = StateFailed
 		j.errMsg = err.Error()
-		s.writeState(j)
+		view := j.view
+		sw := j.snapshotLocked()
 		s.mu.Unlock()
-		j.view.Done()
+		s.persistState(j, sw)
+		view.Done()
 		s.countTerminal(StateFailed)
 		s.logf("serve: job %s: failed: %v", j.spec.ID, err)
 	}
@@ -471,9 +534,11 @@ func (s *Server) finishJob(j *job, out *Outcome, state JobState, errMsg string) 
 	j.state = state
 	j.done = len(out.Points)
 	j.errMsg = errMsg
-	s.writeState(j)
+	view := j.view
+	sw := j.snapshotLocked()
 	s.mu.Unlock()
-	j.view.Done()
+	s.persistState(j, sw)
+	view.Done()
 	s.countTerminal(state)
 	s.logf("serve: job %s: %s (%d runs)", j.spec.ID, state, len(out.Points))
 }
@@ -532,27 +597,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := (&spec).Hash()
+	// Off-lock preparation: building the job assembles the program (to
+	// cache its name), and a resubmission's checkpoint cursor is read
+	// from disk — neither belongs under s.mu. The cursor is what a
+	// re-enqueued job reports as done until the executor starts
+	// replaying; on a fresh submission no checkpoint exists and it is 0.
+	j := s.newJob(spec)
+	cursor := 0
+	if spec.ID != "" {
+		if cp, _ := LoadCheckpoint(s.jobDir(spec.ID), spec.ID, hash); cp != nil {
+			cursor = cp.Cursor
+		}
+	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.stopping {
+		s.mu.Unlock()
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
 	if spec.ID != "" {
 		if existing, ok := s.jobs[spec.ID]; ok {
 			if existing.hash != hash {
-				writeJSON(w, http.StatusConflict, existing.status())
+				st := existing.status()
+				s.mu.Unlock()
+				writeJSON(w, http.StatusConflict, st)
 				return
 			}
 			// Idempotent resubmission. A cancelled or failed job is
 			// re-enqueued (resuming from any checkpoint it left — still
 			// byte-identical); anything else just reports its status.
 			if existing.state == StateCancelled || existing.state == StateFailed {
-				s.enqueueLocked(w, existing, http.StatusAccepted)
+				s.enqueueAndRespond(w, existing, cursor, http.StatusAccepted)
 				return
 			}
-			writeJSON(w, http.StatusOK, existing.status())
+			st := existing.status()
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
 			return
 		}
 	} else {
@@ -560,57 +641,75 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			id := fmt.Sprintf("job-%d", s.seq)
 			s.seq++
 			if _, ok := s.jobs[id]; !ok {
-				spec.ID = id
+				j.spec.ID = id
 				break
 			}
 		}
 	}
 	if s.pending.Len() >= s.cfg.QueueCap {
+		s.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 		return
 	}
 
-	j := s.newJob(spec)
-	dir := s.jobDir(spec.ID)
+	dir := s.jobDir(j.spec.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	sb, err := json.Marshal(spec)
+	sb, err := json.Marshal(j.spec)
 	if err == nil {
 		err = os.WriteFile(filepath.Join(dir, "spec.json"), append(sb, '\n'), 0o644)
 	}
 	if err != nil {
+		s.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.jobs[spec.ID] = j
+	s.jobs[j.spec.ID] = j
 	s.registry.Counter("dsrserve_jobs_submitted_total", nil).Inc()
-	s.enqueueLocked(w, j, http.StatusAccepted)
+	s.enqueueAndRespond(w, j, cursor, http.StatusAccepted)
 }
 
-// enqueueLocked (re-)queues a job and answers the submit request;
-// s.mu must be held. Re-enqueued jobs get a fresh seq (they queue
-// behind current submissions) and a fresh cancel channel.
-func (s *Server) enqueueLocked(w http.ResponseWriter, j *job, code int) {
-	if s.pending.Len() >= s.cfg.QueueCap {
+// enqueueAndRespond queues the job (s.mu held on entry), releases the
+// lock, persists the queued state off-lock and answers the request.
+func (s *Server) enqueueAndRespond(w http.ResponseWriter, j *job, cursor, code int) {
+	st, sw, ok := s.enqueueLocked(j, cursor)
+	s.mu.Unlock()
+	if !ok {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "queue full", http.StatusTooManyRequests)
 		return
 	}
+	s.persistState(j, sw)
+	writeJSON(w, code, st)
+}
+
+// enqueueLocked (re-)queues a job; s.mu must be held. Re-enqueued jobs
+// get a fresh seq (they queue behind current submissions) and, via
+// resetRun, a fresh cancel channel, tracer and live view — SSE clients
+// of the re-run must not inherit the previous attempt's terminal
+// stream. done (and its gauge) is reset to the checkpoint cursor the
+// resumed run will replay. Returns the status for the response and the
+// state snapshot the caller persists after releasing s.mu; ok=false
+// means the queue is full.
+func (s *Server) enqueueLocked(j *job, cursor int) (st JobStatus, sw stateWrite, ok bool) {
+	if s.pending.Len() >= s.cfg.QueueCap {
+		return JobStatus{}, stateWrite{}, false
+	}
 	j.state = StateQueued
 	j.errMsg = ""
+	j.done = cursor
 	j.seq = s.seq
 	s.seq++
-	j.cancel = make(chan struct{})
-	j.cancelOnce = new(sync.Once)
-	j.userCancel = false
-	s.writeState(j)
+	j.resetRun()
+	s.registry.Gauge("dsrserve_job_runs_done", telemetry.Labels{"job": j.spec.ID}).Set(float64(cursor))
 	heap.Push(&s.pending, j)
 	s.registry.Gauge("dsrserve_queue_depth", nil).Set(float64(s.pending.Len()))
 	s.cond.Signal()
-	writeJSON(w, code, j.status())
+	return j.status(), j.snapshotLocked(), true
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -660,6 +759,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	var sw stateWrite
+	var view *obs.Campaign
 	switch j.state {
 	case StateQueued:
 		if j.heapIndex >= 0 {
@@ -667,7 +768,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			s.registry.Gauge("dsrserve_queue_depth", nil).Set(float64(s.pending.Len()))
 		}
 		j.state = StateCancelled
-		s.writeState(j)
+		sw = j.snapshotLocked()
+		view = j.view
 		s.countTerminalLockedOK(StateCancelled)
 	case StateRunning:
 		j.userCancel = true
@@ -675,6 +777,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	st := j.status()
 	s.mu.Unlock()
+	if view != nil {
+		s.persistState(j, sw)
+		view.Done()
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -690,7 +796,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if j == nil {
 		return
 	}
-	obs.ServeEvents(j.view, w, r)
+	// The view is read under s.mu: a resubmission swaps in a fresh one.
+	s.mu.Lock()
+	view := j.view
+	s.mu.Unlock()
+	obs.ServeEvents(view, w, r)
 }
 
 // handleArtifact serves a terminal artifact file from the job dir; 404

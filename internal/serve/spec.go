@@ -60,11 +60,35 @@ type Spec struct {
 	Attribution bool `json:"attribution,omitempty"`
 }
 
-// Validate checks the campaign dimensions, assembles the program and
-// verifies the DSR transform — the same gate dsrrun applies before
-// measuring anything. A spec that validates will execute (modulo
-// analysis-stage errors such as an i.i.d. rejection).
+// ValidID reports whether id is acceptable as a job id: a single safe
+// path segment of at most 64 bytes drawn from [A-Za-z0-9._-], and not
+// "." or "..". The job id becomes a directory name under
+// DataDir/jobs/, so anything else — separators, traversal dots, empty
+// segments — must be rejected before it ever reaches the filesystem.
+func ValidID(id string) bool {
+	if id == "" || len(id) > 64 || id == "." || id == ".." {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the job id and campaign dimensions, assembles the
+// program and verifies the DSR transform — the same gate dsrrun
+// applies before measuring anything. A spec that validates will
+// execute (modulo analysis-stage errors such as an i.i.d. rejection).
 func (s *Spec) Validate() error {
+	if s.ID != "" && !ValidID(s.ID) {
+		return fmt.Errorf("serve: job id %q is not a safe path segment (want [A-Za-z0-9._-]{1,64}, not %q or %q)", s.ID, ".", "..")
+	}
 	if s.Runs <= 0 {
 		return fmt.Errorf("serve: runs must be positive, got %d", s.Runs)
 	}
