@@ -95,18 +95,25 @@ telemetry-smoke: build
 # server attached, scraped continuously mid-flight (/metrics must parse
 # as Prometheus exposition, /campaign must decode; the finished span
 # timeline must validate and yield a worker report); then (2) the CLI
-# path — dsrsim with -http and -telemetry, dsrstat workers over the
-# exported spans.jsonl (per-worker utilization + bottleneck), and the
-# validator over spans (schema + Chrome trace). Artefacts land in
-# obs-out/ (CI uploads spans-trace.json as the worker-timeline
-# artifact; open it in chrome://tracing or ui.perfetto.dev).
+# path — dsrsim with -http and -telemetry run twice, sequentially
+# ("before": workers=1) and sharded ("after": workers=8), dsrstat
+# workers over both exported span timelines (per-worker utilization +
+# bottleneck; the reports land in obs-out/workers-{before,after}.txt
+# and CI uploads both), and the validator over spans (schema + Chrome
+# trace). The "after" timeline is gated: with copy-on-write platform
+# forks, the dominant bottleneck class must no longer be the
+# canonical-order merge or per-run platform construction — those were
+# the fixed scaling bugs, and their reappearance fails CI.
 obs-smoke: build
 	rm -rf obs-out
 	OBS_RUNS=200 $(GO) test -run 'TestObsSmoke' -count=1 -v ./internal/obs
-	$(GO) run ./cmd/dsrsim -fig2 -runs 200 -workers 8 -telemetry obs-out -http 127.0.0.1:0
-	$(GO) run ./cmd/dsrstat workers obs-out/spans.jsonl
-	$(GO) run ./cmd/dsrstat validate obs-out/spans.jsonl
-	$(GO) run ./cmd/dsrstat validate obs-out/telemetry.jsonl
+	$(GO) run ./cmd/dsrsim -fig2 -runs 200 -workers 1 -telemetry obs-out/before
+	$(GO) run ./cmd/dsrstat workers obs-out/before/spans.jsonl | tee obs-out/workers-before.txt
+	$(GO) run ./cmd/dsrsim -fig2 -runs 200 -workers 8 -telemetry obs-out/after -http 127.0.0.1:0
+	$(GO) run ./cmd/dsrstat workers obs-out/after/spans.jsonl | tee obs-out/workers-after.txt
+	$(GO) run ./cmd/dsrstat workers -assert-not merge-serialisation,platform-construction obs-out/after/spans.jsonl >/dev/null
+	$(GO) run ./cmd/dsrstat validate obs-out/after/spans.jsonl
+	$(GO) run ./cmd/dsrstat validate obs-out/after/telemetry.jsonl
 
 # Service end-to-end smoke: (1) the soak suite — six concurrent jobs
 # surviving 20+ random hard kills and restarts of the daemon with every

@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -48,14 +49,32 @@ var suites = []suite{
 	{Pkg: "./internal/tlb", Bench: "^Benchmark", BenchTime: "1000000x"},
 	{Pkg: "./internal/cpu", Bench: "^BenchmarkMemory", BenchTime: "2000000x"},
 	{Pkg: "./internal/cpu", Bench: "^BenchmarkFetchLoop", BenchTime: "100x"},
+	{Pkg: "./internal/platform", Bench: "^BenchmarkPlatformFork$", BenchTime: "200x"},
+	{Pkg: "./internal/core", Bench: "^BenchmarkReboot$", BenchTime: "500x"},
 	{Pkg: "./internal/cpu", Bench: "^BenchmarkChargeDisabled", BenchTime: "20000000x"},
 	{Pkg: "./internal/analysis/leak", Bench: "^BenchmarkLeakAnalyze$", BenchTime: "100x"},
 	{Pkg: "./internal/serve", Bench: "^BenchmarkServeSubmitLatency$", BenchTime: "30x"},
 }
 
 // scalingEntry is the synthetic baseline key recording the campaign's
-// parallel speedup (Workers1 wall time / Workers8 wall time).
+// parallel speedup (Workers1 wall time / Workers8 wall time). It has no
+// ns/op of its own (NsPerOp stays 0, which the ns/op gate skips); the
+// gated quantity is its "speedup" metric, checked as an absolute
+// threshold rather than against the baseline because the achievable
+// ratio depends on the runner, not on the code under test.
 const scalingEntry = "CampaignScalingWorkers8v1"
+
+// Scaling gate thresholds: with the copy-on-write platform forks in
+// place, campaign workers share no per-run construction, so on a
+// machine with at least scalingGateCores cores the 8-worker campaign
+// must beat the sequential one by at least minSpeedup — anything less
+// means a serialisation bug crept back in. On smaller runners (CI
+// containers are often 1–2 vCPUs) the ratio measures the machine, not
+// the code, so the gate degrades to the advisory warning.
+const (
+	scalingGateCores = 8
+	minSpeedup       = 4.0
+)
 
 // result is one benchmark's parsed output: ns/op plus named metrics.
 type result struct {
@@ -124,28 +143,43 @@ func runSuites() (map[string]result, error) {
 
 // reportScaling prints the campaign's parallel speedup explicitly —
 // Workers8 wall time vs Workers1 wall time for the same fixed work —
-// and records it into the result set under scalingEntry, so the
-// baseline JSON documents the ratio. The per-benchmark ns/op gate
-// cannot express this ratio (each benchmark is compared only against
-// its own baseline), and runs/s of the Workers8 benchmark alone reads
-// as absolute throughput, which is misleading about scaling. Poor
-// scaling warns but does not fail: it is a capacity signal, not a
-// regression — `dsrstat workers` on a span timeline names the
-// bottleneck. The recorded entry is informational for the same reason
-// (speedup is not in throughputMetrics).
-func reportScaling(got map[string]result) {
+// and records it into the result set under scalingEntry together with
+// the runner's core count, so the baseline JSON documents both the
+// ratio and the machine it was measured on. The per-benchmark ns/op
+// gate cannot express this ratio (each benchmark is compared only
+// against its own baseline), and runs/s of the Workers8 benchmark alone
+// reads as absolute throughput, which is misleading about scaling.
+//
+// The returned failure is non-empty when the hard scaling gate trips:
+// on a runner with scalingGateCores or more cores, speedup below
+// minSpeedup fails the check. Below that core count the ratio is
+// machine-bound, so poor scaling only warns — `dsrstat workers` on a
+// span timeline names the bottleneck.
+func reportScaling(got map[string]result) (failure string) {
 	w1, ok1 := got["BenchmarkCampaignWorkers1"]
 	w8, ok8 := got["BenchmarkCampaignWorkers8"]
 	if !ok1 || !ok8 || w8.NsPerOp <= 0 {
-		return
+		return ""
 	}
 	speedup := w1.NsPerOp / w8.NsPerOp
-	got[scalingEntry] = result{Metrics: map[string]float64{"speedup": speedup}}
-	fmt.Printf("benchgate: campaign scaling: Workers8 = %.2fx Workers1\n", speedup)
-	if speedup < 2 {
-		fmt.Fprintf(os.Stderr, "benchgate: WARNING: campaign speedup %.2fx below 2x on 8 workers; "+
-			"run `dsrsim -telemetry DIR` and `dsrstat workers DIR/spans.jsonl` to find the bottleneck\n", speedup)
+	cores := runtime.NumCPU()
+	got[scalingEntry] = result{Metrics: map[string]float64{
+		"speedup": speedup,
+		"cores":   float64(cores),
+	}}
+	fmt.Printf("benchgate: campaign scaling: Workers8 = %.2fx Workers1 (%d cores)\n", speedup, cores)
+	if cores >= scalingGateCores && speedup < minSpeedup {
+		return fmt.Sprintf("%s: speedup %.2fx below required %.1fx on %d cores; "+
+			"run `dsrsim -telemetry DIR` and `dsrstat workers DIR/spans.jsonl` to find the bottleneck",
+			scalingEntry, speedup, minSpeedup, cores)
 	}
+	if speedup < 2 {
+		fmt.Fprintf(os.Stderr, "benchgate: WARNING: campaign speedup %.2fx below 2x on 8 workers "+
+			"(%d cores — scaling gate requires >= %d); "+
+			"run `dsrsim -telemetry DIR` and `dsrstat workers DIR/spans.jsonl` to find the bottleneck\n",
+			speedup, cores, scalingGateCores)
+	}
+	return ""
 }
 
 func sortedKeys(m map[string]float64) []string {
@@ -211,7 +245,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}
-		reportScaling(got)
+		if f := reportScaling(got); f != "" {
+			// Record mode still writes the baseline — the operator asked
+			// for a snapshot of this machine — but the gate result is not
+			// silently swallowed.
+			fmt.Fprintln(os.Stderr, "benchgate: WARNING:", f)
+		}
 		data, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
@@ -239,8 +278,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}
-		reportScaling(got)
+		scalingFail := reportScaling(got)
 		fails := check(base, got, *tol)
+		if scalingFail != "" {
+			fails = append(fails, scalingFail)
+		}
 		if len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond %.0f%%:\n", len(fails), *tol*100)
 			for _, f := range fails {

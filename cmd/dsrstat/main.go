@@ -9,7 +9,10 @@
 //	                                 a span timeline (spans.jsonl) —
 //	                                 busy/idle split, phase breakdown,
 //	                                 claim latency, and the scaling
-//	                                 bottleneck the timeline implies
+//	                                 bottleneck the timeline implies;
+//	                                 -assert-not CLASS,... exits 1 when
+//	                                 the dominant bottleneck class is
+//	                                 one of the banned tokens (CI gate)
 //	dsrstat validate FILE            round-trip + trace schema checks
 //	                                 (+ span schema when spans present)
 //
@@ -246,6 +249,7 @@ func cmdWorkers(args []string) error {
 	fs := flag.NewFlagSet("workers", flag.ExitOnError)
 	from := fs.String("from", "", "input format (only jsonl carries spans); default: by extension")
 	traceOut := fs.String("trace", "", "also write the timeline as Chrome trace_event JSON to this file")
+	assertNot := fs.String("assert-not", "", "comma-separated bottleneck classes that must NOT be dominant (exit 1 if one is); e.g. merge-serialisation,platform-construction")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("workers: want exactly one FILE")
@@ -275,6 +279,16 @@ func cmdWorkers(args []string) error {
 			return err
 		}
 		fmt.Printf("timeline -> %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	if *assertNot != "" {
+		class := rep.BottleneckClass()
+		for _, banned := range strings.Split(*assertNot, ",") {
+			if class == strings.TrimSpace(banned) {
+				return fmt.Errorf("workers: dominant bottleneck class is %q, which the gate forbids (%s)",
+					class, *assertNot)
+			}
+		}
+		fmt.Printf("bottleneck gate ok: dominant class %q not in {%s}\n", class, *assertNot)
 	}
 	return nil
 }

@@ -203,6 +203,13 @@ type Cache struct {
 	// Sentinel -1 when empty.
 	mruIdx int32
 
+	// mruIdx2 is the second-most-recent line — the two-line working-set
+	// accelerator. A counted loop whose body straddles an IL1 line
+	// boundary alternates between two lines every iteration, defeating
+	// a single hint; the pair catches it. Validated exactly like
+	// mruIdx, so it too can never change hits, misses or replacement.
+	mruIdx2 int32
+
 	// wt caches cfg.Write == WriteThroughNoAllocate for the store path.
 	wt bool
 
@@ -276,6 +283,7 @@ func New(cfg Config, next mem.Backend) *Cache {
 	c.mru = make([]int32, c.sets)
 	c.wt = cfg.Write == WriteThroughNoAllocate
 	c.mruIdx = -1
+	c.mruIdx2 = -1
 	if cfg.Replacement == ReplacementRandom {
 		c.repl = prng.NewMWC(0xC0FFEE)
 	}
@@ -406,6 +414,7 @@ func (c *Cache) fill(lineAddr mem.Addr, dirty bool) mem.Cycles {
 	lat += c.next.Read(lineAddr<<c.lineShift, c.cfg.LineSize)
 	set[w] = line{valid: true, dirty: dirty, tag: lineAddr}
 	c.mru[idx] = int32(w)
+	c.mruIdx2 = c.mruIdx
 	c.mruIdx = int32(idx*c.ways + w)
 	c.touch(set, w)
 	c.ctr.Fills++
@@ -462,12 +471,26 @@ func (c *Cache) readLine(la mem.Addr) mem.Cycles {
 			return c.hitLat
 		}
 	}
+	if i := c.mruIdx2; i >= 0 {
+		if l := &c.lines[i]; l.tag == la && l.valid {
+			c.ctr.Hits++
+			c.clock++
+			l.age = c.clock
+			c.mruIdx2 = c.mruIdx
+			c.mruIdx = i
+			if c.obs != nil {
+				c.obs.OnAccess(false, int(i)/c.ways, true)
+			}
+			return c.hitLat
+		}
+	}
 	idx := c.setIndex(la)
 	set := c.set(idx)
 	if w := c.hitWay(idx, set, la); w >= 0 {
 		c.ctr.Hits++
 		c.clock++
 		set[w].age = c.clock
+		c.mruIdx2 = c.mruIdx
 		c.mruIdx = int32(idx*c.ways + w)
 		if c.obs != nil {
 			c.obs.OnAccess(false, idx, true)
@@ -534,6 +557,7 @@ func (c *Cache) writeLine(la mem.Addr, size int) mem.Cycles {
 			c.ctr.Hits++
 			c.clock++
 			set[w].age = c.clock
+			c.mruIdx2 = c.mruIdx
 			c.mruIdx = int32(idx*c.ways + w)
 		} else {
 			c.ctr.Misses++
@@ -560,6 +584,7 @@ func (c *Cache) writeBack(la mem.Addr, idx int, set []line, w int) mem.Cycles {
 			set[w].dirty = true
 			c.clock++
 			set[w].age = c.clock
+			c.mruIdx2 = c.mruIdx
 			c.mruIdx = int32(idx*c.ways + w)
 			if c.obs != nil {
 				c.obs.OnAccess(true, idx, true)
@@ -581,7 +606,7 @@ func (c *Cache) writeBack(la mem.Addr, idx int, set []line, w int) mem.Cycles {
 // returning the cost. PikeOS is configured to flush caches at partition
 // start (§IV), which is what guarantees a canonical initial state.
 func (c *Cache) FlushAll() mem.Cycles {
-	c.mruIdx = -1 // defensive; validation makes stale hints harmless
+	c.mruIdx, c.mruIdx2 = -1, -1 // defensive; validation makes stale hints harmless
 	var lat mem.Cycles
 	for i := range c.lines {
 		l := &c.lines[i]

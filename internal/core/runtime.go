@@ -124,6 +124,15 @@ type Runtime struct {
 	pending map[mem.Addr]relocInfo
 	boot    *BootStats
 
+	// Reboot scratch, reused across runs so a steady-state reboot
+	// performs no heap allocation beyond what the pools require: the
+	// shuffled relocation order, the relocation work list, and the
+	// object record handed to the pool allocators (they read its fields
+	// and write Base back but never retain the pointer).
+	order []int
+	reloc []relocInfo
+	obj   mem.Object
+
 	// events, when non-nil, receives structured runtime events (reboots,
 	// relocations, pool choices); a nil log no-ops.
 	events *telemetry.EventLog
@@ -203,15 +212,25 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 	r.codePool.Reset(prng.Uint64(r.src))
 	r.dataPool.Reset(prng.Uint64(r.src))
 
-	pl := loader.Placement{}
+	pl := r.placement
+	if pl == nil {
+		pl = make(loader.Placement, len(r.tp.Functions)+len(r.tp.Data))
+	} else {
+		clear(pl)
+	}
 	// Shuffle relocation order so pool layout does not correlate with
 	// link order across runs.
-	order := prng.Perm(r.src, len(r.tp.Functions))
-	var reloc []relocInfo
+	if len(r.order) != len(r.tp.Functions) {
+		r.order = make([]int, len(r.tp.Functions))
+	}
+	prng.PermInto(r.src, r.order)
+	order := r.order
+	reloc := r.reloc[:0]
 	var bytes mem.Addr
 	for _, fi := range order {
 		f := r.tp.Functions[fi]
-		obj := &mem.Object{Name: f.Name, Kind: mem.KindCode, Size: f.SizeBytes(), Align: isa.InstrBytes}
+		obj := &r.obj
+		*obj = mem.Object{Name: f.Name, Kind: mem.KindCode, Size: f.SizeBytes(), Align: isa.InstrBytes}
 		if _, err := r.codePool.Allocate(obj); err != nil {
 			return BootStats{}, fmt.Errorf("core: reboot: %w", err)
 		}
@@ -224,7 +243,8 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 		if align == 0 {
 			align = mem.DoubleWord
 		}
-		obj := &mem.Object{Name: d.Name, Kind: mem.KindData, Size: d.Size, Align: align}
+		obj := &r.obj
+		*obj = mem.Object{Name: d.Name, Kind: mem.KindData, Size: d.Size, Align: align}
 		if _, err := r.dataPool.Allocate(obj); err != nil {
 			return BootStats{}, fmt.Errorf("core: reboot: %w", err)
 		}
@@ -234,12 +254,21 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 	r.tracer.End(boot)
 	relocSpan := r.tracer.Begin(telemetry.SpanReloc, -1)
 
-	img, err := loader.BuildImage(r.tp, pl)
-	if err != nil {
+	img := r.img
+	if img == nil {
+		built, err := loader.BuildImage(r.tp, pl)
+		if err != nil {
+			return BootStats{}, fmt.Errorf("core: reboot: %w", err)
+		}
+		img = built
+	} else if err := img.Rebuild(r.tp, pl); err != nil {
+		// The image is rebuilt in place across reboots (same program, new
+		// placement — byte-identical to a fresh build, without the copy).
 		return BootStats{}, fmt.Errorf("core: reboot: %w", err)
 	}
 	r.img = img
 	r.placement = pl
+	r.reloc = reloc
 
 	r.plat.Mem.Clear()
 	r.plat.LoadImage(img)
@@ -261,8 +290,8 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 		Seed:           seed,
 		RelocatedFuncs: len(reloc),
 		RelocatedBytes: bytes,
-		CodePages:      len(r.codePool.PagesTouched()),
-		DataPages:      len(r.dataPool.PagesTouched()),
+		CodePages:      r.codePool.PagesTouchedCount(),
+		DataPages:      r.dataPool.PagesTouchedCount(),
 	}
 
 	switch r.opts.Mode {
@@ -270,13 +299,15 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 		for _, ri := range reloc {
 			cost := r.relocationCost(ri, pl[ri.name])
 			stats.BootCycles += cost
-			r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
-				telemetry.String("func", ri.name),
-				telemetry.Hex("old", ri.oldBase),
-				telemetry.Hex("new", pl[ri.name]),
-				telemetry.Uint64("bytes", uint64(ri.size)),
-				telemetry.Cycles("cost", cost),
-				telemetry.String("when", "boot"))
+			if r.events.Enabled() {
+				r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
+					telemetry.String("func", ri.name),
+					telemetry.Hex("old", ri.oldBase),
+					telemetry.Hex("new", pl[ri.name]),
+					telemetry.Uint64("bytes", uint64(ri.size)),
+					telemetry.Cycles("cost", cost),
+					telemetry.String("when", "boot"))
+			}
 		}
 		r.pending = nil
 		r.plat.CPU.SetCallHook(nil)
@@ -291,26 +322,30 @@ func (r *Runtime) Reboot(seed uint64) (BootStats, error) {
 			delete(r.pending, pl[r.tp.Entry])
 			cost := r.relocationCost(ri, pl[r.tp.Entry])
 			stats.BootCycles += cost
-			r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
-				telemetry.String("func", ri.name),
-				telemetry.Hex("old", ri.oldBase),
-				telemetry.Hex("new", pl[r.tp.Entry]),
-				telemetry.Uint64("bytes", uint64(ri.size)),
-				telemetry.Cycles("cost", cost),
-				telemetry.String("when", "boot"))
+			if r.events.Enabled() {
+				r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
+					telemetry.String("func", ri.name),
+					telemetry.Hex("old", ri.oldBase),
+					telemetry.Hex("new", pl[r.tp.Entry]),
+					telemetry.Uint64("bytes", uint64(ri.size)),
+					telemetry.Cycles("cost", cost),
+					telemetry.String("when", "boot"))
+			}
 		}
 		r.plat.CPU.SetCallHook(r.lazyHook)
 	}
 	r.tracer.End(relocSpan)
-	r.events.Emit(dsrTrack, "dsr.reboot", telemetry.PhaseInstant,
-		telemetry.Uint64("seed", seed),
-		telemetry.String("mode", r.opts.Mode.String()),
-		telemetry.Int("funcs", len(reloc)),
-		telemetry.Uint64("bytes", uint64(bytes)),
-		telemetry.Int("code_pages", stats.CodePages),
-		telemetry.Int("data_pages", stats.DataPages),
-		telemetry.Cycles("boot_cycles", stats.BootCycles),
-		telemetry.Hex("entry", pl[r.tp.Entry]))
+	if r.events.Enabled() {
+		r.events.Emit(dsrTrack, "dsr.reboot", telemetry.PhaseInstant,
+			telemetry.Uint64("seed", seed),
+			telemetry.String("mode", r.opts.Mode.String()),
+			telemetry.Int("funcs", len(reloc)),
+			telemetry.Uint64("bytes", uint64(bytes)),
+			telemetry.Int("code_pages", stats.CodePages),
+			telemetry.Int("data_pages", stats.DataPages),
+			telemetry.Cycles("boot_cycles", stats.BootCycles),
+			telemetry.Hex("entry", pl[r.tp.Entry]))
+	}
 	r.boot = &stats
 	return stats, nil
 }
@@ -345,13 +380,15 @@ func (r *Runtime) lazyHook(target mem.Addr) {
 	if r.boot != nil {
 		r.boot.RelocatedFuncs--
 	}
-	r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
-		telemetry.String("func", ri.name),
-		telemetry.Hex("old", ri.oldBase),
-		telemetry.Hex("new", target),
-		telemetry.Uint64("bytes", uint64(ri.size)),
-		telemetry.Cycles("cost", cost),
-		telemetry.String("when", "lazy"))
+	if r.events.Enabled() {
+		r.events.Emit(dsrTrack, "dsr.reloc", telemetry.PhaseInstant,
+			telemetry.String("func", ri.name),
+			telemetry.Hex("old", ri.oldBase),
+			telemetry.Hex("new", target),
+			telemetry.Uint64("bytes", uint64(ri.size)),
+			telemetry.Cycles("cost", cost),
+			telemetry.String("when", "lazy"))
+	}
 }
 
 // Run performs one measured run on the current layout. Reboot must have

@@ -101,12 +101,21 @@ type CPU struct {
 	icacheC *cache.Cache
 	dcacheC *cache.Cache
 
-	// Integer register file: globals plus the windowed banks. outs[w]
-	// holds the out registers of window w; the ins of window w are
-	// outs[(w+1)%NumWindows]. locals[w] are private to window w.
-	globals [8]uint32
-	outs    [][8]uint32
-	locals  [][8]uint32
+	// Integer register file, flattened: rfile[0:8] are the globals,
+	// then NumWindows banks of 16 words each — bank w holds the outs of
+	// window w at [8+16w, 8+16w+8) and the locals of window w at
+	// [8+16w+8, 8+16w+16). The ins of window w alias the outs of window
+	// (w+1)%NumWindows, exactly the SPARC overlap. The final word is a
+	// scratch slot: the threaded-code engine redirects %g0 writes there
+	// at decode time so the hot path needs no destination check, while
+	// rfile[0] (%g0 reads) is never written and stays zero.
+	//
+	// rbase caches the current window's bank bases indexed by register
+	// group (r>>3: globals, outs, locals, ins), so a register access is
+	// rfile[rbase[r>>3]+r&7] — one indexed load instead of the previous
+	// per-group branch chain. Updated on every window rotate.
+	rfile   []uint32
+	rbase   [4]int32
 	cwp     int
 	insIdx  int // (cwp+1)%NumWindows, maintained on every window rotate
 	liveWin int // unspilled frames resident in the register file
@@ -147,6 +156,16 @@ type CPU struct {
 	// via AddCycles and issue cache traffic of its own.
 	callHook func(target mem.Addr)
 
+	// Threaded-code engine state (decode.go, engine.go): the per-CPU
+	// decoded-program cache keyed on (function, layout class), a
+	// one-entry lookup cache for the current placement, and the
+	// forced-interpreter switch used by the equivalence suites.
+	decCache    map[decodeKey]*uprog
+	lastPf      *loader.PlacedFunc
+	lastClass   uint32
+	lastP       *uprog
+	forceInterp bool
+
 	// att, when set, receives a cycle-attribution booking for every
 	// cycle this core charges, partitioning the cycle counter into the
 	// components of telemetry.Component under a hard conservation
@@ -169,8 +188,15 @@ func New(cfg Config, img *loader.Image, icache, dcache mem.Backend, itlb, dtlb *
 		itlb: itlb, dtlb: dtlb,
 		data: data,
 	}
-	c.outs = make([][8]uint32, cfg.NumWindows)
-	c.locals = make([][8]uint32, cfg.NumWindows)
+	size := 8 + 16*cfg.NumWindows + 1
+	if size < rfileSlots {
+		// The engine addresses the register file through a fixed-size
+		// array pointer with masked indices (engine.go); padding the
+		// allocation to that size lets every access elide its bounds
+		// check.
+		size = rfileSlots
+	}
+	c.rfile = make([]uint32, size)
 	c.bindFronts()
 	c.Reset(0)
 	return c
@@ -185,6 +211,7 @@ func New(cfg Config, img *loader.Image, icache, dcache mem.Backend, itlb, dtlb *
 // unknown backend type, non-zero latencies — leaves the gate closed and
 // every fetch on the exact slow path.
 func (c *CPU) bindFronts() {
+	c.InvalidateDecode() // the IL1 line size (and thus chunking) may change
 	c.icacheC, c.dcacheC = nil, nil
 	if cc, ok := c.icache.(*cache.Cache); ok && cc.Config().LineSize >= mem.WordSize {
 		c.icacheC = cc
@@ -223,19 +250,33 @@ func unwrapCache(b mem.Backend) *cache.Cache {
 	return nil
 }
 
+// outBase/localBase locate window w's out and local banks in rfile.
+func outBase(w int) int32   { return int32(8 + 16*w) }
+func localBase(w int) int32 { return int32(8 + 16*w + 8) }
+
+// scratchIdx is the %g0 write-sink slot (see the rfile field comment).
+func (c *CPU) scratchIdx() int32 { return int32(8 + 16*c.cfg.NumWindows) }
+
+// setWindowBases rederives rbase from cwp/insIdx after a rotate.
+func (c *CPU) setWindowBases() {
+	c.rbase[0] = 0
+	c.rbase[1] = outBase(c.cwp)
+	c.rbase[2] = localBase(c.cwp)
+	c.rbase[3] = outBase(c.insIdx)
+}
+
 // Reset prepares the core for a run: registers cleared, window state
 // reset, PC at the image entry, SP at stackTop. Counters, the cycle
 // counter and the trace are cleared too.
 func (c *CPU) Reset(stackTop uint32) {
-	c.globals = [8]uint32{}
-	for i := range c.outs {
-		c.outs[i] = [8]uint32{}
-		c.locals[i] = [8]uint32{}
+	for i := range c.rfile {
+		c.rfile[i] = 0
 	}
 	c.fregs = [isa.NumFRegs]float32{}
 	c.cwp = c.cfg.NumWindows - 1
 	c.insIdx = 0 // (cwp+1) % NumWindows
 	c.liveWin = 1
+	c.setWindowBases()
 	c.iccZ, c.iccN = false, false
 	c.fcc = 0
 	c.pc = c.img.Entry
@@ -255,6 +296,12 @@ func (c *CPU) SetImage(img *loader.Image) {
 	c.pc = img.Entry
 	c.curFn = nil
 	c.fetchLo, c.fetchHi = 0, 0
+	// Drop the one-entry decode lookup: the old image's PlacedFuncs are
+	// dead and their addresses could in principle be reused. The decode
+	// cache itself survives — it is keyed on the immutable source
+	// functions and layout classes, which is what lets a campaign's
+	// thousands of reboots share a handful of decoded programs.
+	c.lastPf, c.lastP = nil, nil
 }
 
 // Cycles returns the execution-time register (cycle counter).
@@ -330,35 +377,18 @@ func (c *CPU) Data() *Memory { return c.data }
 // SetCallHook installs (or clears, with nil) the call interception hook.
 func (c *CPU) SetCallHook(f func(target mem.Addr)) { c.callHook = f }
 
-// reg reads an integer register in the current window; %g0 reads zero.
+// reg reads an integer register in the current window; %g0 reads zero
+// (rfile[0] is never written, so the flat access needs no special case).
 func (c *CPU) reg(r isa.Reg) uint32 {
-	switch {
-	case r == isa.G0:
-		return 0
-	case r < isa.O0:
-		return c.globals[r]
-	case r < isa.L0:
-		return c.outs[c.cwp][r-isa.O0]
-	case r < isa.I0:
-		return c.locals[c.cwp][r-isa.L0]
-	default:
-		return c.outs[c.insIdx][r-isa.I0]
-	}
+	return c.rfile[c.rbase[r>>3]+int32(r&7)]
 }
 
 // setReg writes an integer register; writes to %g0 are discarded.
 func (c *CPU) setReg(r isa.Reg, v uint32) {
-	switch {
-	case r == isa.G0:
-	case r < isa.O0:
-		c.globals[r] = v
-	case r < isa.L0:
-		c.outs[c.cwp][r-isa.O0] = v
-	case r < isa.I0:
-		c.locals[c.cwp][r-isa.L0] = v
-	default:
-		c.outs[c.insIdx][r-isa.I0] = v
+	if r == isa.G0 {
+		return
 	}
+	c.rfile[c.rbase[r>>3]+int32(r&7)] = v
 }
 
 // Reg exposes register reads for tests and the RTOS (return values).
@@ -502,12 +532,13 @@ func (c *CPU) spillWindow(w int, sp uint32) {
 	prev, _ := c.att.SetOverride(telemetry.CompWindowTrap)
 	c.charge(telemetry.CompWindowTrap, c.cfg.TrapOverhead)
 	base := mem.Addr(sp)
+	lb := localBase(w)
 	for i := 0; i < 8; i++ {
-		c.storeWord(base+mem.Addr(i)*4, c.locals[w][i])
+		c.storeWord(base+mem.Addr(i)*4, c.rfile[lb+int32(i)])
 	}
-	ins := (w + 1) % c.cfg.NumWindows
+	ib := outBase((w + 1) % c.cfg.NumWindows)
 	for i := 0; i < 8; i++ {
-		c.storeWord(base+mem.Addr(32+i*4), c.outs[ins][i])
+		c.storeWord(base+mem.Addr(32+i*4), c.rfile[ib+int32(i)])
 	}
 	c.att.ClearOverride(prev)
 }
@@ -518,12 +549,13 @@ func (c *CPU) fillWindow(w int, sp uint32) {
 	prev, _ := c.att.SetOverride(telemetry.CompWindowTrap)
 	c.charge(telemetry.CompWindowTrap, c.cfg.TrapOverhead)
 	base := mem.Addr(sp)
+	lb := localBase(w)
 	for i := 0; i < 8; i++ {
-		c.locals[w][i] = c.loadWord(base + mem.Addr(i)*4)
+		c.rfile[lb+int32(i)] = c.loadWord(base + mem.Addr(i)*4)
 	}
-	ins := (w + 1) % c.cfg.NumWindows
+	ib := outBase((w + 1) % c.cfg.NumWindows)
 	for i := 0; i < 8; i++ {
-		c.outs[ins][i] = c.loadWord(base + mem.Addr(32+i*4))
+		c.rfile[ib+int32(i)] = c.loadWord(base + mem.Addr(32+i*4))
 	}
 	c.att.ClearOverride(prev)
 }
@@ -539,12 +571,13 @@ func (c *CPU) save(frame, offset uint32) error {
 		// Overflow: spill the oldest resident frame. Its window is
 		// cwp+liveWin-1; its SP lives in that window's %o6.
 		wOld := (c.cwp + c.liveWin - 1) % n
-		c.spillWindow(wOld, c.outs[wOld][6])
+		c.spillWindow(wOld, c.rfile[outBase(wOld)+6])
 		c.liveWin--
 	}
 	c.cwp = (c.cwp - 1 + n) % n
 	c.insIdx = (c.cwp + 1) % n
 	c.liveWin++
+	c.setWindowBases()
 	c.setReg(isa.SP, newSP)
 	return nil
 }
@@ -556,12 +589,13 @@ func (c *CPU) restore() {
 		// Underflow: the caller's frame was spilled. Its SP is the
 		// current frame's %fp (= caller's %o6, physically intact).
 		wTgt := (c.cwp + 1) % n
-		c.fillWindow(wTgt, c.outs[wTgt][6])
+		c.fillWindow(wTgt, c.rfile[outBase(wTgt)+6])
 		c.liveWin++
 	}
 	c.cwp = (c.cwp + 1) % n
 	c.insIdx = (c.cwp + 1) % n
 	c.liveWin--
+	c.setWindowBases()
 }
 
 // runCallHook fires the DSR call hook. With attribution enabled, probe
@@ -827,6 +861,9 @@ func (c *CPU) branchTaken(op isa.Op) bool {
 // Run executes until Halt, an error, or the instruction watchdog.
 // It returns the cycle counter value at halt.
 func (c *CPU) Run() (mem.Cycles, error) {
+	if c.engineOK() {
+		return c.cycles, c.runFast(noBudget)
+	}
 	for !c.halted {
 		if c.cfg.MaxInstrs > 0 && c.ctr.Instrs >= c.cfg.MaxInstrs {
 			return c.cycles, ErrMaxInstrs
@@ -842,6 +879,9 @@ func (c *CPU) Run() (mem.Cycles, error) {
 // budget — the RTOS partition-window enforcement. Check Halted() to see
 // whether the program completed within its budget.
 func (c *CPU) RunBudget(budget mem.Cycles) (mem.Cycles, error) {
+	if c.engineOK() {
+		return c.cycles, c.runFast(budget)
+	}
 	for !c.halted && c.cycles < budget {
 		if c.cfg.MaxInstrs > 0 && c.ctr.Instrs >= c.cfg.MaxInstrs {
 			return c.cycles, ErrMaxInstrs

@@ -28,7 +28,20 @@ var (
 	_ [0]struct{} = [(1 << 32 >> pageShift) - rootSize*leafSize]struct{}{}
 )
 
-type memPage [pageWords]uint32
+// memPage is one 4KB backing page plus its dirty-journal stamp: the era
+// (see Memory.era) in which the page was last recorded as written. The
+// stamp lets the journal stay duplicate-free with a single compare on
+// the store slow path.
+type memPage struct {
+	w     [pageWords]uint32
+	stamp uint64
+}
+
+// dirtyRec is one journal entry: a page written during the current era.
+type dirtyRec struct {
+	pn mem.Addr
+	p  *memPage
+}
 
 // Memory is the functional (value-holding) data store of the simulated
 // machine, separate from the timing model: caches decide how long an
@@ -44,6 +57,15 @@ type memPage [pageWords]uint32
 // modelled LEON3 (the address space is 32-bit), but mem.Addr is 64-bit
 // to keep intermediate arithmetic from wrapping, so out-of-range
 // addresses fall back to a spill map rather than corrupting the table.
+//
+// Writes are journalled: the first store to a page per era appends the
+// page to a dirty list, so Clear zeroes exactly the written pages in
+// place instead of dropping the page table. Campaigns reboot thousands
+// of times per analysis; dropping the table made every reboot reallocate
+// (and the collector reclaim) the whole resident set, which is the
+// allocation pressure that serialised parallel campaign workers on the
+// shared GC. The journal also powers Snapshot/Restore — the
+// copy-on-write platform fork used by the fixed-layout campaign series.
 type Memory struct {
 	// lastPN/lastPage cache the most recently touched resident page;
 	// lastPN is the sentinel ^0 when empty.
@@ -57,11 +79,18 @@ type Memory struct {
 	spill map[mem.Addr]*memPage
 
 	npages int
+
+	// era is the current dirty-journal generation; pages whose stamp
+	// differs have not been written since the last Clear/Restore. It
+	// starts at 1 so the zero stamp of a fresh page always reads as
+	// "not yet journalled".
+	era   uint64
+	dirty []dirtyRec
 }
 
 // NewMemory returns an empty memory; all bytes read as zero.
 func NewMemory() *Memory {
-	return &Memory{lastPN: ^mem.Addr(0)}
+	return &Memory{lastPN: ^mem.Addr(0), era: 1}
 }
 
 // lookupPage returns the page with number pn, or nil. It does not
@@ -102,7 +131,6 @@ func (m *Memory) createPage(pn mem.Addr) *memPage {
 			m.spill = make(map[mem.Addr]*memPage)
 		}
 		m.spill[pn] = p
-		m.npages++
 	}
 	return p
 }
@@ -132,7 +160,7 @@ func (m *Memory) LoadWord(a mem.Addr) uint32 {
 		if p == nil {
 			return 0
 		}
-		return p[(a&(mem.PageSize-1))>>2]
+		return p.w[(a&(mem.PageSize-1))>>2]
 	}
 	return m.loadSpill(a)
 }
@@ -145,7 +173,7 @@ func (m *Memory) loadSpill(a mem.Addr) uint32 {
 	if p == nil {
 		return 0
 	}
-	return p[(a&(mem.PageSize-1))>>2]
+	return p.w[(a&(mem.PageSize-1))>>2]
 }
 
 // StoreWord writes the word at a (word-aligned).
@@ -154,7 +182,7 @@ func (m *Memory) StoreWord(a mem.Addr, v uint32) {
 		misaligned("store", a)
 	}
 	if pn := a >> pageShift; pn == m.lastPN {
-		m.lastPage[(a&(mem.PageSize-1))>>2] = v
+		m.lastPage.w[(a&(mem.PageSize-1))>>2] = v
 		return
 	}
 	m.storeSlow(a, v)
@@ -164,8 +192,16 @@ func (m *Memory) StoreWord(a mem.Addr, v uint32) {
 func (m *Memory) storeSlow(a mem.Addr, v uint32) {
 	pn := a >> pageShift
 	p := m.createPage(pn)
+	// Journal the first write per era. A page can only become the
+	// last-page fast path via this function, so every written page is
+	// journalled before any store bypasses the check. Spill pages stay
+	// out of the journal — Clear drops the whole spill map instead.
+	if p.stamp != m.era && pn < rootSize*leafSize {
+		p.stamp = m.era
+		m.dirty = append(m.dirty, dirtyRec{pn: pn, p: p})
+	}
 	m.lastPN, m.lastPage = pn, p
-	p[(a&(mem.PageSize-1))>>2] = v
+	p.w[(a&(mem.PageSize-1))>>2] = v
 }
 
 // LoadByte returns the byte at a, zero-extended, big-endian within words.
@@ -184,14 +220,66 @@ func (m *Memory) StoreByte(a mem.Addr, v uint32) {
 	m.StoreWord(wa, w)
 }
 
-// Clear drops all contents (partition reboot).
+// Clear drops all contents (partition reboot). Written pages are zeroed
+// in place and stay resident, so a campaign's thousands of reboots reuse
+// one stable page working set instead of churning the allocator.
 func (m *Memory) Clear() {
-	m.root = [rootSize]*[leafSize]*memPage{}
+	for _, d := range m.dirty {
+		d.p.w = [pageWords]uint32{}
+	}
+	m.dirty = m.dirty[:0]
+	m.era++
 	m.spill = nil
 	m.lastPN = ^mem.Addr(0)
 	m.lastPage = nil
-	m.npages = 0
+}
+
+// MemSnapshot is a copy of the memory's written contents at one point in
+// time — the boot state a copy-on-write platform fork restores before
+// every run. Pages that were all-zero at snapshot time are not stored;
+// restoring relies on the journal to know which pages were written since.
+type MemSnapshot struct {
+	pns   []mem.Addr
+	words [][pageWords]uint32
+}
+
+// Pages returns the number of pages captured by the snapshot.
+func (s *MemSnapshot) Pages() int { return len(s.pns) }
+
+// Snapshot captures the current contents. The cost is one 4KB copy per
+// written page, paid once per boot; Restore then reverts any number of
+// runs' worth of writes against it.
+func (m *Memory) Snapshot() *MemSnapshot {
+	s := &MemSnapshot{
+		pns:   make([]mem.Addr, len(m.dirty)),
+		words: make([][pageWords]uint32, len(m.dirty)),
+	}
+	for i, d := range m.dirty {
+		s.pns[i] = d.pn
+		s.words[i] = d.p.w
+	}
+	return s
+}
+
+// Restore reverts memory to exactly the state captured by s: every page
+// written since the last Clear/Restore is zeroed, then the snapshot
+// contents are copied back in. The cost is proportional to the pages
+// actually written since the snapshot baseline, not to the resident set
+// — the copy-on-write fork discipline.
+func (m *Memory) Restore(s *MemSnapshot) {
+	m.Clear()
+	for i, pn := range s.pns {
+		p := m.createPage(pn)
+		p.w = s.words[i]
+		p.stamp = m.era
+		m.dirty = append(m.dirty, dirtyRec{pn: pn, p: p})
+	}
 }
 
 // PagesAllocated returns how many distinct pages hold data (tests).
-func (m *Memory) PagesAllocated() int { return m.npages }
+func (m *Memory) PagesAllocated() int { return len(m.dirty) + len(m.spill) }
+
+// PagesResident returns how many backing pages are resident, written or
+// not; it is monotone within one Memory and exposed for tests asserting
+// that Clear recycles pages instead of dropping them.
+func (m *Memory) PagesResident() int { return m.npages }

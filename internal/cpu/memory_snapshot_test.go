@@ -1,0 +1,106 @@
+package cpu
+
+import (
+	"testing"
+
+	"dsr/internal/mem"
+)
+
+// Dirty-page journal and snapshot/restore semantics of the functional
+// memory: Clear zeroes exactly what was written without releasing
+// pages, Snapshot captures the dirty set, Restore reproduces it, and
+// the journal never double-records a page within one era.
+
+func TestMemoryClearZeroesInPlace(t *testing.T) {
+	m := NewMemory()
+	addrs := []mem.Addr{0x4000_0000, 0x4000_1000, 0x5000_0000, 0x6000_2000}
+	for i, a := range addrs {
+		m.StoreWord(a, uint32(i)+1)
+	}
+	if got := m.PagesAllocated(); got != 4 {
+		t.Fatalf("PagesAllocated = %d, want 4", got)
+	}
+	resident := m.PagesResident()
+	m.Clear()
+	if got := m.PagesAllocated(); got != 0 {
+		t.Fatalf("PagesAllocated after Clear = %d, want 0", got)
+	}
+	if got := m.PagesResident(); got != resident {
+		t.Fatalf("Clear released pages: resident %d -> %d", resident, got)
+	}
+	for _, a := range addrs {
+		if v := m.LoadWord(a); v != 0 {
+			t.Fatalf("LoadWord(%#x) after Clear = %d, want 0", a, v)
+		}
+	}
+}
+
+func TestMemoryJournalOncePerEra(t *testing.T) {
+	m := NewMemory()
+	// Many writes to the same page must journal it once.
+	for i := 0; i < 100; i++ {
+		m.StoreWord(0x4000_0000+mem.Addr(i)*4, uint32(i))
+	}
+	if got := m.PagesAllocated(); got != 1 {
+		t.Fatalf("PagesAllocated = %d, want 1 after same-page writes", got)
+	}
+	m.Clear()
+	// After Clear (new era) the resident page must be journalled again.
+	m.StoreWord(0x4000_0000, 7)
+	if got := m.PagesAllocated(); got != 1 {
+		t.Fatalf("PagesAllocated = %d, want 1 after post-Clear write", got)
+	}
+	if v := m.LoadWord(0x4000_0000); v != 7 {
+		t.Fatalf("LoadWord = %d, want 7", v)
+	}
+	if v := m.LoadWord(0x4000_0004); v != 0 {
+		t.Fatalf("stale word survived Clear: %d", v)
+	}
+}
+
+func TestMemorySnapshotRestore(t *testing.T) {
+	m := NewMemory()
+	m.StoreWord(0x4000_0000, 11)
+	m.StoreWord(0x5000_0000, 22)
+	snap := m.Snapshot()
+	if snap.Pages() != 2 {
+		t.Fatalf("snapshot pages = %d, want 2", snap.Pages())
+	}
+	// Mutate: overwrite a captured word, dirty a third page.
+	m.StoreWord(0x4000_0000, 99)
+	m.StoreWord(0x6000_0000, 33)
+	m.Restore(snap)
+	if v := m.LoadWord(0x4000_0000); v != 11 {
+		t.Fatalf("restored word = %d, want 11", v)
+	}
+	if v := m.LoadWord(0x5000_0000); v != 22 {
+		t.Fatalf("restored word = %d, want 22", v)
+	}
+	if v := m.LoadWord(0x6000_0000); v != 0 {
+		t.Fatalf("word outside snapshot survived Restore: %d", v)
+	}
+	if got := m.PagesAllocated(); got != 2 {
+		t.Fatalf("PagesAllocated after Restore = %d, want 2 (the snapshot set)", got)
+	}
+	// Restored pages are journalled: a Clear must drop them again.
+	m.Clear()
+	if v := m.LoadWord(0x4000_0000); v != 0 {
+		t.Fatalf("restored page survived Clear: %d", v)
+	}
+}
+
+func TestMemorySnapshotIsolation(t *testing.T) {
+	// A snapshot must be an independent copy: writes after Snapshot do
+	// not leak into it, and Restore can be applied repeatedly.
+	m := NewMemory()
+	m.StoreWord(0x4000_0000, 5)
+	snap := m.Snapshot()
+	m.StoreWord(0x4000_0000, 6)
+	for i := 0; i < 3; i++ {
+		m.Restore(snap)
+		if v := m.LoadWord(0x4000_0000); v != 5 {
+			t.Fatalf("restore %d: word = %d, want 5", i, v)
+		}
+		m.StoreWord(0x4000_0000, 100+uint32(i))
+	}
+}

@@ -270,11 +270,16 @@ func RunBaseline(cfg Config) (*Series, error) {
 		plat := platform.New(platform.ProximaLEON3())
 		cfg.instrument(plat)
 		plat.LoadImage(img)
+		// Boot once, then fork the booted platform before every run: the
+		// copy-on-write restore touches only the pages the previous run
+		// dirtied, where the old clear-and-reload path re-applied the whole
+		// image (and, before dirty-page tracking, reallocated every page).
+		snap := plat.Snapshot()
 		wt := cfg.trace(w)
 		return func(i int) (shard, error) {
 			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
 			boot := wt.Begin(telemetry.SpanBoot, -1)
-			plat.Reload()
+			plat.Restore(snap)
 			err := spaceapp.ApplyControlInput(plat.Mem, img, in)
 			wt.End(boot)
 			if err != nil {
@@ -383,13 +388,17 @@ func RunHWRand(cfg Config) (*Series, error) {
 		plat := platform.New(platform.HWRandLEON3())
 		cfg.instrument(plat)
 		plat.LoadImage(img)
+		// Fork the booted platform per run; the per-run cache reseed comes
+		// after the restore so every run's placement hash and replacement
+		// stream are the schedule's, exactly as on a fresh boot.
+		snap := plat.Snapshot()
 		wt := cfg.trace(w)
 		return func(i int) (shard, error) {
 			seed := sched.Seed(i)
 			boot := wt.Begin(telemetry.SpanBoot, -1)
+			plat.Restore(snap)
 			plat.ReseedCaches(seed)
 			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
-			plat.Reload()
 			err := spaceapp.ApplyControlInput(plat.Mem, img, in)
 			wt.End(boot)
 			if err != nil {
@@ -747,11 +756,12 @@ func RunPositioned(cfg Config) (*Series, error) {
 		}
 		cfg.instrument(plat)
 		plat.LoadImage(img)
+		snap := plat.Snapshot()
 		wt := cfg.trace(w)
 		return func(i int) (shard, error) {
 			in := spaceapp.GenControlInput(cfg.InputSeedBase + uint64(i))
 			boot := wt.Begin(telemetry.SpanBoot, -1)
-			plat.Reload()
+			plat.Restore(snap)
 			err := spaceapp.ApplyControlInput(plat.Mem, img, in)
 			wt.End(boot)
 			if err != nil {

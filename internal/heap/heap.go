@@ -25,6 +25,14 @@ type Pool struct {
 	src         prng.Source
 
 	allocs int
+
+	// chunks recycles the chunk records handed to the space: the pool
+	// allocates with the same object sequence every run (placement order
+	// is drawn before allocation), so after a Reset each record — name
+	// string included — is reused in place and a steady-state reboot
+	// performs no heap allocation here.
+	chunks []*mem.Object
+	live   int
 }
 
 // NewPool builds a pool over [base, base+size). offsetBound is the
@@ -63,6 +71,7 @@ func (p *Pool) Reset(seed uint64) {
 	p.space.Reset()
 	p.src.Seed(seed)
 	p.allocs = 0
+	p.live = 0
 }
 
 // Allocate places obj in a fresh page-aligned chunk at a random offset
@@ -77,8 +86,21 @@ func (p *Pool) Allocate(obj *mem.Object) (mem.Addr, error) {
 		}
 	}
 	chunkSize := mem.Align(offset+obj.Size, mem.PageSize)
-	chunk := &mem.Object{
-		Name:  obj.Name + ".chunk",
+	var chunk *mem.Object
+	if p.live < len(p.chunks) {
+		chunk = p.chunks[p.live]
+	} else {
+		chunk = &mem.Object{}
+		p.chunks = append(p.chunks, chunk)
+	}
+	p.live++
+	const suffix = ".chunk"
+	name := chunk.Name
+	if len(name) != len(obj.Name)+len(suffix) || name[:len(obj.Name)] != obj.Name {
+		name = obj.Name + suffix
+	}
+	*chunk = mem.Object{
+		Name:  name,
 		Kind:  obj.Kind,
 		Size:  chunkSize,
 		Align: mem.PageSize,
@@ -95,6 +117,10 @@ func (p *Pool) Allocate(obj *mem.Object) (mem.Addr, error) {
 // the TLB-randomisation property (§III.B.5) is that this set is large
 // and varies across runs.
 func (p *Pool) PagesTouched() []mem.Addr { return p.space.PagesTouched() }
+
+// PagesTouchedCount returns len(PagesTouched()) without allocating the
+// page list; reboot statistics use it on the per-run path.
+func (p *Pool) PagesTouchedCount() int { return p.space.PagesTouchedCount() }
 
 // Used returns the bytes of pool address space consumed.
 func (p *Pool) Used() mem.Addr { return p.space.Used() }

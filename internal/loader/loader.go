@@ -42,7 +42,10 @@ type InitWrite struct {
 
 // Image is an executable: placed functions (sorted by base address), a
 // symbol table, and data initialisation writes. Images are rebuilt by the
-// DSR runtime on every run, so construction must stay cheap.
+// DSR runtime on every run, so construction must stay cheap: Rebuild
+// re-places an existing image in place, reusing the symbol table, the
+// placed-function objects and their patched code buffers, so a reboot's
+// image work allocates nothing in steady state.
 type Image struct {
 	Name    string
 	Entry   mem.Addr
@@ -51,37 +54,64 @@ type Image struct {
 	Inits   []InitWrite
 
 	// cached lookup state: Funcs sorted by Base
+
+	// src is the program the image was built from; Rebuild reuses the
+	// buffers only while rebuilding for the same program.
+	src *prog.Program
 }
 
 // BuildImage patches p against pl and assembles an Image. Every function
 // and data object must be placed; function placements must be word-aligned
 // and non-overlapping.
 func BuildImage(p *prog.Program, pl Placement) (*Image, error) {
-	img := &Image{
-		Name:    p.Name,
-		Symbols: make(map[string]mem.Addr, len(p.Functions)+len(p.Data)),
+	img := &Image{Name: p.Name}
+	if err := img.Rebuild(p, pl); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Rebuild re-places and re-patches the image for pl, producing a result
+// byte-identical to BuildImage(p, pl). When the image was previously
+// built from the same program, every buffer is reused: only Set/Call
+// immediates carry placement, so re-patching exactly those instructions
+// over the previous run's code is equivalent to a fresh copy-and-patch.
+// On error the image state is undefined; callers abort the run.
+func (img *Image) Rebuild(p *prog.Program, pl Placement) error {
+	if img.src != p {
+		img.src = p
+		img.Name = p.Name
+		img.Symbols = make(map[string]mem.Addr, len(p.Functions)+len(p.Data))
+		img.Funcs = make([]*PlacedFunc, 0, len(p.Functions))
+		img.Inits = nil
+		for _, f := range p.Functions {
+			pf := &PlacedFunc{Fn: f}
+			pf.Code = append([]isa.Instr(nil), f.Code...)
+			img.Funcs = append(img.Funcs, pf)
+		}
 	}
 	for _, f := range p.Functions {
 		base, ok := pl[f.Name]
 		if !ok {
-			return nil, fmt.Errorf("loader: function %q not placed", f.Name)
+			return fmt.Errorf("loader: function %q not placed", f.Name)
 		}
 		if !mem.IsAligned(base, isa.InstrBytes) {
-			return nil, fmt.Errorf("loader: function %q at %#x not word-aligned", f.Name, base)
+			return fmt.Errorf("loader: function %q at %#x not word-aligned", f.Name, base)
 		}
 		img.Symbols[f.Name] = base
 	}
+	img.Inits = img.Inits[:0]
 	for _, d := range p.Data {
 		base, ok := pl[d.Name]
 		if !ok {
-			return nil, fmt.Errorf("loader: data %q not placed", d.Name)
+			return fmt.Errorf("loader: data %q not placed", d.Name)
 		}
 		align := d.Align
 		if align == 0 {
 			align = mem.WordSize
 		}
 		if !mem.IsAligned(base, align) {
-			return nil, fmt.Errorf("loader: data %q at %#x not %d-aligned", d.Name, base, align)
+			return fmt.Errorf("loader: data %q at %#x not %d-aligned", d.Name, base, align)
 		}
 		img.Symbols[d.Name] = base
 		for i, w := range d.Init {
@@ -89,40 +119,39 @@ func BuildImage(p *prog.Program, pl Placement) (*Image, error) {
 		}
 	}
 
-	for _, f := range p.Functions {
-		pf := &PlacedFunc{Fn: f, Base: img.Symbols[f.Name]}
-		pf.Code = append([]isa.Instr(nil), f.Code...)
-		for i := range pf.Code {
-			in := &pf.Code[i]
-			if in.Sym == "" {
+	for _, pf := range img.Funcs {
+		f := pf.Fn
+		pf.Base = img.Symbols[f.Name]
+		for i := range f.Code {
+			sym := f.Code[i].Sym
+			if sym == "" {
 				continue
 			}
-			addr, ok := img.Symbols[in.Sym]
+			addr, ok := img.Symbols[sym]
 			if !ok {
-				return nil, fmt.Errorf("loader: %q references unplaced symbol %q", f.Name, in.Sym)
+				return fmt.Errorf("loader: %q references unplaced symbol %q", f.Name, sym)
 			}
-			switch in.Op {
+			switch f.Code[i].Op {
 			case isa.Set, isa.Call:
-				in.Imm = int32(addr)
+				pf.Code[i].Imm = int32(addr)
 			default:
-				return nil, fmt.Errorf("loader: %q: op %s cannot carry symbol %q", f.Name, in.Op, in.Sym)
+				return fmt.Errorf("loader: %q: op %s cannot carry symbol %q", f.Name, f.Code[i].Op, sym)
 			}
 		}
-		img.Funcs = append(img.Funcs, pf)
 	}
 	sort.Slice(img.Funcs, func(i, j int) bool { return img.Funcs[i].Base < img.Funcs[j].Base })
 	for i := 1; i < len(img.Funcs); i++ {
 		if img.Funcs[i].Base < img.Funcs[i-1].End() {
-			return nil, fmt.Errorf("loader: functions %q and %q overlap",
+			return fmt.Errorf("loader: functions %q and %q overlap",
 				img.Funcs[i-1].Fn.Name, img.Funcs[i].Fn.Name)
 		}
 	}
 	entry, ok := img.Symbols[p.Entry]
 	if !ok {
-		return nil, fmt.Errorf("loader: entry %q not placed", p.Entry)
+		return fmt.Errorf("loader: entry %q not placed", p.Entry)
 	}
 	img.Entry = entry
-	return img, nil
+	return nil
 }
 
 // FuncAt returns the placed function containing pc, or nil. Uses binary

@@ -114,7 +114,14 @@ type Space struct {
 	end  Addr
 	next Addr
 	objs []*Object
+
+	// scratch is the page-range buffer PagesTouchedCount reuses across
+	// calls so per-reboot statistics stay allocation-free.
+	scratch []pageRange
 }
+
+// pageRange is an inclusive page-number interval covered by one object.
+type pageRange struct{ lo, hi Addr }
 
 // NewSpace returns an allocator over [base, base+size).
 func NewSpace(base, size Addr) *Space {
@@ -215,7 +222,6 @@ func (s *Space) PagesTouched() []Addr {
 	if len(s.objs) == 0 {
 		return nil
 	}
-	type pageRange struct{ lo, hi Addr } // inclusive
 	ranges := make([]pageRange, len(s.objs))
 	total := 0
 	for i, o := range s.objs {
@@ -239,6 +245,38 @@ func (s *Space) PagesTouched() []Addr {
 		}
 	}
 	return pages
+}
+
+// PagesTouchedCount returns len(PagesTouched()) without materialising
+// the page list: the ranges are merged with the same sorted sweep but
+// only counted. Hot callers that need the cardinality for statistics
+// (BootStats is computed on every DSR reboot) use this to avoid
+// allocating a page slice per run.
+func (s *Space) PagesTouchedCount() int {
+	if len(s.objs) == 0 {
+		return 0
+	}
+	ranges := s.scratch[:0]
+	for _, o := range s.objs {
+		ranges = append(ranges, pageRange{Page(o.Base), Page(o.End() - 1)})
+	}
+	s.scratch = ranges
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].lo < ranges[j].lo })
+	n := 0
+	next := ranges[0].lo
+	for _, r := range ranges {
+		lo := r.lo
+		if lo < next {
+			lo = next
+		}
+		if r.hi >= lo {
+			n += int(r.hi - lo + 1)
+		}
+		if r.hi >= next {
+			next = r.hi + 1
+		}
+	}
+	return n
 }
 
 // Cycles counts processor clock cycles. All latency accounting in the

@@ -1,0 +1,193 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"dsr/internal/isa"
+	"dsr/internal/loader"
+	"dsr/internal/prog"
+)
+
+// Copy-on-write fork equivalence: a Restore of the post-boot snapshot
+// followed by Run must be observably identical to booting a brand-new
+// platform and running — for the plain protocol, for the
+// hardware-randomised protocol (restore then reseed), with attribution
+// on, and regardless of how many runs the forked platform has executed
+// before. These are the invariants the campaign series rely on when
+// they replace per-run Reload with per-run Restore.
+
+// bootForkPair builds one image and returns a forked platform (booted
+// once, snapshot taken) plus a constructor for pristine platforms over
+// the same image.
+func bootForkPair(t *testing.T) (forked *Platform, snap *Snapshot, fresh func() *Platform) {
+	t.Helper()
+	p := walkerProgram(t, 512)
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked = New(ProximaLEON3())
+	forked.LoadImage(img)
+	snap = forked.Snapshot()
+	fresh = func() *Platform {
+		pl := New(ProximaLEON3())
+		pl.LoadImage(img)
+		return pl
+	}
+	return forked, snap, fresh
+}
+
+func mustRun(t *testing.T, pl *Platform) RunResult {
+	t.Helper()
+	res, err := pl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestForkEquivalentToFreshBoot: restore-then-run equals boot-then-run,
+// run after run, with the full RunResult (cycles, PMCs, trace, exit
+// value) compared structurally.
+func TestForkEquivalentToFreshBoot(t *testing.T) {
+	forked, snap, fresh := bootForkPair(t)
+	for i := 0; i < 4; i++ {
+		forked.Restore(snap)
+		got := mustRun(t, forked)
+		want := mustRun(t, fresh())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: forked result %+v != fresh-boot result %+v", i, got, want)
+		}
+		if got.Cycles == 0 {
+			t.Fatal("degenerate run")
+		}
+	}
+}
+
+// TestForkEquivalentUnderReseed pins the hardware-randomised protocol:
+// Restore followed by ReseedCaches(seed) must equal a fresh boot with
+// the same reseed, for every seed.
+func TestForkEquivalentUnderReseed(t *testing.T) {
+	forked, snap, fresh := bootForkPair(t)
+	for seed := uint64(1); seed <= 5; seed++ {
+		forked.Restore(snap)
+		forked.ReseedCaches(seed)
+		got := mustRun(t, forked)
+		pl := fresh()
+		pl.ReseedCaches(seed)
+		want := mustRun(t, pl)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: forked+reseed diverged from fresh+reseed", seed)
+		}
+	}
+}
+
+// TestForkHistoryIndependence: the state after Restore must not depend
+// on how many runs the platform executed since the snapshot. A platform
+// that ran once and one that ran five times must produce identical
+// results on their next restored run.
+func TestForkHistoryIndependence(t *testing.T) {
+	a, snapA, fresh := bootForkPair(t)
+	b := fresh()
+	snapB := b.Snapshot()
+	a.Restore(snapA)
+	mustRun(t, a)
+	for i := 0; i < 5; i++ {
+		b.Restore(snapB)
+		mustRun(t, b)
+	}
+	a.Restore(snapA)
+	b.Restore(snapB)
+	ra, rb := mustRun(t, a), mustRun(t, b)
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("restored run depends on run history: %+v vs %+v", ra, rb)
+	}
+}
+
+// TestForkAttributionConservation: with attribution enabled on a forked
+// platform, every restored run must keep the conservation invariant
+// Attribution.Total() == Cycles, and match a fresh attributed boot.
+func TestForkAttributionConservation(t *testing.T) {
+	p := walkerProgram(t, 512)
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked := New(ProximaLEON3())
+	forked.EnableAttribution()
+	forked.LoadImage(img)
+	snap := forked.Snapshot()
+	for i := 0; i < 3; i++ {
+		forked.Restore(snap)
+		got := mustRun(t, forked)
+		if !got.Attribution.Valid {
+			t.Fatal("attribution not captured")
+		}
+		if got.Attribution.Total() != got.Cycles {
+			t.Fatalf("run %d: attribution total %d != cycles %d",
+				i, got.Attribution.Total(), got.Cycles)
+		}
+		pl := New(ProximaLEON3())
+		pl.EnableAttribution()
+		pl.LoadImage(img)
+		want := mustRun(t, pl)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: attributed forked run diverged from fresh boot", i)
+		}
+	}
+}
+
+// TestForkMemoryState: Restore reverts memory exactly — initialised
+// words return to their boot values and pages written by the run revert
+// — and the snapshot's page count reflects the boot working set.
+func TestForkMemoryState(t *testing.T) {
+	p := &prog.Program{Name: "dirty", Entry: "main"}
+	if err := p.AddData(&prog.DataObject{Name: "arr", Size: 16,
+		Init: []uint32{10, 20, 30, 40}}); err != nil {
+		t.Fatal(err)
+	}
+	b := prog.NewFunc("main", prog.MinFrame).
+		Prologue().
+		Set(isa.L0, "arr").
+		Ld(isa.L1, isa.L0, 0).
+		AddI(isa.L1, isa.L1, 7).
+		St(isa.L1, isa.L0, 0).
+		Ld(isa.L2, isa.L0, 4).
+		AddI(isa.L2, isa.L2, 9).
+		St(isa.L2, isa.L0, 4).
+		Mov(isa.O0, isa.L1).
+		Halt()
+	if err := p.AddFunction(b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	img, err := loader.Load(p, loader.DefaultSequentialConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := New(ProximaLEON3())
+	pl.LoadImage(img)
+	snap := pl.Snapshot()
+	if snap.MemPages() == 0 {
+		t.Fatal("boot snapshot captured no memory pages")
+	}
+	arr := img.Symbols["arr"]
+	mustRun(t, pl)
+	if got := pl.Mem.LoadWord(arr); got != 17 {
+		t.Fatalf("arr[0] after run = %d, want 17 — test is vacuous", got)
+	}
+	pl.Restore(snap)
+	if got := pl.Mem.LoadWord(arr); got != 10 {
+		t.Fatalf("arr[0] after Restore = %d, want boot value 10", got)
+	}
+	if got := pl.Mem.LoadWord(arr + 4); got != 20 {
+		t.Fatalf("arr[1] after Restore = %d, want boot value 20", got)
+	}
+	// A second fork of the same snapshot reproduces the same run.
+	r1, _ := pl.Run()
+	pl.Restore(snap)
+	r2, _ := pl.Run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("two forks of the same snapshot diverged")
+	}
+}

@@ -11,7 +11,7 @@ import (
 
 // walkerProgram touches a data array larger than DL1 twice, so the second
 // sweep exercises L2 behaviour; returns the sum in %o0.
-func walkerProgram(t *testing.T, words int32) *prog.Program {
+func walkerProgram(t testing.TB, words int32) *prog.Program {
 	t.Helper()
 	p := &prog.Program{Name: "walker", Entry: "main"}
 	if err := p.AddData(&prog.DataObject{Name: "arr", Size: 4 * 32 * 1024 / 4, Align: 8}); err != nil {

@@ -171,3 +171,39 @@ func Perm(src Source, n int) []int {
 	}
 	return p
 }
+
+// Stateful is implemented by sources whose full generator state fits a
+// 64-bit word and can be captured and reinstated — what a platform
+// snapshot needs to fork a booted machine without disturbing the
+// generator's stream. Both repository generators implement it.
+type Stateful interface {
+	// State returns the generator's complete current state.
+	State() uint64
+	// SetState reinstates a state previously returned by State.
+	SetState(s uint64)
+}
+
+// State implements Stateful.
+func (m *MWC) State() uint64 { return m.state }
+
+// SetState implements Stateful.
+func (m *MWC) SetState(s uint64) { m.state = s }
+
+// State implements Stateful.
+func (l *LFSR) State() uint64 { return uint64(l.state) }
+
+// SetState implements Stateful.
+func (l *LFSR) SetState(s uint64) { l.state = uint32(s) }
+
+// PermInto fills p (reused across calls by the DSR reboot path to keep
+// the per-run allocation count flat) with a random permutation of
+// [0, len(p)), drawing exactly as Perm does.
+func PermInto(src Source, p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := Intn(src, i+1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -253,7 +253,7 @@ func TestCampaignServeConcurrentJobs(t *testing.T) {
 // id re-enqueues it (resuming from whatever checkpoint the cancelled
 // attempt left) and finishes byte-identical to the CLI path.
 func TestCampaignServeCancelResubmit(t *testing.T) {
-	const runs = 4000
+	const runs = 20000
 	spec := testSpec(t, "cancel-me", runs, 2, 42)
 	ref := refOutput(t, testSpec(t, "", runs, 1, 42))
 
@@ -296,7 +296,7 @@ func TestCampaignServeCancelResubmit(t *testing.T) {
 // over the same data dir, and require the resumed job's every surface
 // to be byte-identical to an uninterrupted CLI run.
 func TestCampaignServeCheckpointRestore(t *testing.T) {
-	const runs = 4000
+	const runs = 20000
 	spec := testSpec(t, "crashy", runs, 2, 42)
 	ref := refOutput(t, testSpec(t, "", runs, 1, 42))
 	dir := t.TempDir()
@@ -330,7 +330,7 @@ func TestCampaignServeCheckpointRestore(t *testing.T) {
 // in-flight job with a final checkpoint; the next daemon finishes it
 // byte-identically.
 func TestCampaignServeGracefulStopResume(t *testing.T) {
-	const runs = 4000
+	const runs = 20000
 	spec := testSpec(t, "suspend", runs, 2, 42)
 	ref := refOutput(t, testSpec(t, "", runs, 1, 42))
 	dir := t.TempDir()
@@ -369,7 +369,7 @@ func TestCampaignServeGracefulStopResume(t *testing.T) {
 // byte-identical to the CLI path — corruption costs progress, never
 // correctness.
 func TestCampaignServeCorruptCheckpointRestart(t *testing.T) {
-	const runs = 4000
+	const runs = 20000
 	spec := testSpec(t, "bitrot", runs, 2, 42)
 	ref := refOutput(t, testSpec(t, "", runs, 1, 42))
 	dir := t.TempDir()

@@ -126,6 +126,12 @@ func (l *EventLog) SetClock(f func() mem.Cycles) {
 	}
 }
 
+// Enabled reports whether emissions on this log are recorded; nil-safe.
+// Hot emitters should guard their Emit calls with it: the Attr helpers
+// format their values eagerly, so building an Emit's arguments costs
+// allocations even when the log is nil and the event would be dropped.
+func (l *EventLog) Enabled() bool { return l != nil }
+
 // Emit appends an event stamped with the campaign clock; nil-safe.
 func (l *EventLog) Emit(track, kind string, phase Phase, attrs ...Attr) {
 	if l == nil {

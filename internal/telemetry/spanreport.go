@@ -140,6 +140,26 @@ func AnalyzeSpans(spans []Span) (*SpanReport, error) {
 	return rep, nil
 }
 
+// Bottleneck classes: the stable machine-readable tokens
+// BottleneckClass returns, which CI gates match against
+// (`dsrstat workers -assert-not CLASS,...`).
+const (
+	BottleneckInsufficientData = "insufficient-data"
+	BottleneckMerge            = "merge-serialisation"
+	BottleneckConstruction     = "platform-construction"
+	BottleneckClaim            = "claim-contention"
+	BottleneckMemoryPressure   = "memory-pressure"
+	BottleneckImbalance        = "load-imbalance"
+)
+
+// BottleneckClass returns the dominant limiter as a stable token from
+// the Bottleneck* constants; Bottleneck() wraps the same classification
+// in a quantified prose justification.
+func (r *SpanReport) BottleneckClass() string {
+	class, _ := r.bottleneck()
+	return class
+}
+
 // Bottleneck names the dominant parallel-scaling limiter with a
 // quantified justification. The checks run in causal priority order:
 // a serialised merge starves everyone downstream, expensive setup
@@ -148,8 +168,13 @@ func AnalyzeSpans(spans []Span) (*SpanReport, error) {
 // bottleneck is below the engine (shared allocation, memory
 // bandwidth).
 func (r *SpanReport) Bottleneck() string {
+	_, prose := r.bottleneck()
+	return prose
+}
+
+func (r *SpanReport) bottleneck() (class, prose string) {
 	if r.CampaignNs == 0 || len(r.Workers) == 0 {
-		return "insufficient data"
+		return BottleneckInsufficientData, "insufficient data"
 	}
 	camp := float64(r.CampaignNs)
 	mergeBusy := float64(r.MergeNs) / camp
@@ -170,23 +195,23 @@ func (r *SpanReport) Bottleneck() string {
 
 	switch {
 	case mergeBusy > 0.5:
-		return fmt.Sprintf("merge serialisation: the canonical-order merge is busy %.0f%% of the campaign "+
+		return BottleneckMerge, fmt.Sprintf("merge serialisation: the canonical-order merge is busy %.0f%% of the campaign "+
 			"(%.1fms of %.1fms); workers outpace the single merge goroutine", mergeBusy*100,
 			float64(r.MergeNs)/1e6, camp/1e6)
 	case setup > 0.25:
-		return fmt.Sprintf("platform construction: workers spend %.0f%% of their time in setup "+
+		return BottleneckConstruction, fmt.Sprintf("platform construction: workers spend %.0f%% of their time in setup "+
 			"(%.1fms total across %d workers); amortise boots or pool platforms", setup*100,
 			float64(r.SetupNs)/1e6, len(r.Workers))
 	case claim > 0.20:
-		return fmt.Sprintf("claim contention: workers spend %.0f%% of their time claiming runs "+
+		return BottleneckClaim, fmt.Sprintf("claim contention: workers spend %.0f%% of their time claiming runs "+
 			"(p99 claim latency %.2fms); the shared run counter serialises the pool", claim*100,
 			float64(r.ClaimP99)/1e6)
 	case busy > 0.75:
-		return fmt.Sprintf("shared allocation / memory bandwidth: workers are %.0f%% busy yet scaling is poor; "+
+		return BottleneckMemoryPressure, fmt.Sprintf("shared allocation / memory bandwidth: workers are %.0f%% busy yet scaling is poor; "+
 			"the bottleneck is below the engine — per-run allocation pressure (GC) or cache/memory contention "+
 			"between simulator instances", busy*100)
 	default:
-		return fmt.Sprintf("load imbalance / campaign tail: workers are only %.0f%% busy with %.0f%% unattributed idle; "+
+		return BottleneckImbalance, fmt.Sprintf("load imbalance / campaign tail: workers are only %.0f%% busy with %.0f%% unattributed idle; "+
 			"runs are too few or too uneven to keep the pool fed", busy*100, idle*100)
 	}
 }
@@ -215,6 +240,7 @@ func (r *SpanReport) Render() string {
 			w.Worker, w.Runs, ms(w.SpanNs), w.Busy*100, ms(w.BootNs), ms(w.RelocNs),
 			ms(w.ExecNs), ms(w.SetupNs), ms(w.ClaimNs), ms(w.IdleNs), w.RunsPS)
 	}
-	fmt.Fprintf(&b, "\nbottleneck: %s\n", r.Bottleneck())
+	class, prose := r.bottleneck()
+	fmt.Fprintf(&b, "\nbottleneck: [%s] %s\n", class, prose)
 	return b.String()
 }
