@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check leak-check telemetry-smoke obs-smoke serve-smoke fuzz clean
+.PHONY: all build test vet lint race race-campaign bench bench-baseline bench-check profile evaluate examples dsrlint wcet-check leak-check sched-check telemetry-smoke obs-smoke serve-smoke fuzz clean
 
-all: build lint test race race-campaign dsrlint wcet-check leak-check telemetry-smoke obs-smoke serve-smoke
+all: build lint test race race-campaign dsrlint wcet-check leak-check sched-check telemetry-smoke obs-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: go vet always; staticcheck when installed (not a
-# module dependency — install with: go install honnef.co/go/tools/cmd/staticcheck@latest).
+# Static analysis: go vet always; staticcheck and govulncheck when
+# installed (neither is a module dependency — install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest).
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go vet ran)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
 	fi
 
 test: vet
@@ -74,6 +81,23 @@ leak-check: build
 	$(GO) run ./cmd/dsrleak -q cmd/dsrlint/testdata/clean.s
 	LEAK_RUNS=200 $(GO) test -run 'TestLeakSound' -count=1 -v ./internal/experiments
 	$(GO) test -run FuzzLeakSound -count=1 ./internal/analysis/leak
+
+# Soundness gate for the schedule-feasibility analyzer: (1) dsrsched
+# must certify the case-study frame under the deterministic and the
+# full randomizer policies, with a 200-draw membership self-check and a
+# JSON round-trip through a file spec; (2) over 200 certified major
+# frames (the Layout+Sched E9 cell) every schedule the executive draws
+# must fall inside the statically enumerated feasible set with zero
+# budget overruns — the invariant the certificate exists to provide;
+# (3) the grammar fuzzer's committed corpus must hold.
+sched-check: build
+	$(GO) run ./cmd/dsrsched -q -builtin casestudy
+	$(GO) run ./cmd/dsrsched -q -builtin casestudy -rand -sample 200
+	$(GO) run ./cmd/dsrsched -json -builtin casestudy -rand > sched-out.json
+	$(GO) run ./cmd/dsrsched -q -rand sched-out.json
+	rm -f sched-out.json
+	SCHED_FRAMES=200 $(GO) test -run 'TestSchedFeas' -count=1 -v ./internal/experiments
+	$(GO) test -run FuzzSchedFeas -count=1 ./internal/analysis/schedfeas
 
 # Telemetry end-to-end smoke: run a reduced campaign with the recorder
 # on, then exercise every dsrstat path over the produced artefacts —
@@ -175,6 +199,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzSeedSchedule -fuzztime=20s -fuzzminimizetime=5s ./internal/campaign
 	$(GO) test -run=^$$ -fuzz=FuzzWCETSound -fuzztime=20s -fuzzminimizetime=5s ./internal/analysis/wcet
 	$(GO) test -run=^$$ -fuzz=FuzzLeakSound -fuzztime=20s -fuzzminimizetime=5s ./internal/analysis/leak
+	$(GO) test -run=^$$ -fuzz=FuzzSchedFeas -fuzztime=20s -fuzzminimizetime=5s ./internal/analysis/schedfeas
 
 clean:
 	$(GO) clean ./...

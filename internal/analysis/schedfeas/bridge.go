@@ -1,0 +1,45 @@
+package schedfeas
+
+import (
+	"fmt"
+
+	"dsr/internal/mem"
+	"dsr/internal/sched"
+)
+
+// SpecFromTasks lifts a sched task set into a schedfeas Spec: the major
+// frame is the hyperperiod and the nominal phases come from the
+// fixed-phase constructive fit (sched.Fit FixedPhase) — the det
+// baseline a randomisation policy then perturbs. WCET and stack bounds
+// carry over; criticality defaults to 0 and release jitter to
+// unconstrained (callers refine both before analysing a randomized
+// policy). It fails when no fixed-phase packing exists or when the
+// periods violate the segment-alignment requirement (every period a
+// multiple of the shortest).
+func SpecFromTasks(tasks []sched.Task, cyclesPerMilli mem.Cycles) (*Spec, error) {
+	plan, err := sched.Fit(tasks, sched.FixedPhase)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Packs {
+		return nil, fmt.Errorf("schedfeas: no fixed-phase packing: task %q does not fit", plan.Failed)
+	}
+	spec := &Spec{FrameMillis: plan.HyperMillis, CyclesPerMilli: cyclesPerMilli}
+	for _, t := range tasks {
+		off, _ := plan.Offset(t.Name)
+		spec.Tasks = append(spec.Tasks, Task{
+			Name:             t.Name,
+			PeriodMillis:     t.PeriodMillis,
+			BudgetMillis:     t.WindowBudgetMillis,
+			PhaseMillis:      off,
+			WCETCycles:       t.WCETCycles,
+			JitterMillis:     -1,
+			StackBoundBytes:  t.StackBoundBytes,
+			StackBudgetBytes: t.StackBudgetBytes,
+		})
+	}
+	if errs := spec.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("schedfeas: %s", errs[0])
+	}
+	return spec, nil
+}

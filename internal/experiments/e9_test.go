@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// e9Config dimensions a short E9 campaign for the unit tests; the CI
+// gate (TestSchedFeasSound via `make sched-check`) runs the full-length
+// version.
+func e9Config(frames, workers int) Config {
+	cfg := DefaultConfig()
+	cfg.Runs = frames
+	cfg.Workers = workers
+	return cfg
+}
+
+func TestE9Report(t *testing.T) {
+	rep, err := RunE9(e9Config(12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows=%d, want the 2x2 grid", len(rep.Rows))
+	}
+	if !rep.Sound {
+		t.Errorf("soundness verdict failed: %s", rep.SoundDetail)
+	}
+	if !rep.TimingAnalysable {
+		t.Errorf("timing verdict failed: %s", rep.TimingDetail)
+	}
+	if !rep.InferenceResistant {
+		t.Errorf("inference verdict failed: %s", rep.InferenceDetail)
+	}
+
+	det, both := rep.Rows[0], rep.Rows[3]
+	if det.MeasuredGE != 1 || det.MeasuredOffsets != 1 || det.ScheduleBits != 0 {
+		t.Errorf("deterministic cell not fully predictable: %+v", det)
+	}
+	if both.MeasuredGE <= 1 || both.MeasuredOffsets < 2 {
+		t.Errorf("randomized cell predictable: GE %.2f over %d offsets",
+			both.MeasuredGE, both.MeasuredOffsets)
+	}
+	if both.ScheduleBits <= det.ScheduleBits {
+		t.Errorf("schedule entropy %f bits not above deterministic 0", both.ScheduleBits)
+	}
+	out := FormatE9(rep)
+	for _, want := range []string{"E9:", "verdict schedule soundness", "verdict timing analysability", "verdict inference resistance", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatE9 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE9SchedAxisPreservesCycles pins the grid's control variable:
+// schedule randomisation alone must not change the control task's
+// execution times, only their arrival offsets. Frame f runs input f in
+// both cells, so the per-frame cycle series must match exactly.
+func TestE9SchedAxisPreservesCycles(t *testing.T) {
+	cfg := e9Config(6, 2)
+	det, err := RunE9Cell(cfg, E9Cell{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := RunE9Cell(cfg, E9Cell{SchedRand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(det.ControlCycles, sched.ControlCycles) {
+		t.Errorf("schedule randomisation changed control cycles:\n det=%v\nrand=%v",
+			det.ControlCycles, sched.ControlCycles)
+	}
+	if reflect.DeepEqual(det.ControlOffsets, sched.ControlOffsets) {
+		t.Errorf("schedule randomisation did not move arrivals: %v", sched.ControlOffsets)
+	}
+}
+
+// TestCampaignDeterminismE9 extends the campaign determinism invariant
+// to the schedule-randomisation axis: every E9 cell must produce
+// byte-identical output at Workers=8 and Workers=1 (the name keeps it
+// inside the `make race-campaign` net).
+func TestCampaignDeterminismE9(t *testing.T) {
+	for _, cell := range E9Cells() {
+		cell := cell
+		t.Run(strings.ReplaceAll(cell.Name(), " ", ""), func(t *testing.T) {
+			t.Parallel()
+			var seqProg, parProg []int
+			seqCfg := e9Config(5, 1)
+			seqCfg.Progress = func(_ string, done, _ int) { seqProg = append(seqProg, done) }
+			seq, err := RunE9Cell(seqCfg, cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parCfg := e9Config(5, 8)
+			parCfg.Progress = func(_ string, done, _ int) { parProg = append(parProg, done) }
+			par, err := RunE9Cell(parCfg, cell)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("workers=8 differs from sequential:\nseq=%+v\npar=%+v", seq, par)
+			}
+			if !reflect.DeepEqual(seqProg, parProg) {
+				t.Errorf("progress order differs: seq=%v par=%v", seqProg, parProg)
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"dsr/internal/analysis/schedfeas"
+	"dsr/internal/campaign"
+	"dsr/internal/prng"
+)
+
+// schedFrames is the executed-frame count of the soundness gate. The
+// default keeps `go test ./...` quick; CI runs `make sched-check`,
+// which sets SCHED_FRAMES=200 to satisfy the >=200-frame acceptance
+// bar (each frame is 11 real partition runs).
+func schedFrames(t *testing.T) int {
+	t.Helper()
+	if s := os.Getenv("SCHED_FRAMES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SCHED_FRAMES=%q: %v", s, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 4
+	}
+	return 10
+}
+
+// TestSchedFeasSound is the schedule-randomisation soundness gate, the
+// schedfeas counterpart of TestWCETSoundOverCampaigns: every schedule
+// the randomized executive can draw must be a member of the statically
+// enumerated feasible set, and executing the certified frames must
+// produce zero window overruns.
+//
+// The membership half is pure drawing, so it always sweeps at least
+// 200 frames per policy regardless of SCHED_FRAMES; the execution half
+// (real partition runs through the Layout+Sched E9 cell) is what the
+// env var scales.
+func TestSchedFeasSound(t *testing.T) {
+	frames := schedFrames(t)
+	spec := CaseStudySchedSpec()
+
+	// Membership at scale, per policy: drawn schedule passes the spec's
+	// own checker AND the certificate's support test on every frame.
+	drawFrames := frames
+	if drawFrames < 200 {
+		drawFrames = 200
+	}
+	policies := []schedfeas.Policy{
+		CaseStudySchedPolicy(false),
+		{SegmentChoice: true},
+		{PermuteOrder: true},
+		{SlotJitterMillis: 40},
+		CaseStudySchedPolicy(true),
+	}
+	for _, policy := range policies {
+		rep := schedfeas.Analyze(spec, policy, schedfeas.Config{})
+		if rep.Cert == nil {
+			t.Fatalf("policy %s: case-study spec not certifiable: %v", policy, rep.Violations)
+		}
+		seeds := campaign.NewSchedule(42).Split(e9SchedStream)
+		for f := 0; f < drawFrames; f++ {
+			fs, err := schedfeas.Draw(spec, policy, prng.NewMWC(seeds.Seed(f)))
+			if err != nil {
+				t.Fatalf("policy %s frame %d: draw failed: %v", policy, f, err)
+			}
+			if vs := spec.Check(fs); len(vs) != 0 {
+				t.Fatalf("policy %s frame %d: UNSOUND: drawn schedule infeasible: %v", policy, f, vs)
+			}
+			if err := rep.Cert.Contains(fs); err != nil {
+				t.Fatalf("policy %s frame %d: UNSOUND: drawn schedule outside certified support: %v",
+					policy, f, err)
+			}
+		}
+		t.Logf("policy %-24s: %d drawn frames feasible and inside support (%.1f bits/frame)",
+			policy, drawFrames, rep.EntropyBits)
+	}
+
+	// Execution at SCHED_FRAMES: the fully randomized E9 cell must run
+	// its certified frames with zero temporal-isolation cutoffs, and
+	// every observed control arrival must sit inside the certificate.
+	cfg := DefaultConfig()
+	cfg.Runs = frames
+	cfg.Workers = 4
+	s, err := RunE9Cell(cfg, E9Cell{LayoutRand: true, SchedRand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Overruns != 0 {
+		t.Fatalf("UNSOUND: %d overruns across %d certified frames", s.Overruns, frames)
+	}
+	if err := s.OffsetsWithinSupport(); err != nil {
+		t.Fatalf("UNSOUND: %v", err)
+	}
+	t.Logf("executed %d certified frames (%d partition runs): zero overruns, arrivals within support",
+		frames, frames*11)
+}
+
+// TestSchedFeasMatchesExecCheck pins the det-baseline agreement the
+// analyzer promises: on the case-study spec, the deterministic
+// analysis verdict must equal the spec checker's verdict on the
+// schedule the deterministic executive actually runs.
+func TestSchedFeasMatchesExecCheck(t *testing.T) {
+	spec := CaseStudySchedSpec()
+	rep := schedfeas.Analyze(spec, CaseStudySchedPolicy(false), schedfeas.Config{})
+	if !rep.Feasible {
+		t.Fatalf("det analysis infeasible: %v", rep.Violations)
+	}
+	fs, err := schedfeas.Draw(spec, CaseStudySchedPolicy(false), prng.NewMWC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := spec.Check(fs); len(vs) != 0 {
+		t.Fatalf("deterministic schedule fails the checker: %v", vs)
+	}
+}

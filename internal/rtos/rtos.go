@@ -160,16 +160,25 @@ type Scheduler struct {
 func (s *Scheduler) SetEventLog(l *telemetry.EventLog) { s.events = l }
 
 // NewScheduler builds a scheduler; windows must fit the major frame and
-// not overlap.
+// not overlap, and no two distinct partitions may share a name (the
+// activation counters are keyed by name, so a shared name would silently
+// interleave two partitions' counters). One partition owning several
+// windows of the frame is fine — that is how a short-period task gets
+// multiple activations per major frame.
 func NewScheduler(cfg Config, windows []Window) (*Scheduler, error) {
 	if cfg.MajorFrameMillis <= 0 || cfg.CyclesPerMilli == 0 {
 		return nil, fmt.Errorf("rtos: bad config %+v", cfg)
 	}
 	end := 0
+	byName := map[string]*Partition{}
 	for i, w := range windows {
 		if w.Partition == nil || w.Partition.Runner == nil {
 			return nil, fmt.Errorf("rtos: window %d has no partition/runner", i)
 		}
+		if prev, ok := byName[w.Partition.Name]; ok && prev != w.Partition {
+			return nil, fmt.Errorf("rtos: two partitions share the name %q", w.Partition.Name)
+		}
+		byName[w.Partition.Name] = w.Partition
 		if w.OffsetMillis < end {
 			return nil, fmt.Errorf("rtos: window %d (%s) overlaps previous window",
 				i, w.Partition.Name)
@@ -193,8 +202,13 @@ type Activation struct {
 	MajorFrame  int
 	Window      int
 	Activation  uint64
-	Cycles      mem.Cycles
-	Budget      mem.Cycles
+	// OffsetMillis is the window's start offset within its major frame —
+	// fixed by the window table under the cyclic Scheduler, drawn per
+	// frame by the RandomizedExecutive (the arrival observable a timing-
+	// inference adversary sees).
+	OffsetMillis int
+	Cycles       mem.Cycles
+	Budget       mem.Cycles
 	// Completed is false when the window expired first (temporal
 	// isolation cut the partition off).
 	Completed bool
@@ -245,15 +259,16 @@ func (s *Scheduler) RunMajorFrames(n int) ([]Activation, error) {
 			}
 			s.events.EmitAt(start+used, p.Name, "rtos.window", telemetry.PhaseEnd)
 			out = append(out, Activation{
-				Partition:   p.Name,
-				Criticality: p.Criticality,
-				MajorFrame:  frame,
-				Window:      wi,
-				Activation:  act,
-				Cycles:      res.Cycles,
-				Budget:      budget,
-				Completed:   done,
-				Result:      res,
+				Partition:    p.Name,
+				Criticality:  p.Criticality,
+				MajorFrame:   frame,
+				Window:       wi,
+				Activation:   act,
+				OffsetMillis: w.OffsetMillis,
+				Cycles:       res.Cycles,
+				Budget:       budget,
+				Completed:    done,
+				Result:       res,
 			})
 		}
 	}

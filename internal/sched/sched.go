@@ -130,51 +130,177 @@ func MinWindow(wcetCycles float64, cyclesPerMilli mem.Cycles) int {
 	return w
 }
 
-// HyperperiodFit lays the tasks into one hyperperiod (lcm of periods)
-// first-fit by period (rate-monotonic order) and reports whether the
-// windows pack: a constructive cyclic-executive feasibility check.
-func HyperperiodFit(tasks []Task) (hyperMillis int, packs bool, err error) {
+// FitMode selects what kind of cyclic-executive placement Fit
+// constructs.
+type FitMode int
+
+const (
+	// FixedPhase requires one offset per task: activation k of a task
+	// with period T starts at k*T + offset for a single offset chosen
+	// once. This is the only mode whose "packs" verdict certifies a
+	// realizable fixed-phase cyclic executive (an rtos window table),
+	// and its offsets are the det baseline a schedule randomizer
+	// perturbs.
+	FixedPhase FitMode = iota
+	// Jittered allows each activation its own offset within its period.
+	// It packs strictly more task sets than FixedPhase, but the
+	// resulting placement is not a fixed-phase executive: a task may
+	// run at different offsets in different periods (release jitter by
+	// construction), so "packs" here answers a weaker question.
+	Jittered
+)
+
+func (m FitMode) String() string {
+	if m == FixedPhase {
+		return "fixed-phase"
+	}
+	return "jittered"
+}
+
+// Placement is one task's chosen offset(s) in a FitPlan.
+type Placement struct {
+	Task string
+	// OffsetMillis is the fixed phase in FixedPhase mode. In Jittered
+	// mode it is the offset of the task's first activation; later
+	// activations may differ (see Offsets).
+	OffsetMillis int
+	// Offsets lists the per-activation offsets over the hyperperiod
+	// (all equal in FixedPhase mode).
+	Offsets []int
+}
+
+// FitPlan is the outcome of a constructive hyperperiod packing.
+type FitPlan struct {
+	HyperMillis int
+	Mode        FitMode
+	Packs       bool
+	// Placements holds the chosen offsets, in rate-monotonic placement
+	// order, for the tasks placed before packing failed (all tasks when
+	// Packs).
+	Placements []Placement
+	// Failed names the first task that could not be placed ("" when
+	// Packs).
+	Failed string
+}
+
+// Offset returns the fixed-phase offset chosen for the named task and
+// whether the plan placed it.
+func (p *FitPlan) Offset(task string) (int, bool) {
+	for _, pl := range p.Placements {
+		if pl.Task == task {
+			return pl.OffsetMillis, true
+		}
+	}
+	return 0, false
+}
+
+// Fit lays the tasks into one hyperperiod (lcm of periods) first-fit in
+// rate-monotonic order and reports whether the windows pack, along with
+// the chosen offsets. FixedPhase demands one offset per task (a
+// realizable cyclic-executive window table); Jittered reproduces the
+// historical HyperperiodFit behaviour where every activation may land
+// at a different offset.
+func Fit(tasks []Task, mode FitMode) (*FitPlan, error) {
+	plan := &FitPlan{Mode: mode, Packs: true}
 	if len(tasks) == 0 {
-		return 0, true, nil
+		return plan, nil
 	}
 	hyper := 1
 	for _, t := range tasks {
 		if t.PeriodMillis <= 0 {
-			return 0, false, fmt.Errorf("sched: task %q has non-positive period", t.Name)
+			return nil, fmt.Errorf("sched: task %q has non-positive period", t.Name)
+		}
+		if t.WindowBudgetMillis <= 0 || t.WindowBudgetMillis > t.PeriodMillis {
+			return nil, fmt.Errorf("sched: task %q window %dms does not fit period %dms",
+				t.Name, t.WindowBudgetMillis, t.PeriodMillis)
 		}
 		hyper = lcm(hyper, t.PeriodMillis)
 		if hyper > 1<<20 {
-			return 0, false, fmt.Errorf("sched: hyperperiod overflow")
+			return nil, fmt.Errorf("sched: hyperperiod overflow")
 		}
 	}
+	plan.HyperMillis = hyper
 	// Busy map at millisecond granularity.
 	busy := make([]bool, hyper)
+	free := func(at, n int) bool {
+		for m := 0; m < n; m++ {
+			if busy[at+m] {
+				return false
+			}
+		}
+		return true
+	}
+	occupy := func(at, n int) {
+		for m := 0; m < n; m++ {
+			busy[at+m] = true
+		}
+	}
 	order := append([]Task(nil), tasks...)
-	sort.Slice(order, func(i, j int) bool { return order[i].PeriodMillis < order[j].PeriodMillis })
+	sort.SliceStable(order, func(i, j int) bool { return order[i].PeriodMillis < order[j].PeriodMillis })
 	for _, t := range order {
-		for start := 0; start < hyper; start += t.PeriodMillis {
-			placed := false
-			for off := 0; off+t.WindowBudgetMillis <= t.PeriodMillis && !placed; off++ {
-				free := true
-				for m := 0; m < t.WindowBudgetMillis; m++ {
-					if busy[start+off+m] {
-						free = false
+		acts := hyper / t.PeriodMillis
+		pl := Placement{Task: t.Name, Offsets: make([]int, 0, acts)}
+		switch mode {
+		case FixedPhase:
+			// One offset must be free in every period simultaneously.
+			chosen := -1
+			for off := 0; off+t.WindowBudgetMillis <= t.PeriodMillis && chosen < 0; off++ {
+				ok := true
+				for start := 0; start < hyper; start += t.PeriodMillis {
+					if !free(start+off, t.WindowBudgetMillis) {
+						ok = false
 						break
 					}
 				}
-				if free {
-					for m := 0; m < t.WindowBudgetMillis; m++ {
-						busy[start+off+m] = true
-					}
-					placed = true
+				if ok {
+					chosen = off
 				}
 			}
-			if !placed {
-				return hyper, false, nil
+			if chosen < 0 {
+				plan.Packs = false
+				plan.Failed = t.Name
+				return plan, nil
 			}
+			for start := 0; start < hyper; start += t.PeriodMillis {
+				occupy(start+chosen, t.WindowBudgetMillis)
+				pl.Offsets = append(pl.Offsets, chosen)
+			}
+			pl.OffsetMillis = chosen
+		case Jittered:
+			for start := 0; start < hyper; start += t.PeriodMillis {
+				placed := -1
+				for off := 0; off+t.WindowBudgetMillis <= t.PeriodMillis && placed < 0; off++ {
+					if free(start+off, t.WindowBudgetMillis) {
+						placed = off
+					}
+				}
+				if placed < 0 {
+					plan.Packs = false
+					plan.Failed = t.Name
+					return plan, nil
+				}
+				occupy(start+placed, t.WindowBudgetMillis)
+				pl.Offsets = append(pl.Offsets, placed)
+			}
+			pl.OffsetMillis = pl.Offsets[0]
+		default:
+			return nil, fmt.Errorf("sched: unknown fit mode %d", int(mode))
 		}
+		plan.Placements = append(plan.Placements, pl)
 	}
-	return hyper, true, nil
+	return plan, nil
+}
+
+// HyperperiodFit is the historical constructive feasibility check,
+// kept as the explicit jittered mode: per-activation offsets are chosen
+// independently, so "packs" does NOT certify a fixed-phase cyclic
+// executive — use Fit(tasks, FixedPhase) for that.
+func HyperperiodFit(tasks []Task) (hyperMillis int, packs bool, err error) {
+	plan, err := Fit(tasks, Jittered)
+	if err != nil {
+		return 0, false, err
+	}
+	return plan.HyperMillis, plan.Packs, nil
 }
 
 func gcd(a, b int) int {

@@ -156,6 +156,129 @@ func TestHyperperiodFitHarmonicAndEmpty(t *testing.T) {
 	}
 }
 
+func TestFitFixedPhaseCaseStudy(t *testing.T) {
+	plan, err := Fit(caseStudyTasks(), FixedPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Packs || plan.HyperMillis != 1000 {
+		t.Fatalf("fixed-phase plan: packs=%v hyper=%d", plan.Packs, plan.HyperMillis)
+	}
+	// Processing (shorter period) is placed first at phase 0; control's
+	// 30ms window then lands in the first inter-processing gap.
+	if off, ok := plan.Offset("processing"); !ok || off != 0 {
+		t.Errorf("processing offset=%d ok=%v, want 0", off, ok)
+	}
+	if off, ok := plan.Offset("control"); !ok || off != 60 {
+		t.Errorf("control offset=%d ok=%v, want 60", off, ok)
+	}
+	// Fixed phase means every activation shares the task's offset.
+	for _, pl := range plan.Placements {
+		for i, off := range pl.Offsets {
+			if off != pl.OffsetMillis {
+				t.Errorf("%s activation %d offset %d != fixed phase %d",
+					pl.Task, i, off, pl.OffsetMillis)
+			}
+		}
+	}
+}
+
+// The task set that separates the modes: A (T=3,W=1) forces B (T=4,W=2)
+// to different offsets in different periods, so the jittered packing
+// succeeds while no single fixed phase exists for B.
+func jitterOnlyTasks() []Task {
+	return []Task{
+		{Name: "A", PeriodMillis: 3, WCETCycles: 1, WindowBudgetMillis: 1},
+		{Name: "B", PeriodMillis: 4, WCETCycles: 1, WindowBudgetMillis: 2},
+	}
+}
+
+func TestFitModesDiverge(t *testing.T) {
+	jit, err := Fit(jitterOnlyTasks(), Jittered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jit.Packs {
+		t.Fatal("jittered mode should pack A(3,1)+B(4,2)")
+	}
+	// The jittered plan really does move B between periods — the
+	// release jitter HyperperiodFit's old "packs" verdict hid.
+	var bOffsets []int
+	for _, pl := range jit.Placements {
+		if pl.Task == "B" {
+			bOffsets = pl.Offsets
+		}
+	}
+	distinct := map[int]bool{}
+	for _, off := range bOffsets {
+		distinct[off] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("jittered plan gave B constant offsets %v; expected per-period drift", bOffsets)
+	}
+
+	fixed, err := Fit(jitterOnlyTasks(), FixedPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Packs {
+		t.Error("fixed-phase mode packed a set with no common phase for B")
+	}
+	if fixed.Failed != "B" {
+		t.Errorf("failed task = %q, want B", fixed.Failed)
+	}
+
+	// The legacy entry point is the jittered mode.
+	_, packs, err := HyperperiodFit(jitterOnlyTasks())
+	if err != nil || !packs {
+		t.Errorf("HyperperiodFit (jittered) packs=%v err=%v", packs, err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]Task{{Name: "t", PeriodMillis: 0, WindowBudgetMillis: 1}}, FixedPhase); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := Fit([]Task{{Name: "t", PeriodMillis: 10, WindowBudgetMillis: 11}}, FixedPhase); err == nil {
+		t.Error("window beyond period accepted")
+	}
+	if _, err := Fit(caseStudyTasks(), FitMode(99)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if plan, err := Fit(nil, FixedPhase); err != nil || !plan.Packs {
+		t.Error("empty set should pack")
+	}
+	if _, ok := (&FitPlan{}).Offset("missing"); ok {
+		t.Error("Offset found a task in an empty plan")
+	}
+	if FixedPhase.String() != "fixed-phase" || Jittered.String() != "jittered" {
+		t.Error("FitMode strings")
+	}
+}
+
+// Property: whenever FixedPhase packs, Jittered packs too (fixed-phase
+// plans are a subset of jittered plans).
+func TestFitFixedImpliesJittered(t *testing.T) {
+	f := func(p1, w1, p2, w2 uint8) bool {
+		a := Task{Name: "a", PeriodMillis: int(p1%20) + 2, WCETCycles: 1}
+		a.WindowBudgetMillis = int(w1)%a.PeriodMillis + 1
+		b := Task{Name: "b", PeriodMillis: int(p2%20) + 2, WCETCycles: 1}
+		b.WindowBudgetMillis = int(w2)%b.PeriodMillis + 1
+		fixed, err := Fit([]Task{a, b}, FixedPhase)
+		if err != nil {
+			return false
+		}
+		jit, err := Fit([]Task{a, b}, Jittered)
+		if err != nil {
+			return false
+		}
+		return !fixed.Packs || jit.Packs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: a single task always packs when its window fits its period.
 func TestHyperperiodSingleTaskProperty(t *testing.T) {
 	f := func(p, w uint8) bool {
